@@ -1,0 +1,109 @@
+//! Reference Smith-Waterman (the oracle for the SIMT kernel).
+
+use crate::scoring::{Alignment, Scoring};
+
+/// Full-matrix local alignment, score + end coordinates.
+///
+/// Tie-breaking is fixed so the anti-diagonal kernel can match it exactly:
+/// among equal-scoring cells the earliest anti-diagonal (`i + j`) wins,
+/// then the smallest query index `i`.
+pub fn sw_score_cpu(query: &[u8], reference: &[u8], s: &Scoring) -> Alignment {
+    let (m, n) = (query.len(), reference.len());
+    if m == 0 || n == 0 {
+        return Alignment::NONE;
+    }
+    // One rolling row of H (i fixed per outer loop), plus the diagonal carry.
+    let mut prev_row = vec![0i32; n + 1];
+    let mut best = Alignment::NONE;
+    let mut best_diag = usize::MAX;
+
+    for i in 1..=m {
+        let mut diag = 0i32; // H(i-1, j-1)
+        let mut cur_left = 0i32; // H(i, j-1)
+        for j in 1..=n {
+            let up = prev_row[j];
+            let h = 0i32
+                .max(diag + s.subst(query[i - 1], reference[j - 1]))
+                .max(up + s.gap)
+                .max(cur_left + s.gap);
+            diag = up;
+            prev_row[j - 1] = cur_left; // finalize H(i, j-1) into the row
+            cur_left = h;
+
+            let d = i + j;
+            if h > best.score || (h == best.score && h > 0 && (d < best_diag
+                || (d == best_diag && i < best.query_end)))
+            {
+                best = Alignment { score: h, query_end: i, ref_end: j };
+                best_diag = d;
+            }
+        }
+        prev_row[n] = cur_left;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(q: &[u8], r: &[u8]) -> i32 {
+        sw_score_cpu(q, r, &Scoring::default()).score
+    }
+
+    #[test]
+    fn exact_match_scores_full() {
+        let a = sw_score_cpu(b"ACGTACGT", b"ACGTACGT", &Scoring::default());
+        assert_eq!(a.score, 8 * 3);
+        assert_eq!(a.query_end, 8);
+        assert_eq!(a.ref_end, 8);
+    }
+
+    #[test]
+    fn substring_found() {
+        let a = sw_score_cpu(b"CGTA", b"TTACGTATT", &Scoring::default());
+        assert_eq!(a.score, 4 * 3);
+        assert_eq!(a.query_end, 4);
+        assert_eq!(a.ref_end, 7); // "CGTA" occupies reference[3..7]
+    }
+
+    #[test]
+    fn mismatch_vs_gap_tradeoff() {
+        // One mismatch (−3) beats gap-gap (−12): score 5·3 − 3 − … choose
+        // the alignment "ACGTA"/"ACCTA": 4 matches + 1 mismatch = 9.
+        assert_eq!(score(b"ACGTA", b"ACCTA"), 4 * 3 - 3);
+    }
+
+    #[test]
+    fn gap_taken_when_cheaper() {
+        // Query insertion: "ACGTTA" vs "ACGTA". The gapped alignment
+        // scores 5·3 − 6 = 9, but *local* alignment prefers the ungapped
+        // "ACGT" prefix (4·3 = 12) — the hallmark of SW.
+        assert_eq!(score(b"ACGTTA", b"ACGTA"), 4 * 3);
+        // With a longer conserved suffix, bridging pays: "ACGTTTTTT" vs
+        // "ACGGTTTTTT" aligns all 9 query bases with one gap (or one
+        // mismatch): 9·3 − 6 = 3·3 + 6·3 − 3 = 21.
+        assert_eq!(score(b"ACGTTTTTT", b"ACGGTTTTTT"), 21);
+    }
+
+    #[test]
+    fn disjoint_sequences_score_zero_floor() {
+        let a = sw_score_cpu(b"AAAA", b"CCCC", &Scoring::default());
+        assert_eq!(a.score, 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sw_score_cpu(b"", b"ACGT", &Scoring::default()), Alignment::NONE);
+        assert_eq!(sw_score_cpu(b"ACGT", b"", &Scoring::default()), Alignment::NONE);
+    }
+
+    #[test]
+    fn local_alignment_ignores_noise_flanks() {
+        // The core "ACGTACGT" is embedded in noise on both sides.
+        let q = b"TTTTACGTACGTTTTT";
+        let r = b"GGGGACGTACGTGGGG";
+        // Flank T/G runs mismatch; the local core still scores ≥ 8 matches.
+        assert!(score(q, r) >= 8 * 3);
+    }
+}

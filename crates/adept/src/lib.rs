@@ -1,0 +1,27 @@
+//! # adept — the companion alignment kernel
+//!
+//! The paper contrasts local assembly with the *other* heavily-used GPU
+//! bioinformatics kernel: dynamic-programming sequence alignment (ADEPT
+//! \[15\], studied for portability in \[5\]). The two kernels stress GPUs in
+//! opposite ways — alignment has regular, wavefront-parallel data access
+//! with per-cell dependencies, local assembly has scattered hash-table
+//! traffic with warp-cooperative atomics — which is why §I singles both
+//! out as the hard cases for portability.
+//!
+//! This crate implements Smith-Waterman local alignment twice:
+//!
+//! * [`cpu`] — the reference DP (oracle),
+//! * [`kernel`] — a warp-per-alignment SIMT kernel using anti-diagonal
+//!   wavefront parallelism, executed on the same simulator, device models
+//!   and counters as the local assembly kernel, so the two kernels'
+//!   roofline positions are directly comparable (`repro adept`).
+
+pub mod cpu;
+pub mod kernel;
+pub mod launch;
+pub mod scoring;
+
+pub use cpu::sw_score_cpu;
+pub use kernel::sw_kernel;
+pub use launch::{run_alignment_batch, AlignmentBatchResult, Pair};
+pub use scoring::{Alignment, Scoring};

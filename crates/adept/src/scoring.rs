@@ -1,0 +1,60 @@
+//! Scoring scheme and alignment results.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear-gap Smith-Waterman scoring (ADEPT's DNA defaults, with its
+/// affine gap simplified to a linear penalty — documented substitution:
+/// the kernel's parallel structure and memory behaviour are identical).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scoring {
+    pub match_score: i32,
+    pub mismatch: i32,
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    fn default() -> Self {
+        // ADEPT DNA defaults: match 3, mismatch −3, gap −6.
+        Scoring { match_score: 3, mismatch: -3, gap: -6 }
+    }
+}
+
+impl Scoring {
+    /// Substitution score for a base pair.
+    #[inline]
+    pub fn subst(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
+}
+
+/// A local alignment result (ADEPT phase 1: score + end coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Best local score (0 if nothing aligns).
+    pub score: i32,
+    /// Query end index (exclusive) of the best cell.
+    pub query_end: usize,
+    /// Reference end index (exclusive) of the best cell.
+    pub ref_end: usize,
+}
+
+impl Alignment {
+    pub const NONE: Alignment = Alignment { score: 0, query_end: 0, ref_end: 0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_adept_dna() {
+        let s = Scoring::default();
+        assert_eq!((s.match_score, s.mismatch, s.gap), (3, -3, -6));
+        assert_eq!(s.subst(b'A', b'A'), 3);
+        assert_eq!(s.subst(b'A', b'C'), -3);
+    }
+}

@@ -1,0 +1,63 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! sub-group width (§III-C), insertion dialect (Appendix A), and contig
+//! binning (Fig. 3). Each measures simulator wall time; the simulated
+//! metrics are reported by `repro ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_specs::DeviceId;
+use locassm_core::BinningPolicy;
+use locassm_kernels::{run_local_assembly, Dialect, GpuConfig};
+use std::hint::black_box;
+use workloads::paper_dataset;
+
+fn bench_width_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("width_sweep_max1550");
+    g.sample_size(10);
+    let ds = paper_dataset(33, 0.003, 17);
+    for width in [8u32, 16, 32, 64] {
+        let mut cfg = GpuConfig::for_device(DeviceId::Max1550);
+        cfg.width = width;
+        cfg.parallel = false;
+        g.bench_with_input(BenchmarkId::from_parameter(width), &ds, |b, ds| {
+            b.iter(|| run_local_assembly(black_box(ds), &cfg).profile.intops())
+        });
+    }
+    g.finish();
+}
+
+fn bench_dialect_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dialect_sweep_a100");
+    g.sample_size(10);
+    let ds = paper_dataset(33, 0.003, 17);
+    for dialect in [Dialect::Cuda, Dialect::Hip, Dialect::Sycl] {
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.dialect = dialect;
+        cfg.parallel = false;
+        g.bench_with_input(BenchmarkId::from_parameter(dialect), &ds, |b, ds| {
+            b.iter(|| run_local_assembly(black_box(ds), &cfg).profile.intops())
+        });
+    }
+    g.finish();
+}
+
+fn bench_binning_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binning_sweep_a100");
+    g.sample_size(10);
+    let ds = paper_dataset(33, 0.003, 17);
+    for (name, policy) in [
+        ("pow2", BinningPolicy::PowerOfTwo),
+        ("fixed256", BinningPolicy::FixedSize(256)),
+        ("single", BinningPolicy::Single),
+    ] {
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.binning = policy;
+        cfg.parallel = false;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ds, |b, ds| {
+            b.iter(|| run_local_assembly(black_box(ds), &cfg).profile.intops())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_width_sweep, bench_dialect_sweep, bench_binning_sweep);
+criterion_main!(benches);

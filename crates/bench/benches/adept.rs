@@ -1,0 +1,50 @@
+//! Smith-Waterman kernel benchmarks: CPU reference vs simulated devices
+//! (the companion-kernel comparison of `repro adept`, timed).
+
+use adept::{run_alignment_batch, sw_score_cpu, Pair, Scoring};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_specs::DeviceId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn pairs(n: usize, qlen: usize, rlen: usize, seed: u64) -> Vec<Pair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dna = |len: usize| -> Vec<u8> {
+        (0..len).map(|_| locassm_core::dna::BASES[rng.random_range(0..4)]).collect()
+    };
+    (0..n).map(|_| Pair { query: dna(qlen), reference: dna(rlen) }).collect()
+}
+
+fn bench_cpu_sw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sw_cpu");
+    for (qlen, rlen) in [(64usize, 128usize), (150, 300)] {
+        let ps = pairs(1, qlen, rlen, 3);
+        g.throughput(Throughput::Elements((qlen * rlen) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{qlen}x{rlen}")),
+            &ps[0],
+            |b, p| b.iter(|| sw_score_cpu(black_box(&p.query), &p.reference, &Scoring::default())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_simulated_sw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sw_simulated");
+    g.sample_size(10);
+    let ps = pairs(64, 100, 200, 5);
+    for dev in DeviceId::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(dev.spec().short_name), &ps, |b, ps| {
+            b.iter(|| {
+                run_alignment_batch(black_box(ps), dev.spec(), &Scoring::default(), false)
+                    .counters
+                    .intops()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_sw, bench_simulated_sw);
+criterion_main!(benches);

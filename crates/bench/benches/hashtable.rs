@@ -1,0 +1,53 @@
+//! CPU `loc_ht` insert/lookup throughput at production-like load factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use locassm_core::kmer::{ext_vote, KmerIter};
+use locassm_core::{estimate_slots, CpuHashTable, Read};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn make_read(len: usize, seed: u64) -> Read {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seq: Vec<u8> = (0..len).map(|_| b"ACGT"[rng.random_range(0..4)]).collect();
+    Read::with_uniform_qual(&seq, b'I')
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ht_insert_read");
+    for k in [21usize, 33, 55, 77] {
+        let read = make_read(160, 7);
+        let insertions = read.kmer_count(k);
+        g.throughput(Throughput::Elements(insertions as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &read, |b, read| {
+            b.iter(|| {
+                let mut ht = CpuHashTable::with_capacity(estimate_slots(insertions));
+                for (pos, kmer) in KmerIter::new(&read.seq, k) {
+                    ht.insert(black_box(kmer), ext_vote(read, pos, k)).unwrap();
+                }
+                ht.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ht_lookup");
+    for k in [21usize, 77] {
+        let read = make_read(2000, 3);
+        let insertions = read.kmer_count(k);
+        let mut ht = CpuHashTable::with_capacity(estimate_slots(insertions));
+        for (pos, kmer) in KmerIter::new(&read.seq, k) {
+            ht.insert(kmer, ext_vote(&read, pos, k)).unwrap();
+        }
+        let probe = read.seq[500..500 + k].to_vec();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &probe, |b, probe| {
+            b.iter(|| ht.lookup(black_box(probe)).is_some())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_lookup);
+criterion_main!(benches);

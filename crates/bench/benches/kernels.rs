@@ -1,0 +1,46 @@
+//! End-to-end simulated kernel runs: one bench per paper dataset/device
+//! pairing (the Fig. 5 matrix at reduced scale). Criterion measures the
+//! *simulator's* wall time; the simulated kernel seconds are what `repro
+//! fig5` reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_specs::DeviceId;
+use locassm_kernels::{run_local_assembly, GpuConfig};
+use std::hint::black_box;
+use workloads::paper_dataset;
+
+fn bench_devices(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_kernel");
+    g.sample_size(10);
+    for k in [21usize, 77] {
+        let ds = paper_dataset(k, 0.005, 11);
+        for dev in DeviceId::ALL {
+            let mut cfg = GpuConfig::for_device(dev);
+            // Criterion runs inside its own harness; keep the simulation
+            // single-threaded for stable measurements.
+            cfg.parallel = false;
+            g.bench_with_input(
+                BenchmarkId::new(dev.spec().short_name, k),
+                &ds,
+                |b, ds| b.iter(|| run_local_assembly(black_box(ds), &cfg).profile.intops()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_construct_vs_walk_split(c: &mut Criterion) {
+    // Sanity bench: the construct phase dominates instruction counts.
+    let ds = paper_dataset(21, 0.002, 13);
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = false;
+    c.bench_function("profile_phase_split", |b| {
+        b.iter(|| {
+            let p = run_local_assembly(black_box(&ds), &cfg).profile;
+            (p.phases.construct.int_instructions, p.phases.walk.int_instructions)
+        })
+    });
+}
+
+criterion_group!(benches, bench_devices, bench_construct_vs_walk_split);
+criterion_main!(benches);

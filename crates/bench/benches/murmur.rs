@@ -1,0 +1,21 @@
+//! MurmurHashAligned2 throughput per k-mer size (the kernel's dominant
+//! integer cost — paper Table V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use locassm_core::murmur::{murmur_hash_aligned2, DEFAULT_SEED};
+use std::hint::black_box;
+
+fn bench_murmur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("murmur_hash_aligned2");
+    for k in [21usize, 33, 55, 77] {
+        let key: Vec<u8> = (0..k).map(|i| b"ACGT"[i % 4]).collect();
+        g.throughput(Throughput::Bytes(k as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &key, |b, key| {
+            b.iter(|| murmur_hash_aligned2(black_box(key), DEFAULT_SEED))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_murmur);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Benchmarks for the pipeline substrates around the studied kernel:
+//! k-mer spectrum construction, global contig generation, read alignment,
+//! miss-rate-curve replay, and the multi-device driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use locassm_core::align::{assign_reads_to_ends, AlignConfig, EndIndex};
+use locassm_core::global_asm::generate_contigs;
+use locassm_core::{KmerSpectrum, Read};
+use memhier::{CacheConfig, SectorTrace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn genome(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| locassm_core::dna::BASES[rng.random_range(0..4)]).collect()
+}
+
+fn shotgun(g: &[u8], n: usize, len: usize, seed: u64) -> Vec<Read> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s = rng.random_range(0..g.len() - len);
+            Read::with_uniform_qual(&g[s..s + len], b'I')
+        })
+        .collect()
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmer_spectrum");
+    let genome = genome(20_000, 3);
+    let reads = shotgun(&genome, 2_000, 120, 4);
+    let kmers: usize = reads.iter().map(|r| r.kmer_count(31)).sum();
+    g.throughput(Throughput::Elements(kmers as u64));
+    g.bench_function("build_k31", |b| b.iter(|| KmerSpectrum::build(black_box(&reads), 31)));
+    g.finish();
+}
+
+fn bench_global_contigs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_contigs");
+    g.sample_size(10);
+    let genome = genome(10_000, 5);
+    let reads = shotgun(&genome, 1_500, 120, 6);
+    let mut spectrum = KmerSpectrum::build(&reads, 31);
+    spectrum.filter(2);
+    g.throughput(Throughput::Elements(spectrum.distinct() as u64));
+    g.bench_function("unitigs_k31", |b| b.iter(|| generate_contigs(black_box(&spectrum))));
+    g.finish();
+}
+
+fn bench_alignment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alignment");
+    let genome = genome(50_000, 7);
+    let contigs: Vec<Vec<u8>> =
+        (0..50).map(|i| genome[i * 900..i * 900 + 600].to_vec()).collect();
+    let reads = shotgun(&genome, 2_000, 100, 8);
+    let cfg = AlignConfig::default();
+
+    g.bench_function("index_build", |b| b.iter(|| EndIndex::build(black_box(&contigs), cfg)));
+
+    let index = EndIndex::build(&contigs, cfg);
+    g.throughput(Throughput::Elements(reads.len() as u64));
+    g.bench_function("place_reads", |b| {
+        b.iter(|| {
+            reads.iter().map(|r| index.place(black_box(&r.seq)).len()).sum::<usize>()
+        })
+    });
+
+    g.bench_function("assign_to_ends", |b| {
+        b.iter(|| assign_reads_to_ends(black_box(&contigs), &reads, 21, cfg).len())
+    });
+    g.finish();
+}
+
+fn bench_mrc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("miss_rate_curve");
+    // A hash-probe-like trace: random sectors over a 64 KiB working set.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut trace = SectorTrace::new();
+    for _ in 0..50_000 {
+        trace.push(rng.random_range(0..2048u64), rng.random_bool(0.3));
+    }
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("replay_16k", |b| {
+        b.iter(|| trace.miss_rate(black_box(CacheConfig::new(16 * 1024, 128, 8))))
+    });
+    g.bench_function("curve_5_points", |b| {
+        b.iter(|| {
+            trace.miss_rate_curve(
+                black_box(&[4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20]),
+                128,
+                8,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_multi_gpu(c: &mut Criterion) {
+    use gpu_specs::DeviceId;
+    use locassm_kernels::{run_multi_gpu, GpuConfig, Partition};
+    use workloads::paper_dataset;
+    let mut g = c.benchmark_group("multi_gpu");
+    g.sample_size(10);
+    let ds = paper_dataset(21, 0.003, 10);
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = false;
+    for ranks in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(ranks), &ds, |b, ds| {
+            b.iter(|| {
+                run_multi_gpu(black_box(ds), &cfg, ranks, Partition::WorkBalanced)
+                    .makespan_seconds()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spectrum,
+    bench_global_contigs,
+    bench_alignment,
+    bench_mrc,
+    bench_multi_gpu
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! CPU mer-walk and whole-contig extension throughput (the serial
+//! baseline the GPU port replaces — the paper reports a 7× end-to-end
+//! speedup for the GPU offload in MetaHipMer).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use locassm_core::{assemble_all, extend_contig, AssemblyConfig};
+use std::hint::black_box;
+use workloads::paper_dataset;
+
+fn bench_extend_one(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_extend_contig");
+    for k in [21usize, 77] {
+        let ds = paper_dataset(k, 0.002, 99);
+        // Pick a contig with a healthy number of reads.
+        let job = ds
+            .jobs
+            .iter()
+            .max_by_key(|j| j.read_count())
+            .expect("dataset has contigs")
+            .clone();
+        let cfg = AssemblyConfig::new(k);
+        g.throughput(Throughput::Elements(job.insertion_count(k) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(k), &job, |b, job| {
+            b.iter(|| extend_contig(black_box(job), &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_assemble_serial_vs_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_assemble_all");
+    g.sample_size(10);
+    let ds = paper_dataset(21, 0.01, 5);
+    let cfg = AssemblyConfig::new(21);
+    g.bench_function("serial", |b| b.iter(|| assemble_all(black_box(&ds.jobs), &cfg, false)));
+    g.bench_function("rayon", |b| b.iter(|| assemble_all(black_box(&ds.jobs), &cfg, true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_extend_one, bench_assemble_serial_vs_parallel);
+criterion_main!(benches);

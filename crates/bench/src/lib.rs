@@ -1,0 +1,1 @@
+//! Benchmark harness crate: see `src/bin/repro.rs` for the table/figure regeneration binary and `benches/` for the criterion suites.

@@ -1,0 +1,279 @@
+//! Read-to-contig alignment (Fig. 2, "Alignment" stage).
+//!
+//! MetaHipMer aligns every read back to the contigs; the reads that align
+//! over a contig *end* become that end's local-assembly input (the paper's
+//! §II-C: "a list of contigs and a corresponding set of reads that align to
+//! the ends of the contigs"). This module implements the seed-and-verify
+//! aligner that performs the assignment:
+//!
+//! * every contig's boundary region is indexed by its s-mers (seed length
+//!   `seed_k`),
+//! * a read's seeds vote for (contig, offset) placements; each candidate
+//!   placement is verified base-by-base with a mismatch budget,
+//! * placements that overhang an end assign the read to that end (a read
+//!   can align to multiple contigs — it is assigned to each, as in the
+//!   production pipeline where boundary reads recruit to every contig they
+//!   overlap).
+
+use crate::contig::ContigJob;
+use crate::read::Read;
+use std::collections::HashMap;
+
+/// Aligner parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlignConfig {
+    /// Seed length (exact-match anchor).
+    pub seed_k: usize,
+    /// Width of the indexed boundary region at each contig end.
+    pub end_window: usize,
+    /// Maximum mismatches tolerated in the verified overlap.
+    pub max_mismatches: usize,
+    /// Minimum bases of the read that must overlap the contig.
+    pub min_overlap: usize,
+}
+
+impl Default for AlignConfig {
+    fn default() -> Self {
+        AlignConfig { seed_k: 15, end_window: 64, max_mismatches: 4, min_overlap: 20 }
+    }
+}
+
+/// A verified placement of a read against a contig.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    pub contig: usize,
+    /// Read start relative to the contig start (may be negative: the read
+    /// hangs off the left end).
+    pub offset: i64,
+    pub mismatches: usize,
+}
+
+/// Seed index over contig boundary regions.
+pub struct EndIndex<'a> {
+    contigs: &'a [Vec<u8>],
+    cfg: AlignConfig,
+    /// seed → (contig, position) candidates.
+    seeds: HashMap<&'a [u8], Vec<(usize, usize)>>,
+}
+
+impl<'a> EndIndex<'a> {
+    /// Index the first and last `end_window` bases of every contig.
+    pub fn build(contigs: &'a [Vec<u8>], cfg: AlignConfig) -> Self {
+        assert!(cfg.seed_k >= 4, "seed too short to be specific");
+        let mut seeds: HashMap<&[u8], Vec<(usize, usize)>> = HashMap::new();
+        for (ci, c) in contigs.iter().enumerate() {
+            let w = cfg.end_window.min(c.len());
+            let mut add_region = |lo: usize, hi: usize| {
+                for p in lo..hi.saturating_sub(cfg.seed_k - 1) {
+                    seeds.entry(&c[p..p + cfg.seed_k]).or_default().push((ci, p));
+                }
+            };
+            add_region(0, w);
+            if c.len() > w {
+                add_region(c.len() - w, c.len());
+            }
+        }
+        EndIndex { contigs, cfg, seeds }
+    }
+
+    /// Verify a candidate placement; returns mismatch count if acceptable.
+    fn verify(&self, read: &[u8], contig: &[u8], offset: i64) -> Option<usize> {
+        // Overlap interval in contig coordinates.
+        let start = offset.max(0) as usize;
+        let end = ((offset + read.len() as i64).min(contig.len() as i64)) as usize;
+        if end <= start || end - start < self.cfg.min_overlap {
+            return None;
+        }
+        let mut mism = 0usize;
+        for p in start..end {
+            let r = read[(p as i64 - offset) as usize];
+            if r != contig[p] {
+                mism += 1;
+                if mism > self.cfg.max_mismatches {
+                    return None;
+                }
+            }
+        }
+        Some(mism)
+    }
+
+    /// All verified placements of one read (forward orientation only;
+    /// callers align the reverse complement separately if desired).
+    pub fn place(&self, read: &[u8]) -> Vec<Placement> {
+        let k = self.cfg.seed_k;
+        if read.len() < k {
+            return Vec::new();
+        }
+        // Collect candidate (contig, offset) pairs from a stride of seeds.
+        let mut candidates: Vec<(usize, i64)> = Vec::new();
+        for rp in (0..=read.len() - k).step_by(k) {
+            if let Some(hits) = self.seeds.get(&read[rp..rp + k]) {
+                for &(ci, cp) in hits {
+                    candidates.push((ci, cp as i64 - rp as i64));
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        candidates
+            .into_iter()
+            .filter_map(|(ci, off)| {
+                self.verify(read, &self.contigs[ci], off).map(|mism| Placement {
+                    contig: ci,
+                    offset: off,
+                    mismatches: mism,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Align a read pool to contig ends and build the local-assembly jobs.
+///
+/// A placement recruits the read to the **right** end when the read extends
+/// past the contig's last base (or reaches its terminal k-mer region), and
+/// to the **left** end symmetrically. Reads are stored forward; the
+/// left-extension transform happens later (`ContigJob::left_as_right`).
+pub fn assign_reads_to_ends(
+    contigs: &[Vec<u8>],
+    reads: &[Read],
+    walk_k: usize,
+    cfg: AlignConfig,
+) -> Vec<ContigJob> {
+    let index = EndIndex::build(contigs, cfg);
+    let mut right: Vec<Vec<Read>> = vec![Vec::new(); contigs.len()];
+    let mut left: Vec<Vec<Read>> = vec![Vec::new(); contigs.len()];
+
+    for read in reads {
+        for p in index.place(&read.seq) {
+            let c_len = contigs[p.contig].len() as i64;
+            let read_end = p.offset + read.len() as i64;
+            // Right end: the read covers into the terminal walk_k window
+            // or beyond the end.
+            if read_end > c_len - walk_k as i64 {
+                right[p.contig].push(read.clone());
+            }
+            // Left end: the read covers the initial walk_k window or
+            // starts before the contig.
+            if p.offset < walk_k as i64 {
+                left[p.contig].push(read.clone());
+            }
+        }
+    }
+
+    contigs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            ContigJob::new(
+                i as u32,
+                c.clone(),
+                std::mem::take(&mut right[i]),
+                std::mem::take(&mut left[i]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AlignConfig {
+        AlignConfig { seed_k: 8, end_window: 32, max_mismatches: 2, min_overlap: 10 }
+    }
+
+    /// A deterministic pseudo-random genome (LCG over ACGT).
+    fn genome(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                crate::dna::BASES[(x >> 60) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_read_places_at_true_offset() {
+        let g = genome(200, 7);
+        let contigs = vec![g[40..160].to_vec()];
+        let idx = EndIndex::build(&contigs, cfg());
+        // A read inside the right end-window: contig offset 100.
+        let read = &g[140..170];
+        let placements = idx.place(read);
+        assert!(placements.iter().any(|p| p.contig == 0 && p.offset == 100 && p.mismatches == 0),
+            "{placements:?}");
+    }
+
+    #[test]
+    fn overhanging_read_has_negative_or_large_offset() {
+        let g = genome(200, 9);
+        let contigs = vec![g[40..160].to_vec()];
+        let idx = EndIndex::build(&contigs, cfg());
+        // Hangs off the left end by 10 bases.
+        let read = &g[30..60];
+        let placements = idx.place(read);
+        assert!(placements.iter().any(|p| p.offset == -10), "{placements:?}");
+    }
+
+    #[test]
+    fn mismatch_budget_enforced() {
+        let g = genome(120, 11);
+        let contigs = vec![g.clone()];
+        let idx = EndIndex::build(&contigs, cfg());
+        let mut read = g[..40].to_vec();
+        // Two mismatches outside the first seed: still placed.
+        read[20] = if read[20] == b'A' { b'C' } else { b'A' };
+        read[30] = if read[30] == b'A' { b'C' } else { b'A' };
+        assert!(!idx.place(&read).is_empty());
+        // A third pushes it over budget.
+        read[35] = if read[35] == b'A' { b'C' } else { b'A' };
+        assert!(idx.place(&read).is_empty());
+    }
+
+    #[test]
+    fn middle_reads_are_not_recruited_to_ends() {
+        let g = genome(400, 13);
+        let contigs = vec![g[50..350].to_vec()];
+        // A read squarely in the middle of the contig…
+        let mid = Read::with_uniform_qual(&g[180..220], b'I');
+        // …and one over each junction.
+        let r = Read::with_uniform_qual(&g[330..370], b'I');
+        let l = Read::with_uniform_qual(&g[30..70], b'I');
+        let jobs = assign_reads_to_ends(&contigs, &[mid, r.clone(), l.clone()], 21, cfg());
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].right_reads, vec![r]);
+        assert_eq!(jobs[0].left_reads, vec![l]);
+    }
+
+    #[test]
+    fn end_to_end_alignment_feeds_extension() {
+        // Full loop: contig from the middle of a genome, random reads over
+        // the junctions, aligned jobs, CPU extension recovers genome bases.
+        let g = genome(300, 17);
+        let contigs = vec![g[60..240].to_vec()];
+        let reads: Vec<Read> = (0..8)
+            .map(|i| {
+                let start = 210 + i * 4; // tile the right junction
+                Read::with_uniform_qual(&g[start..start + 50], b'I')
+            })
+            .collect();
+        let jobs = assign_reads_to_ends(&contigs, &reads, 21, cfg());
+        assert!(!jobs[0].right_reads.is_empty());
+        let cfg = crate::assemble::AssemblyConfig::new(21);
+        let ext = crate::assemble::extend_contig(&jobs[0], &cfg);
+        assert!(!ext.right.is_empty(), "aligned reads must drive an extension");
+        // The extension must continue the true genome.
+        let expect = &g[240..240 + ext.right.len()];
+        assert_eq!(ext.right, expect);
+    }
+
+    #[test]
+    fn short_reads_are_ignored() {
+        let contigs = vec![b"ACGTACGTACGTACGTACGT".to_vec()];
+        let idx = EndIndex::build(&contigs, cfg());
+        assert!(idx.place(b"ACGT").is_empty());
+    }
+}

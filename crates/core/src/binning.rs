@@ -1,0 +1,132 @@
+//! Contig binning (Fig. 3, "Contig Binning").
+//!
+//! The graph-traversal phase has a non-deterministic amount of work per
+//! contig; launching contigs with similar expected work together avoids
+//! warp stalling (all walks in a batch terminate after a similar number of
+//! steps). The binning key is the number of reads assigned to the contig.
+
+use crate::contig::ContigJob;
+use serde::{Deserialize, Serialize};
+
+/// How to group contigs into kernel batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinningPolicy {
+    /// One batch per power-of-two band of read count: {1}, (1,2], (2,4],
+    /// (4,8]… (the paper's "estimated similar amount of work together").
+    PowerOfTwo,
+    /// Fixed-size batches in input order (no work-aware grouping) — the
+    /// ablation baseline.
+    FixedSize(usize),
+    /// Everything in a single batch.
+    Single,
+}
+
+/// One kernel batch: indices into the job list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Read-count band label (lower bound), for reporting.
+    pub band: usize,
+    /// Indices of the jobs in this batch.
+    pub jobs: Vec<usize>,
+}
+
+/// Group jobs into batches under the given policy.
+///
+/// Batches are returned in ascending band order; within a batch, jobs keep
+/// their input order (determinism).
+pub fn bin_contigs(jobs: &[ContigJob], policy: BinningPolicy) -> Vec<Batch> {
+    match policy {
+        BinningPolicy::Single => {
+            if jobs.is_empty() {
+                Vec::new()
+            } else {
+                vec![Batch { band: 0, jobs: (0..jobs.len()).collect() }]
+            }
+        }
+        BinningPolicy::FixedSize(n) => {
+            assert!(n > 0, "batch size must be positive");
+            (0..jobs.len())
+                .collect::<Vec<_>>()
+                .chunks(n)
+                .map(|c| Batch { band: 0, jobs: c.to_vec() })
+                .collect()
+        }
+        BinningPolicy::PowerOfTwo => {
+            let mut bands: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (i, j) in jobs.iter().enumerate() {
+                let rc = j.read_count().max(1);
+                let band = rc.next_power_of_two().trailing_zeros() as usize;
+                match bands.iter_mut().find(|(b, _)| *b == band) {
+                    Some((_, v)) => v.push(i),
+                    None => bands.push((band, vec![i])),
+                }
+            }
+            bands.sort_by_key(|(b, _)| *b);
+            bands
+                .into_iter()
+                .map(|(band, jobs)| Batch { band: 1usize << band, jobs })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::Read;
+
+    fn job_with_reads(id: u32, n: usize) -> ContigJob {
+        let reads = (0..n).map(|_| Read::with_uniform_qual(b"ACGTACGT", b'I')).collect();
+        ContigJob::new(id, b"ACGTACGTAC".to_vec(), reads, vec![])
+    }
+
+    #[test]
+    fn power_of_two_bands() {
+        let jobs: Vec<_> = [1usize, 2, 3, 4, 5, 8, 9, 100]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| job_with_reads(i as u32, n))
+            .collect();
+        let batches = bin_contigs(&jobs, BinningPolicy::PowerOfTwo);
+        // Bands: 1 → {0}; 2 → {1}; 4 → {2,3}; 8 → {4,5}; 16 → {6}; 128 → {7}.
+        let bands: Vec<usize> = batches.iter().map(|b| b.band).collect();
+        assert_eq!(bands, vec![1, 2, 4, 8, 16, 128]);
+        assert_eq!(batches[2].jobs, vec![2, 3]);
+        assert_eq!(batches[3].jobs, vec![4, 5]);
+    }
+
+    #[test]
+    fn every_job_in_exactly_one_batch() {
+        let jobs: Vec<_> = (0..50).map(|i| job_with_reads(i, (i as usize * 7) % 23 + 1)).collect();
+        for policy in [BinningPolicy::PowerOfTwo, BinningPolicy::FixedSize(7), BinningPolicy::Single] {
+            let batches = bin_contigs(&jobs, policy);
+            let mut seen: Vec<usize> = batches.iter().flat_map(|b| b.jobs.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..50).collect::<Vec<_>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_size_chunks() {
+        let jobs: Vec<_> = (0..10).map(|i| job_with_reads(i, 1)).collect();
+        let batches = bin_contigs(&jobs, BinningPolicy::FixedSize(4));
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].jobs.len(), 4);
+        assert_eq!(batches[2].jobs.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        for policy in [BinningPolicy::PowerOfTwo, BinningPolicy::FixedSize(4), BinningPolicy::Single] {
+            assert!(bin_contigs(&[], policy).is_empty(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn zero_read_contig_lands_in_band_one() {
+        let jobs = vec![job_with_reads(0, 0)];
+        let batches = bin_contigs(&jobs, BinningPolicy::PowerOfTwo);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].band, 1);
+    }
+}

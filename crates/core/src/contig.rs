@@ -1,0 +1,96 @@
+//! Contigs and their aligned boundary reads.
+
+use crate::dna::valid_seq;
+use crate::read::Read;
+use serde::{Deserialize, Serialize};
+
+/// One unit of local assembly work: a contig plus the reads that align to
+/// each of its ends (the MetaHipMer alignment phase localizes these on the
+/// same node; the GPU kernel assigns one `ContigJob` per warp).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContigJob {
+    pub id: u32,
+    pub contig: Vec<u8>,
+    /// Reads aligned to the right (3') end, oriented forward.
+    pub right_reads: Vec<Read>,
+    /// Reads aligned to the left (5') end, oriented forward.
+    pub left_reads: Vec<Read>,
+}
+
+impl ContigJob {
+    pub fn new(id: u32, contig: Vec<u8>, right_reads: Vec<Read>, left_reads: Vec<Read>) -> Self {
+        assert!(valid_seq(&contig), "contig contains non-ACGT characters");
+        assert!(!contig.is_empty(), "contig must be non-empty");
+        ContigJob { id, contig, right_reads, left_reads }
+    }
+
+    /// Total reads assigned to this contig (the binning key, Fig. 3).
+    pub fn read_count(&self) -> usize {
+        self.right_reads.len() + self.left_reads.len()
+    }
+
+    /// Total k-mer insertions this job performs for a given k
+    /// (both hash tables).
+    pub fn insertion_count(&self, k: usize) -> usize {
+        self.right_reads
+            .iter()
+            .chain(self.left_reads.iter())
+            .map(|r| r.kmer_count(k))
+            .sum()
+    }
+
+    /// The job for extending the *left* end, transformed into a right
+    /// extension problem: reverse-complement the contig and the left reads.
+    /// (`left_extension(c) = revcomp(right_extension(revcomp(c)))`.)
+    pub fn left_as_right(&self) -> ContigJob {
+        ContigJob {
+            id: self.id,
+            contig: crate::dna::revcomp(&self.contig),
+            right_reads: self.left_reads.iter().map(Read::revcomp).collect(),
+            left_reads: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> ContigJob {
+        ContigJob::new(
+            7,
+            b"ACGTACGTAC".to_vec(),
+            vec![Read::with_uniform_qual(b"GTACGTACGT", b'I')],
+            vec![
+                Read::with_uniform_qual(b"TTACGTACG", b'I'),
+                Read::with_uniform_qual(b"CCACGTAC", b'#'),
+            ],
+        )
+    }
+
+    #[test]
+    fn read_and_insertion_counts() {
+        let j = job();
+        assert_eq!(j.read_count(), 3);
+        // k = 4: (10−3) + (9−3) + (8−3) = 18
+        assert_eq!(j.insertion_count(4), 18);
+        // k larger than every read: zero insertions.
+        assert_eq!(j.insertion_count(50), 0);
+    }
+
+    #[test]
+    fn left_as_right_transforms() {
+        let j = job();
+        let l = j.left_as_right();
+        assert_eq!(l.contig, crate::dna::revcomp(&j.contig));
+        assert_eq!(l.right_reads.len(), 2);
+        assert!(l.left_reads.is_empty());
+        assert_eq!(l.right_reads[0], j.left_reads[0].revcomp());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_contig_rejected() {
+        ContigJob::new(0, vec![], vec![], vec![]);
+    }
+}

@@ -1,0 +1,121 @@
+//! DNA alphabet utilities.
+//!
+//! Sequences are plain ASCII byte slices over `{A, C, G, T}` (the kernel
+//! operates on raw `char*` strings on the GPU, so we keep the same
+//! representation rather than 2-bit packing it — byte-per-base is also what
+//! the paper's byte-count model assumes: a k-mer read costs `k` bytes).
+
+/// The four nucleotides in index order (`A`=0, `C`=1, `G`=2, `T`=3).
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Map a nucleotide character to its index. Panics on non-ACGT input
+/// (datasets are validated at the boundary — see [`valid_seq`]).
+#[inline]
+pub fn base_index(b: u8) -> usize {
+    match b {
+        b'A' => 0,
+        b'C' => 1,
+        b'G' => 2,
+        b'T' => 3,
+        _ => panic!("invalid nucleotide {:?}", b as char),
+    }
+}
+
+/// Map an index back to its nucleotide character.
+#[inline]
+pub fn index_base(i: usize) -> u8 {
+    BASES[i]
+}
+
+/// Watson–Crick complement of one base.
+#[inline]
+pub fn complement(b: u8) -> u8 {
+    match b {
+        b'A' => b'T',
+        b'T' => b'A',
+        b'C' => b'G',
+        b'G' => b'C',
+        _ => panic!("invalid nucleotide {:?}", b as char),
+    }
+}
+
+/// Reverse complement of a sequence.
+pub fn revcomp(seq: &[u8]) -> Vec<u8> {
+    seq.iter().rev().map(|&b| complement(b)).collect()
+}
+
+/// Is the sequence entirely A/C/G/T?
+pub fn valid_seq(seq: &[u8]) -> bool {
+    seq.iter().all(|&b| matches!(b, b'A' | b'C' | b'G' | b'T'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_roundtrip() {
+        for (i, &b) in BASES.iter().enumerate() {
+            assert_eq!(base_index(b), i);
+            assert_eq!(index_base(i), b);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for &b in &BASES {
+            assert_eq!(complement(complement(b)), b);
+        }
+    }
+
+    #[test]
+    fn revcomp_known() {
+        assert_eq!(revcomp(b"ACGT"), b"ACGT"); // palindromic
+        assert_eq!(revcomp(b"AACG"), b"CGTT");
+        assert_eq!(revcomp(b""), b"");
+    }
+
+    #[test]
+    fn revcomp_is_involution() {
+        let s = b"AGCCCTCCCG";
+        assert_eq!(revcomp(&revcomp(s)), s);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(valid_seq(b"ACGTACGT"));
+        assert!(valid_seq(b""));
+        assert!(!valid_seq(b"ACGN"));
+        assert!(!valid_seq(b"acgt"), "lower case is invalid");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid nucleotide")]
+    fn bad_base_panics() {
+        base_index(b'N');
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dna(len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(BASES.to_vec()), 0..len)
+    }
+
+    proptest! {
+        #[test]
+        fn revcomp_involution(s in dna(200)) {
+            prop_assert_eq!(revcomp(&revcomp(&s)), s);
+        }
+
+        #[test]
+        fn revcomp_preserves_length_and_validity(s in dna(200)) {
+            let rc = revcomp(&s);
+            prop_assert_eq!(rc.len(), s.len());
+            prop_assert!(valid_seq(&rc));
+        }
+    }
+}

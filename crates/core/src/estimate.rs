@@ -1,0 +1,57 @@
+//! Host-side hash-table size estimation (Fig. 3, "Estimate Hash Table
+//! Sizes").
+//!
+//! The GPU pipeline cannot grow tables device-side, so the host reserves an
+//! upper bound per contig before launch: the number of k-mer insertions the
+//! contig's reads will perform (an upper bound on distinct keys), padded to
+//! keep the load factor low enough that linear probing stays short.
+
+/// Maximum load factor the reservation targets.
+pub const TARGET_LOAD_FACTOR: f64 = 0.66;
+
+/// Minimum slots reserved for any table (avoids degenerate tiny tables).
+pub const MIN_SLOTS: usize = 32;
+
+/// Slots to reserve for a table receiving `insertions` k-mer insertions.
+pub fn estimate_slots(insertions: usize) -> usize {
+    let padded = (insertions as f64 / TARGET_LOAD_FACTOR).ceil() as usize;
+    // An odd slot count avoids pathological stride-2 clustering under
+    // `hash % capacity` probing.
+    let padded = padded.max(MIN_SLOTS);
+    if padded.is_multiple_of(2) {
+        padded + 1
+    } else {
+        padded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserves_headroom() {
+        for n in [1usize, 10, 100, 10_000] {
+            let s = estimate_slots(n);
+            assert!(s as f64 * TARGET_LOAD_FACTOR >= n as f64, "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn respects_minimum_and_oddness() {
+        assert!(estimate_slots(0) >= MIN_SLOTS);
+        for n in [0usize, 5, 64, 1000, 99999] {
+            assert_eq!(estimate_slots(n) % 2, 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn monotone() {
+        let mut prev = 0;
+        for n in (0..10_000).step_by(97) {
+            let s = estimate_slots(n);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! FASTA and FASTQ input/output.
+//!
+//! Real pipelines feed local assembly from standard sequence formats:
+//! contigs arrive as FASTA (from the global de Bruijn assembly), reads as
+//! FASTQ (from the sequencer, qualities included). These are minimal,
+//! strict parsers — multi-line FASTA sequences are supported, FASTQ is the
+//! standard 4-line record form.
+
+use crate::dna::valid_seq;
+use crate::read::Read;
+use std::io::{BufRead, Error, ErrorKind, Result, Write};
+
+/// One FASTA record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header text after `>` (id + optional description).
+    pub id: String,
+    pub seq: Vec<u8>,
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Parse FASTA records. Sequences may span multiple lines; only A/C/G/T
+/// are accepted (this is an assembler-internal format, not a general one).
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            records.push(FastaRecord { id: header.trim().to_string(), seq: Vec::new() });
+        } else {
+            let rec = records
+                .last_mut()
+                .ok_or_else(|| bad(format!("line {}: sequence before any header", lineno + 1)))?;
+            if !valid_seq(line.as_bytes()) {
+                return Err(bad(format!("line {}: non-ACGT sequence", lineno + 1)));
+            }
+            rec.seq.extend_from_slice(line.as_bytes());
+        }
+    }
+    for r in &records {
+        if r.seq.is_empty() {
+            return Err(bad(format!("record `{}` has an empty sequence", r.id)));
+        }
+    }
+    Ok(records)
+}
+
+/// Write FASTA with `width`-column wrapping (0 = single line).
+pub fn write_fasta<W: Write>(out: &mut W, records: &[FastaRecord], width: usize) -> Result<()> {
+    for r in records {
+        writeln!(out, ">{}", r.id)?;
+        if width == 0 {
+            out.write_all(&r.seq)?;
+            writeln!(out)?;
+        } else {
+            for chunk in r.seq.chunks(width) {
+                out.write_all(chunk)?;
+                writeln!(out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One FASTQ record: id plus a [`Read`] (sequence + qualities).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastqRecord {
+    pub id: String,
+    pub read: Read,
+}
+
+/// Parse standard 4-line FASTQ records.
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<FastqRecord>> {
+    let mut lines = reader.lines();
+    let mut records = Vec::new();
+    while let Some(header) = lines.next() {
+        let header = header?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| bad(format!("expected `@header`, got `{header}`")))?
+            .trim()
+            .to_string();
+        let seq = lines.next().ok_or_else(|| bad("truncated record: missing sequence"))??;
+        let plus = lines.next().ok_or_else(|| bad("truncated record: missing `+`"))??;
+        if !plus.starts_with('+') {
+            return Err(bad(format!("expected `+` separator, got `{plus}`")));
+        }
+        let qual = lines.next().ok_or_else(|| bad("truncated record: missing qualities"))??;
+        if seq.len() != qual.len() {
+            return Err(bad(format!("record `{id}`: sequence/quality length mismatch")));
+        }
+        if !valid_seq(seq.as_bytes()) {
+            return Err(bad(format!("record `{id}`: non-ACGT sequence")));
+        }
+        records.push(FastqRecord {
+            id,
+            read: Read::new(seq.into_bytes(), qual.into_bytes()),
+        });
+    }
+    Ok(records)
+}
+
+/// Write standard 4-line FASTQ.
+pub fn write_fastq<W: Write>(out: &mut W, records: &[FastqRecord]) -> Result<()> {
+    for r in records {
+        writeln!(out, "@{}", r.id)?;
+        out.write_all(&r.read.seq)?;
+        writeln!(out)?;
+        writeln!(out, "+")?;
+        out.write_all(&r.read.qual)?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fasta_roundtrip_with_wrapping() {
+        let records = vec![
+            FastaRecord { id: "contig_1 len=10".into(), seq: b"ACGTACGTAC".to_vec() },
+            FastaRecord { id: "contig_2".into(), seq: b"GGGG".to_vec() },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, 4).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains(">contig_1 len=10\nACGT\nACGT\nAC\n"));
+        assert_eq!(read_fasta(&buf[..]).unwrap(), records);
+        // Unwrapped writes parse identically.
+        let mut buf2 = Vec::new();
+        write_fasta(&mut buf2, &records, 0).unwrap();
+        assert_eq!(read_fasta(&buf2[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn fasta_rejects_garbage() {
+        assert!(read_fasta(&b"ACGT\n"[..]).is_err(), "sequence before header");
+        assert!(read_fasta(&b">x\nACGN\n"[..]).is_err(), "non-ACGT");
+        assert!(read_fasta(&b">x\n>y\nACGT\n"[..]).is_err(), "empty record");
+    }
+
+    #[test]
+    fn fasta_empty_input_is_empty() {
+        assert!(read_fasta(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fastq_roundtrip() {
+        let records = vec![
+            FastqRecord {
+                id: "r1".into(),
+                read: Read::new(b"ACGT".to_vec(), b"II#I".to_vec()),
+            },
+            FastqRecord {
+                id: "r2/1".into(),
+                read: Read::with_uniform_qual(b"GGTTAA", b'5'),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &records).unwrap();
+        assert_eq!(read_fastq(&buf[..]).unwrap(), records);
+    }
+
+    #[test]
+    fn fastq_rejects_malformed() {
+        assert!(read_fastq(&b"@r\nACGT\nII II\n"[..]).is_err(), "truncated");
+        assert!(read_fastq(&b"@r\nACGT\nX\nIIII\n"[..]).is_err(), "bad separator");
+        assert!(read_fastq(&b"@r\nACGT\n+\nII\n"[..]).is_err(), "length mismatch");
+        assert!(read_fastq(&b"r\nACGT\n+\nIIII\n"[..]).is_err(), "missing @");
+        assert!(read_fastq(&b"@r\nACGN\n+\nIIII\n"[..]).is_err(), "non-ACGT");
+    }
+
+    #[test]
+    fn fastq_qualities_survive() {
+        let text = "@q\nAC\n+anything here\n#I\n";
+        let r = read_fastq(text.as_bytes()).unwrap();
+        assert_eq!(r[0].read.qual, b"#I");
+        assert!(!crate::quality::is_hi_qual(r[0].read.qual[0]));
+        assert!(crate::quality::is_hi_qual(r[0].read.qual[1]));
+    }
+}

@@ -1,0 +1,210 @@
+//! Global de Bruijn graph construction and contig generation
+//! (Fig. 2, "De Bruijn Graph Construction" → "Contig Generation").
+//!
+//! Contigs are the maximal non-branching paths (unitigs) of the global
+//! k-mer graph built from the error-filtered [`crate::kmer_count::KmerSpectrum`]:
+//! a walk extends while the current k-mer has exactly one successor *and*
+//! that successor has exactly one predecessor — any fork (from sequencing
+//! error survivors, repeats, or inter-organism homology) ends the contig,
+//! which is precisely what the *local* assembly phase later repairs.
+//!
+//! Strands are treated independently (no reverse-complement
+//! canonicalization) — a documented simplification; the local assembly
+//! phase this repo studies is strand-explicit in the same way.
+
+use crate::dna::BASES;
+use crate::kmer_count::KmerSpectrum;
+
+/// Out-neighbors of `kmer` present in the spectrum (as extension bases).
+fn successors(s: &KmerSpectrum, kmer: &[u8], buf: &mut Vec<u8>) -> Vec<u8> {
+    let k = kmer.len();
+    buf.clear();
+    buf.extend_from_slice(&kmer[1..]);
+    buf.push(b'A');
+    BASES
+        .iter()
+        .copied()
+        .filter(|&b| {
+            buf[k - 1] = b;
+            s.contains(buf)
+        })
+        .collect()
+}
+
+/// In-neighbors of `kmer` present in the spectrum (as predecessor bases).
+fn predecessors(s: &KmerSpectrum, kmer: &[u8], buf: &mut Vec<u8>) -> Vec<u8> {
+    let k = kmer.len();
+    buf.clear();
+    buf.push(b'A');
+    buf.extend_from_slice(&kmer[..k - 1]);
+    BASES
+        .iter()
+        .copied()
+        .filter(|&b| {
+            buf[0] = b;
+            s.contains(buf)
+        })
+        .collect()
+}
+
+/// Extract the unitigs of the spectrum's de Bruijn graph, deterministically
+/// (start k-mers are processed in lexicographic order). Every k-mer lands
+/// in exactly one contig; pure cycles are broken at their smallest k-mer.
+pub fn generate_contigs(spectrum: &KmerSpectrum) -> Vec<Vec<u8>> {
+    let k = spectrum.k;
+    let mut kmers: Vec<&[u8]> = spectrum.iter().map(|(km, _)| km).collect();
+    kmers.sort_unstable();
+
+    let mut visited: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut contigs = Vec::new();
+    let mut buf = Vec::with_capacity(k);
+
+    // Pass 1: walks from genuine path starts.
+    for &start in &kmers {
+        if visited.contains(start) {
+            continue;
+        }
+        let preds = predecessors(spectrum, start, &mut buf);
+        let is_start = match preds.as_slice() {
+            [p] => {
+                // Unique predecessor: start only if it branches out.
+                let mut pred = Vec::with_capacity(k);
+                pred.push(*p);
+                pred.extend_from_slice(&start[..k - 1]);
+                successors(spectrum, &pred, &mut buf).len() != 1
+            }
+            _ => true, // 0 or ≥2 predecessors
+        };
+        if !is_start {
+            continue;
+        }
+        contigs.push(walk_unitig(spectrum, start, &mut visited, &mut buf));
+    }
+
+    // Pass 2: anything left is on a pure cycle; break it at the smallest
+    // unvisited k-mer.
+    for &start in &kmers {
+        if !visited.contains(start) {
+            contigs.push(walk_unitig(spectrum, start, &mut visited, &mut buf));
+        }
+    }
+    contigs
+}
+
+fn walk_unitig(
+    spectrum: &KmerSpectrum,
+    start: &[u8],
+    visited: &mut std::collections::HashSet<Vec<u8>>,
+    buf: &mut Vec<u8>,
+) -> Vec<u8> {
+    let mut contig = start.to_vec();
+    visited.insert(start.to_vec());
+    let mut window = start.to_vec();
+
+    loop {
+        let succ = successors(spectrum, &window, buf);
+        let [b] = succ.as_slice() else { break };
+        let mut next = window[1..].to_vec();
+        next.push(*b);
+        // The successor must be unambiguous in-degree-1 and unvisited.
+        if predecessors(spectrum, &next, buf).len() != 1 {
+            break;
+        }
+        if !visited.insert(next.clone()) {
+            break;
+        }
+        contig.push(*b);
+        window = next;
+    }
+    contig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::Read;
+
+    fn spectrum_of(seqs: &[&[u8]], k: usize, min: u32) -> KmerSpectrum {
+        let reads: Vec<Read> = seqs.iter().map(|s| Read::with_uniform_qual(s, b'I')).collect();
+        let mut s = KmerSpectrum::build(&reads, k);
+        s.filter(min);
+        s
+    }
+
+    #[test]
+    fn perfect_coverage_yields_the_genome() {
+        // All 5-mers of a repeat-free sequence → one contig = the sequence.
+        let genome = b"ACGATTGCCATAGGCTTACG";
+        let s = spectrum_of(&[genome], 5, 1);
+        let contigs = generate_contigs(&s);
+        assert_eq!(contigs.len(), 1, "{contigs:?}");
+        assert_eq!(contigs[0], genome);
+    }
+
+    #[test]
+    fn fork_splits_contigs() {
+        // Two sequences sharing a prefix: the graph forks where they
+        // diverge, producing a shared prefix contig + two branch contigs.
+        let a = b"AAACCCGTTTT";
+        let b = b"AAACCCGAAGG";
+        let s = spectrum_of(&[a, b], 4, 1);
+        let contigs = generate_contigs(&s);
+        assert!(contigs.len() >= 3, "{contigs:?}");
+        // Every contig is a substring of one of the inputs.
+        for c in &contigs {
+            assert!(
+                a.windows(c.len()).any(|w| w == c.as_slice())
+                    || b.windows(c.len()).any(|w| w == c.as_slice()),
+                "contig {:?} not found",
+                String::from_utf8_lossy(c)
+            );
+        }
+        // Jointly, the contigs carry every k-mer exactly once.
+        let total_kmers: usize = contigs.iter().map(|c| c.len() - 3).sum();
+        assert_eq!(total_kmers, s.distinct());
+    }
+
+    #[test]
+    fn error_filtering_rescues_the_contig() {
+        // Deep coverage + one erroneous read: unfiltered, the error forks
+        // the graph mid-sequence; filtered, one clean contig remains.
+        let genome = b"ACGATTGCCATAGGCTTACGGATC";
+        let mut bad = genome.to_vec();
+        bad[10] = b'C'; // T→C
+        let mut seqs: Vec<&[u8]> = vec![genome; 5];
+        seqs.push(&bad);
+
+        let noisy = spectrum_of(&seqs, 7, 1);
+        let noisy_contigs = generate_contigs(&noisy);
+        assert!(noisy_contigs.len() > 1, "error must fragment the graph");
+
+        let clean = spectrum_of(&seqs, 7, 2);
+        let clean_contigs = generate_contigs(&clean);
+        assert_eq!(clean_contigs.len(), 1);
+        assert_eq!(clean_contigs[0], genome);
+    }
+
+    #[test]
+    fn cycle_is_emitted_once() {
+        // "ACGACGACG…" at k=3: the 3-mers {ACG, CGA, GAC} form a cycle.
+        let s = spectrum_of(&[b"ACGACGACGACG"], 3, 1);
+        let contigs = generate_contigs(&s);
+        // All three k-mers appear exactly once across the output.
+        let total_kmers: usize = contigs.iter().map(|c| c.len() - 2).sum();
+        assert_eq!(total_kmers, 3, "{contigs:?}");
+    }
+
+    #[test]
+    fn empty_spectrum_no_contigs() {
+        let s = spectrum_of(&[b"AC"], 5, 1);
+        assert!(generate_contigs(&s).is_empty());
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let seqs: [&[u8]; 2] = [b"AAACCCGTTTTGGAT", b"AAACCCGAAGGTCA"];
+        let a = generate_contigs(&spectrum_of(&seqs, 4, 1));
+        let b = generate_contigs(&spectrum_of(&seqs, 4, 1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,214 @@
+//! Plain-text dataset (de)serialization.
+//!
+//! Mirrors the role of the artifact's `locassm_extend_7-<k>.dat` files: a
+//! self-contained local-assembly input (k, contigs, and per-contig boundary
+//! reads with qualities). The format is line-oriented:
+//!
+//! ```text
+//! LOCASSM v1
+//! k 21
+//! contigs 2
+//! contig 0 ACGT...
+//! rreads 2
+//! ACGTTA... IIIII#...
+//! ...
+//! lreads 1
+//! ...
+//! contig 1 ...
+//! ```
+
+use crate::contig::ContigJob;
+use crate::read::Read;
+use std::fmt::Write as _;
+use std::io::{BufRead, Error, ErrorKind, Result};
+
+/// A complete local-assembly input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dataset {
+    pub k: usize,
+    pub jobs: Vec<ContigJob>,
+}
+
+impl Dataset {
+    pub fn new(k: usize, jobs: Vec<ContigJob>) -> Self {
+        assert!(k >= 1, "k must be positive");
+        Dataset { k, jobs }
+    }
+
+    /// Total reads across all jobs.
+    pub fn total_reads(&self) -> usize {
+        self.jobs.iter().map(|j| j.read_count()).sum()
+    }
+
+    /// Total hash-table insertions this dataset performs (Table II's
+    /// "total hash insertions": Σ over reads of `len − k + 1`).
+    pub fn total_insertions(&self) -> usize {
+        self.jobs.iter().map(|j| j.insertion_count(self.k)).sum()
+    }
+}
+
+/// Serialize a dataset to the text format.
+pub fn write_dataset(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "LOCASSM v1");
+    let _ = writeln!(out, "k {}", ds.k);
+    let _ = writeln!(out, "contigs {}", ds.jobs.len());
+    for j in &ds.jobs {
+        let _ = writeln!(out, "contig {} {}", j.id, std::str::from_utf8(&j.contig).unwrap());
+        let _ = writeln!(out, "rreads {}", j.right_reads.len());
+        for r in &j.right_reads {
+            let _ = writeln!(
+                out,
+                "{} {}",
+                std::str::from_utf8(&r.seq).unwrap(),
+                std::str::from_utf8(&r.qual).unwrap()
+            );
+        }
+        let _ = writeln!(out, "lreads {}", j.left_reads.len());
+        for r in &j.left_reads {
+            let _ = writeln!(
+                out,
+                "{} {}",
+                std::str::from_utf8(&r.seq).unwrap(),
+                std::str::from_utf8(&r.qual).unwrap()
+            );
+        }
+    }
+    out
+}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+fn expect_kv<'a>(line: Option<Result<String>>, key: &str) -> Result<(String, &'a ())> {
+    let line = line.ok_or_else(|| bad(format!("unexpected EOF, wanted `{key}`")))??;
+    let rest = line
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| bad(format!("expected `{key} …`, got `{line}`")))?;
+    Ok((rest.to_string(), &()))
+}
+
+fn parse_read(line: &str) -> Result<Read> {
+    let (seq, qual) = line
+        .split_once(' ')
+        .ok_or_else(|| bad(format!("malformed read line `{line}`")))?;
+    if seq.len() != qual.len() {
+        return Err(bad("read sequence/quality length mismatch"));
+    }
+    if !crate::dna::valid_seq(seq.as_bytes()) {
+        return Err(bad("read contains non-ACGT characters"));
+    }
+    Ok(Read::new(seq.as_bytes().to_vec(), qual.as_bytes().to_vec()))
+}
+
+/// Parse a dataset from a reader of the text format.
+pub fn read_dataset<R: BufRead>(reader: R) -> Result<Dataset> {
+    let mut lines = reader.lines();
+
+    let header = lines.next().ok_or_else(|| bad("empty input"))??;
+    if header.trim() != "LOCASSM v1" {
+        return Err(bad(format!("bad header `{header}`")));
+    }
+    let (k, _) = expect_kv(lines.next(), "k")?;
+    let k: usize = k.parse().map_err(|_| bad("bad k"))?;
+    let (n, _) = expect_kv(lines.next(), "contigs")?;
+    let n: usize = n.parse().map_err(|_| bad("bad contig count"))?;
+
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (rest, _) = expect_kv(lines.next(), "contig")?;
+        let (id, seq) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad("malformed contig line"))?;
+        let id: u32 = id.parse().map_err(|_| bad("bad contig id"))?;
+        if !crate::dna::valid_seq(seq.as_bytes()) {
+            return Err(bad("contig contains non-ACGT characters"));
+        }
+
+        let read_group = |key: &str, lines: &mut std::io::Lines<R>| -> Result<Vec<Read>> {
+            let (m, _) = expect_kv(lines.next(), key)?;
+            let m: usize = m.parse().map_err(|_| bad("bad read count"))?;
+            let mut reads = Vec::with_capacity(m);
+            for _ in 0..m {
+                let line = lines.next().ok_or_else(|| bad("unexpected EOF in reads"))??;
+                reads.push(parse_read(&line)?);
+            }
+            Ok(reads)
+        };
+        let right = read_group("rreads", &mut lines)?;
+        let left = read_group("lreads", &mut lines)?;
+        jobs.push(ContigJob::new(id, seq.as_bytes().to_vec(), right, left));
+    }
+    // A wrong `contigs` count would otherwise silently truncate the input.
+    for line in lines {
+        if !line?.trim().is_empty() {
+            return Err(bad("trailing content after the declared contig count"));
+        }
+    }
+    Ok(Dataset::new(k, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            4,
+            vec![
+                ContigJob::new(
+                    0,
+                    b"ACGTACGT".to_vec(),
+                    vec![Read::with_uniform_qual(b"GTACGTAC", b'I')],
+                    vec![Read::new(b"TTAC".to_vec(), b"II#I".to_vec())],
+                ),
+                ContigJob::new(3, b"GGGG".to_vec(), vec![], vec![]),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample();
+        let text = write_dataset(&ds);
+        let back = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn stats() {
+        let ds = sample();
+        assert_eq!(ds.total_reads(), 2);
+        // k=4: read of 8 → 5 k-mers, read of 4 → 1 k-mer.
+        assert_eq!(ds.total_insertions(), 6);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_dataset(&b"NOPE v1\n"[..]).is_err());
+        assert!(read_dataset(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let ds = sample();
+        let text = write_dataset(&ds);
+        // Drop the final line.
+        let cut = &text[..text.len() - 10];
+        assert!(read_dataset(cut.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_bases() {
+        let text = "LOCASSM v1\nk 4\ncontigs 1\ncontig 0 ACGN\nrreads 0\nlreads 0\n";
+        assert!(read_dataset(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_len_mismatch_read() {
+        let text = "LOCASSM v1\nk 4\ncontigs 1\ncontig 0 ACGT\nrreads 1\nACGT II\nlreads 0\n";
+        assert!(read_dataset(text.as_bytes()).is_err());
+    }
+}

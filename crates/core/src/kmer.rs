@@ -1,0 +1,130 @@
+//! K-mer extraction and extension votes.
+//!
+//! Fig. 1 of the paper: each read is segmented into overlapping k-mers; the
+//! hash table maps a k-mer to the *extension* — the nucleotide following it
+//! in the read — together with quality-stratified vote counts.
+
+use crate::quality::is_hi_qual;
+use crate::read::Read;
+
+/// Iterator over the k-mers of a sequence, yielding `(position, kmer)`.
+#[derive(Debug, Clone)]
+pub struct KmerIter<'a> {
+    seq: &'a [u8],
+    k: usize,
+    pos: usize,
+}
+
+impl<'a> KmerIter<'a> {
+    pub fn new(seq: &'a [u8], k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KmerIter { seq, k, pos: 0 }
+    }
+}
+
+impl<'a> Iterator for KmerIter<'a> {
+    type Item = (usize, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos + self.k <= self.seq.len() {
+            let p = self.pos;
+            self.pos += 1;
+            Some((p, &self.seq[p..p + self.k]))
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.seq.len() + 1).saturating_sub(self.pos + self.k);
+        (n, Some(n))
+    }
+}
+
+/// The extension vote a k-mer occurrence contributes: the following base's
+/// index and whether its quality clears the high-quality cutoff. `None` for
+/// the terminal k-mer of a read (nothing follows it).
+pub fn ext_vote(read: &Read, pos: usize, k: usize) -> Option<(usize, bool)> {
+    let next = pos + k;
+    if next < read.seq.len() {
+        Some((crate::dna::base_index(read.seq[next]), is_hi_qual(read.qual[next])))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::qual_char;
+
+    #[test]
+    fn kmer_iter_yields_all_windows() {
+        let kmers: Vec<_> = KmerIter::new(b"AGCCCTCCCG", 4).collect();
+        // Fig. 1a of the paper: agcc gccc ccct cctc ctcc tccc cccg
+        let expect: Vec<(usize, &[u8])> = vec![
+            (0, b"AGCC"),
+            (1, b"GCCC"),
+            (2, b"CCCT"),
+            (3, b"CCTC"),
+            (4, b"CTCC"),
+            (5, b"TCCC"),
+            (6, b"CCCG"),
+        ];
+        assert_eq!(kmers, expect);
+    }
+
+    #[test]
+    fn kmer_iter_short_seq_is_empty() {
+        assert_eq!(KmerIter::new(b"ACG", 4).count(), 0);
+        assert_eq!(KmerIter::new(b"ACGT", 4).count(), 1);
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let it = KmerIter::new(b"ACGTACGT", 3);
+        assert_eq!(it.size_hint(), (6, Some(6)));
+    }
+
+    #[test]
+    fn ext_vote_quality_split() {
+        let mut qual = vec![qual_char(40); 6];
+        qual[4] = qual_char(2); // low-quality base at index 4
+        let r = Read::new(b"ACGTAC".to_vec(), qual);
+        // k = 3, pos 0 → next base index 3 = 'T', hi qual.
+        assert_eq!(ext_vote(&r, 0, 3), Some((3, true)));
+        // pos 1 → next base index 4 = 'A', low qual.
+        assert_eq!(ext_vote(&r, 1, 3), Some((0, false)));
+        // Terminal k-mer: no extension.
+        assert_eq!(ext_vote(&r, 3, 3), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dna(len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(proptest::sample::select(crate::dna::BASES.to_vec()), 0..len)
+    }
+
+    proptest! {
+        /// Window count matches the closed form used everywhere in the
+        /// dataset statistics (len − k + 1).
+        #[test]
+        fn window_count_closed_form(seq in dna(300), k in 1usize..80) {
+            let n = KmerIter::new(&seq, k).count();
+            prop_assert_eq!(n, seq.len().saturating_sub(k - 1));
+        }
+
+        /// Every yielded k-mer has length k and matches the source slice.
+        #[test]
+        fn windows_are_faithful(seq in dna(100), k in 1usize..20) {
+            for (p, km) in KmerIter::new(&seq, k) {
+                prop_assert_eq!(km.len(), k);
+                prop_assert_eq!(km, &seq[p..p + k]);
+            }
+        }
+    }
+}

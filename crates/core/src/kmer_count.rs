@@ -1,0 +1,152 @@
+//! K-mer analysis (Fig. 2, first pipeline stage).
+//!
+//! MetaHipMer "starts with creating k-mers from each of the input reads,
+//! filtering out likely erroneous reads (those that occur only once)".
+//! This module counts the k-mer spectrum of a read set, exposes the
+//! multiplicity histogram (the classic error/solid k-mer diagnostic), and
+//! filters low-multiplicity k-mers before graph construction.
+//!
+//! This is a host-side, whole-dataset phase (the paper's GPU study begins
+//! after it), so a standard `HashMap` is the right tool here, unlike the
+//! kernel's fixed-capacity `loc_ht`.
+
+use crate::kmer::KmerIter;
+use crate::read::Read;
+use std::collections::HashMap;
+
+/// The k-mer multiplicity spectrum of a read set.
+#[derive(Debug, Clone, Default)]
+pub struct KmerSpectrum {
+    pub k: usize,
+    counts: HashMap<Box<[u8]>, u32>,
+}
+
+impl KmerSpectrum {
+    /// Count every k-mer of every read.
+    pub fn build(reads: &[Read], k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        let mut counts: HashMap<Box<[u8]>, u32> = HashMap::new();
+        for r in reads {
+            for (_, kmer) in KmerIter::new(&r.seq, k) {
+                *counts.entry(kmer.into()).or_insert(0) += 1;
+            }
+        }
+        KmerSpectrum { k, counts }
+    }
+
+    /// Number of distinct k-mers.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total k-mer occurrences.
+    pub fn total(&self) -> u64 {
+        self.counts.values().map(|&c| c as u64).sum()
+    }
+
+    /// Multiplicity of one k-mer (0 if absent).
+    pub fn count(&self, kmer: &[u8]) -> u32 {
+        self.counts.get(kmer).copied().unwrap_or(0)
+    }
+
+    /// The multiplicity histogram: `histogram()[i] = (m_i, n_i)` sorted by
+    /// multiplicity — n k-mers occur exactly m times.
+    pub fn histogram(&self) -> Vec<(u32, usize)> {
+        let mut h: HashMap<u32, usize> = HashMap::new();
+        for &c in self.counts.values() {
+            *h.entry(c).or_insert(0) += 1;
+        }
+        let mut v: Vec<(u32, usize)> = h.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drop k-mers with multiplicity below `min_count` (error filtering;
+    /// MetaHipMer drops singletons, `min_count = 2`).
+    pub fn filter(&mut self, min_count: u32) -> usize {
+        let before = self.counts.len();
+        self.counts.retain(|_, &mut c| c >= min_count);
+        before - self.counts.len()
+    }
+
+    /// Does the spectrum contain this k-mer (post-filter)?
+    pub fn contains(&self, kmer: &[u8]) -> bool {
+        self.counts.contains_key(kmer)
+    }
+
+    /// Iterate `(kmer, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], u32)> {
+        self.counts.iter().map(|(k, &c)| (&**k, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads(seqs: &[&[u8]]) -> Vec<Read> {
+        seqs.iter().map(|s| Read::with_uniform_qual(s, b'I')).collect()
+    }
+
+    #[test]
+    fn counts_and_totals() {
+        // "ACGTA" has 4-mers ACGT, CGTA; two copies double every count.
+        let s = KmerSpectrum::build(&reads(&[b"ACGTA", b"ACGTA"]), 4);
+        assert_eq!(s.distinct(), 2);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.count(b"ACGT"), 2);
+        assert_eq!(s.count(b"CGTA"), 2);
+        assert_eq!(s.count(b"TTTT"), 0);
+    }
+
+    #[test]
+    fn histogram_shape() {
+        // One read contributes singletons; a repeated read contributes 2s.
+        let s = KmerSpectrum::build(&reads(&[b"ACGTA", b"ACGTA", b"GGGGG"]), 4);
+        // GGGG occurs twice within one read (positions 0,1).
+        let h = s.histogram();
+        assert_eq!(h, vec![(2, 3)]); // ACGT:2, CGTA:2, GGGG:2
+    }
+
+    #[test]
+    fn singleton_filter_mirrors_metahipmer() {
+        let s = &mut KmerSpectrum::build(&reads(&[b"ACGTAC", b"ACGTAG"]), 5);
+        // ACGTA ×2; CGTAC ×1; CGTAG ×1.
+        assert_eq!(s.distinct(), 3);
+        let dropped = s.filter(2);
+        assert_eq!(dropped, 2);
+        assert!(s.contains(b"ACGTA"));
+        assert!(!s.contains(b"CGTAC"));
+    }
+
+    #[test]
+    fn short_reads_contribute_nothing() {
+        let s = KmerSpectrum::build(&reads(&[b"ACG"]), 5);
+        assert_eq!(s.distinct(), 0);
+        assert_eq!(s.total(), 0);
+        assert!(s.histogram().is_empty());
+    }
+
+    #[test]
+    fn error_kmers_are_low_multiplicity() {
+        // 5 identical reads + 1 read with an error: the error's k-mers are
+        // singletons, the true k-mers have multiplicity ≥ 5.
+        let good = b"ACGTACGTGGCCAAT";
+        let mut bad = good.to_vec();
+        bad[7] = b'C'; // G→C substitution
+        let mut pool = vec![good.to_vec(); 5];
+        pool.push(bad);
+        let rs: Vec<Read> = pool.iter().map(|s| Read::with_uniform_qual(s, b'I')).collect();
+        let mut s = KmerSpectrum::build(&rs, 7);
+        let before = s.distinct();
+        s.filter(2);
+        assert!(s.distinct() < before, "error k-mers must be dropped");
+        for (_, c) in s.iter() {
+            assert!(c >= 2);
+        }
+        // Every surviving k-mer is a substring of the true sequence.
+        for (kmer, _) in s.iter() {
+            assert!(good.windows(7).any(|w| w == kmer));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! 2-bit packed k-mers — the paper's proposed locality optimization.
+//!
+//! §V-E closes with "larger potential gains by using … a data structure
+//! with more localized memory access pattern". The obvious candidate is
+//! 2-bit base packing: a 77-mer shrinks from 77 bytes to 20, key
+//! comparisons become 1–3 word compares instead of a byte loop, and the
+//! key can live *inline* in the hash-table entry instead of behind a
+//! pointer into the reads buffer (one less dependent load per probe).
+//! [`PackedKmer`] implements the representation; the analytic payoff is
+//! quantified by `perfmodel::theoretical::TheoreticalModel::packed` and
+//! printed by `repro packed`.
+
+use crate::dna::{base_index, index_base};
+use serde::{Deserialize, Serialize};
+
+/// Maximum k supported by the packed representation (3 × 32 bases).
+pub const MAX_PACKED_K: usize = 96;
+
+/// A k-mer packed 2 bits per base (A=0, C=1, G=2, T=3), LSB-first within
+/// each word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PackedKmer {
+    words: [u64; 3],
+    k: u8,
+}
+
+impl PackedKmer {
+    /// Pack an ASCII k-mer. Panics on non-ACGT input or k > 96.
+    pub fn pack(kmer: &[u8]) -> PackedKmer {
+        assert!(kmer.len() <= MAX_PACKED_K, "k = {} exceeds {MAX_PACKED_K}", kmer.len());
+        let mut words = [0u64; 3];
+        for (i, &b) in kmer.iter().enumerate() {
+            let code = base_index(b) as u64;
+            words[i / 32] |= code << (2 * (i % 32));
+        }
+        PackedKmer { words, k: kmer.len() as u8 }
+    }
+
+    /// Unpack back to ASCII.
+    pub fn unpack(&self) -> Vec<u8> {
+        (0..self.k as usize)
+            .map(|i| {
+                let code = (self.words[i / 32] >> (2 * (i % 32))) & 0b11;
+                index_base(code as usize)
+            })
+            .collect()
+    }
+
+    pub fn k(&self) -> usize {
+        self.k as usize
+    }
+
+    /// The packed words (for hashing / device-memory storage).
+    pub fn words(&self) -> [u64; 3] {
+        self.words
+    }
+
+    /// Bytes needed to store this k-mer packed: ⌈k/4⌉.
+    pub fn packed_bytes(&self) -> usize {
+        (self.k as usize).div_ceil(4)
+    }
+
+    /// Words that actually carry bases: ⌈k/32⌉.
+    pub fn active_words(&self) -> usize {
+        (self.k as usize).div_ceil(32)
+    }
+
+    /// Shift one base off the front and append `b` (the walk's rolling
+    /// window, without re-packing).
+    pub fn roll(&self, b: u8) -> PackedKmer {
+        let code = base_index(b) as u64;
+        let k = self.k as usize;
+        let mut w = self.words;
+        // Shift the whole 192-bit register right by 2 (toward LSB).
+        w[0] = (w[0] >> 2) | (w[1] << 62);
+        w[1] = (w[1] >> 2) | (w[2] << 62);
+        w[2] >>= 2;
+        // Place the new base at position k−1.
+        let i = k - 1;
+        w[i / 32] &= !(0b11u64 << (2 * (i % 32)));
+        w[i / 32] |= code << (2 * (i % 32));
+        // Mask stray high bits beyond k (keeps Eq/Hash canonical).
+        let mut out = PackedKmer { words: w, k: self.k };
+        out.canonicalize();
+        out
+    }
+
+    fn canonicalize(&mut self) {
+        let k = self.k as usize;
+        for wi in 0..3 {
+            let lo = wi * 32;
+            if k <= lo {
+                self.words[wi] = 0;
+            } else if k < lo + 32 {
+                let keep = 2 * (k - lo);
+                self.words[wi] &= (1u64 << keep) - 1;
+            }
+        }
+    }
+}
+
+/// Bytes a packed key occupies in a hash-table entry (⌈k/4⌉, padded to 8).
+pub fn packed_key_bytes(k: usize) -> usize {
+    k.div_ceil(4).div_ceil(8) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for kmer in [&b"ACGT"[..], b"A", b"TTTTTTTTTTTTTTTTTTTTT", b"ACGTACGTACGTACGTACGTACGTACGTACGTACG"] {
+            let p = PackedKmer::pack(kmer);
+            assert_eq!(p.unpack(), kmer);
+            assert_eq!(p.k(), kmer.len());
+        }
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        assert_eq!(PackedKmer::pack(b"ACGTA"), PackedKmer::pack(b"ACGTA"));
+        assert_ne!(PackedKmer::pack(b"ACGTA"), PackedKmer::pack(b"ACGTC"));
+        assert_ne!(PackedKmer::pack(b"ACGT"), PackedKmer::pack(b"ACGTA"));
+    }
+
+    #[test]
+    fn roll_matches_repack() {
+        let mut window = b"ACGTACGTACGTACGTACGTA".to_vec(); // k = 21
+        let mut p = PackedKmer::pack(&window);
+        for &b in b"GGTTCCAAGTACGT" {
+            window.rotate_left(1);
+            *window.last_mut().unwrap() = b;
+            p = p.roll(b);
+            assert_eq!(p, PackedKmer::pack(&window), "after appending {}", b as char);
+        }
+    }
+
+    #[test]
+    fn roll_across_word_boundaries() {
+        // k = 77 spans all three words.
+        let mut window: Vec<u8> = (0..77).map(|i| b"ACGT"[i % 4]).collect();
+        let mut p = PackedKmer::pack(&window);
+        for &b in b"TGCA" {
+            window.rotate_left(1);
+            *window.last_mut().unwrap() = b;
+            p = p.roll(b);
+            assert_eq!(p.unpack(), window);
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(PackedKmer::pack(&[b'A'; 21]).active_words(), 1);
+        assert_eq!(PackedKmer::pack(&[b'A'; 33]).active_words(), 2);
+        assert_eq!(PackedKmer::pack(&[b'A'; 77]).active_words(), 3);
+        // Entry key footprints: 21→8B, 33→16B, 55→16B, 77→24B.
+        assert_eq!(packed_key_bytes(21), 8);
+        assert_eq!(packed_key_bytes(33), 16);
+        assert_eq!(packed_key_bytes(55), 16);
+        assert_eq!(packed_key_bytes(77), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_k_rejected() {
+        PackedKmer::pack(&[b'A'; 97]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid nucleotide")]
+    fn bad_base_rejected() {
+        PackedKmer::pack(b"ACGN");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dna(max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            proptest::sample::select(crate::dna::BASES.to_vec()),
+            1..=max,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(kmer in dna(96)) {
+            prop_assert_eq!(PackedKmer::pack(&kmer).unpack(), kmer);
+        }
+
+        /// Rolling a window is always equivalent to re-packing it.
+        #[test]
+        fn roll_equivalence(seq in dna(96), ext in dna(16)) {
+            let k = seq.len();
+            let mut window = seq.clone();
+            let mut p = PackedKmer::pack(&window);
+            for &b in &ext {
+                window.rotate_left(1);
+                window[k - 1] = b;
+                p = p.roll(b);
+                prop_assert_eq!(p, PackedKmer::pack(&window));
+            }
+        }
+
+        /// Distinct k-mers pack distinctly (injectivity).
+        #[test]
+        fn injective(a in dna(60), b in dna(60)) {
+            if a != b {
+                prop_assert_ne!(PackedKmer::pack(&a), PackedKmer::pack(&b));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The iterative local assembly workflow (Fig. 2, local-assembly slice).
+//!
+//! MetaHipMer calls the local assembly module once per iteration with a
+//! successively larger k (21, 33, 55, 77): small k bridges low-coverage
+//! junctions, large k resolves repeats/forks left by the smaller graphs
+//! (Fig. 1b). We reproduce that loop: each round extends the contigs of the
+//! previous round. The production pipeline re-aligns reads between rounds;
+//! we keep each contig's read set fixed (a documented simplification —
+//! alignment is outside the local assembly kernel being studied).
+
+use crate::assemble::{assemble_all, AssemblyConfig, ExtensionResult};
+use crate::contig::ContigJob;
+use crate::walk::WalkConfig;
+use serde::{Deserialize, Serialize};
+
+/// The k-mer schedule MetaHipMer uses in production (paper Fig. 2).
+pub const PRODUCTION_K_SCHEDULE: [usize; 4] = [21, 33, 55, 77];
+
+/// Per-round report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundReport {
+    pub k: usize,
+    /// Contigs that gained at least one base this round.
+    pub contigs_extended: usize,
+    /// Total bases gained this round.
+    pub bases_gained: usize,
+    /// Total contig length after this round.
+    pub total_contig_len: usize,
+}
+
+/// Outcome of the full iterative pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineResult {
+    /// Final contigs (same order as the input jobs).
+    pub contigs: Vec<Vec<u8>>,
+    /// One report per round, in schedule order.
+    pub rounds: Vec<RoundReport>,
+}
+
+/// Run the iterative pipeline over `schedule`, mutating contigs between
+/// rounds. Rounds whose k exceeds a contig's length skip that contig
+/// (consistent with the per-side guard in `assemble`).
+pub fn run_pipeline(
+    jobs: &[ContigJob],
+    schedule: &[usize],
+    walk: WalkConfig,
+    parallel: bool,
+) -> PipelineResult {
+    let mut current: Vec<ContigJob> = jobs.to_vec();
+    let mut rounds = Vec::with_capacity(schedule.len());
+
+    for &k in schedule {
+        let cfg = AssemblyConfig { k, walk, retry: crate::retry::RetryPolicy::none() };
+        let results: Vec<ExtensionResult> = assemble_all(&current, &cfg, parallel);
+        let mut extended = 0usize;
+        let mut gained = 0usize;
+        for (job, r) in current.iter_mut().zip(&results) {
+            if r.total_len() > 0 {
+                extended += 1;
+                gained += r.total_len();
+                job.contig = r.apply(&job.contig);
+            }
+        }
+        rounds.push(RoundReport {
+            k,
+            contigs_extended: extended,
+            bases_gained: gained,
+            total_contig_len: current.iter().map(|j| j.contig.len()).sum(),
+        });
+    }
+
+    PipelineResult { contigs: current.into_iter().map(|j| j.contig).collect(), rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::Read;
+
+    /// A genome where the 4-mer "ACGT" repeats with different followers —
+    /// an unresolvable fork at k=4 that k=8 resolves (the Fig. 1b scenario).
+    fn forked_job() -> ContigJob {
+        let genome = b"TTGACGTAGCAACGTCGGTT"; // "ACGT" at 3→A and 11→C
+        let contig = genome[..8].to_vec(); // "TTGACGTA"
+        // Both reads span both "ACGT" occurrences → balanced fork votes.
+        let reads = vec![
+            Read::with_uniform_qual(&genome[1..20], b'I'),
+            Read::with_uniform_qual(&genome[2..20], b'I'),
+        ];
+        ContigJob::new(0, contig, reads, vec![])
+    }
+
+    #[test]
+    fn larger_k_resolves_fork() {
+        let job = forked_job();
+        let walk = WalkConfig { min_votes: 1, ..WalkConfig::default() };
+
+        // k=4 alone stalls at the ACGT fork before reaching the end.
+        let small = run_pipeline(std::slice::from_ref(&job), &[4], walk, false);
+        // k=4 then k=8 finishes the contig.
+        let sched = run_pipeline(std::slice::from_ref(&job), &[4, 8], walk, false);
+        assert!(
+            sched.contigs[0].len() > small.contigs[0].len(),
+            "second round with larger k must extend further: {:?} vs {:?}",
+            String::from_utf8_lossy(&sched.contigs[0]),
+            String::from_utf8_lossy(&small.contigs[0])
+        );
+        assert!(sched.contigs[0].ends_with(b"CGGTT"));
+    }
+
+    #[test]
+    fn reports_are_consistent() {
+        let job = forked_job();
+        let walk = WalkConfig { min_votes: 1, ..WalkConfig::default() };
+        let out = run_pipeline(std::slice::from_ref(&job), &[4, 8], walk, false);
+        assert_eq!(out.rounds.len(), 2);
+        for r in &out.rounds {
+            assert!(r.contigs_extended <= 1);
+        }
+        let total_gain: usize = out.rounds.iter().map(|r| r.bases_gained).sum();
+        assert_eq!(out.contigs[0].len(), forked_job().contig.len() + total_gain);
+        assert_eq!(out.rounds.last().unwrap().total_contig_len, out.contigs[0].len());
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let job = forked_job();
+        let out = run_pipeline(
+            std::slice::from_ref(&job),
+            &[],
+            WalkConfig::default(),
+            false,
+        );
+        assert_eq!(out.contigs[0], job.contig);
+        assert!(out.rounds.is_empty());
+    }
+
+    #[test]
+    fn oversized_k_rounds_are_noops() {
+        let job = forked_job();
+        let out = run_pipeline(
+            std::slice::from_ref(&job),
+            &[1000],
+            WalkConfig::default(),
+            false,
+        );
+        assert_eq!(out.contigs[0], job.contig);
+        assert_eq!(out.rounds[0].bases_gained, 0);
+    }
+}

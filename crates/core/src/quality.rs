@@ -1,0 +1,57 @@
+//! Phred quality scores.
+//!
+//! Each base of a read carries a Phred+33 encoded quality character. The
+//! local assembly kernel splits extension votes into high-quality
+//! (`hi_q_exts`) and low-quality (`low_q_exts`) buckets by a fixed cutoff,
+//! exactly as the `loc_ht` value struct in the paper's Appendix A does.
+
+/// Phred+33 encoding offset.
+pub const PHRED_OFFSET: u8 = 33;
+
+/// Phred score at or above which a base vote counts as high quality.
+/// MetaHipMer uses Q20 ("1 error in 100") as its quality cutoff.
+pub const HI_QUAL_CUTOFF: u8 = 20;
+
+/// Decode a quality character to its Phred score.
+#[inline]
+pub fn phred(q: u8) -> u8 {
+    q.saturating_sub(PHRED_OFFSET)
+}
+
+/// Encode a Phred score as a quality character.
+#[inline]
+pub fn qual_char(score: u8) -> u8 {
+    score.saturating_add(PHRED_OFFSET).min(b'~')
+}
+
+/// Does this quality character clear the high-quality cutoff?
+#[inline]
+pub fn is_hi_qual(q: u8) -> bool {
+    phred(q) >= HI_QUAL_CUTOFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phred_roundtrip() {
+        for score in 0..=60u8 {
+            assert_eq!(phred(qual_char(score)), score);
+        }
+    }
+
+    #[test]
+    fn cutoff_boundary() {
+        assert!(is_hi_qual(qual_char(HI_QUAL_CUTOFF)));
+        assert!(!is_hi_qual(qual_char(HI_QUAL_CUTOFF - 1)));
+        assert!(is_hi_qual(b'I'), "Illumina Q40 is high quality");
+        assert!(!is_hi_qual(b'#'), "Q2 is low quality");
+    }
+
+    #[test]
+    fn encode_saturates_at_printable_range() {
+        assert_eq!(qual_char(200), b'~');
+        assert_eq!(phred(0), 0, "below-offset chars clamp to zero");
+    }
+}

@@ -1,0 +1,82 @@
+//! Sequencing reads.
+
+use crate::dna::valid_seq;
+use serde::{Deserialize, Serialize};
+
+/// One sequencing read: bases plus per-base Phred+33 qualities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Read {
+    pub seq: Vec<u8>,
+    pub qual: Vec<u8>,
+}
+
+impl Read {
+    /// Construct a read, validating sequence/quality agreement.
+    pub fn new(seq: Vec<u8>, qual: Vec<u8>) -> Self {
+        assert_eq!(seq.len(), qual.len(), "sequence and quality lengths differ");
+        assert!(valid_seq(&seq), "read contains non-ACGT characters");
+        Read { seq, qual }
+    }
+
+    /// A read with uniform quality (test/bench convenience).
+    pub fn with_uniform_qual(seq: &[u8], q: u8) -> Self {
+        Read::new(seq.to_vec(), vec![q; seq.len()])
+    }
+
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Number of k-mers this read contributes for a given k
+    /// (`len − k + 1`, or 0 if the read is shorter than k).
+    pub fn kmer_count(&self, k: usize) -> usize {
+        assert!(k >= 1, "k must be positive");
+        self.seq.len().saturating_sub(k - 1)
+    }
+
+    /// Reverse complement of this read (qualities reversed accordingly).
+    pub fn revcomp(&self) -> Read {
+        Read {
+            seq: crate::dna::revcomp(&self.seq),
+            qual: self.qual.iter().rev().copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmer_count_edges() {
+        let r = Read::with_uniform_qual(b"ACGTACGT", b'I');
+        assert_eq!(r.kmer_count(4), 5);
+        assert_eq!(r.kmer_count(8), 1);
+        assert_eq!(r.kmer_count(9), 0);
+    }
+
+    #[test]
+    fn revcomp_reverses_quals() {
+        let r = Read::new(b"AACG".to_vec(), vec![b'!', b'#', b'%', b'I']);
+        let rc = r.revcomp();
+        assert_eq!(rc.seq, b"CGTT");
+        assert_eq!(rc.qual, vec![b'I', b'%', b'#', b'!']);
+        assert_eq!(rc.revcomp(), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_quals_rejected() {
+        Read::new(b"ACGT".to_vec(), vec![b'I'; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ACGT")]
+    fn invalid_bases_rejected() {
+        Read::new(b"ACGN".to_vec(), vec![b'I'; 4]);
+    }
+}

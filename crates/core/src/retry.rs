@@ -1,0 +1,123 @@
+//! Walk acceptance and the k-mer retry ladder (Fig. 4's outer loop).
+//!
+//! The kernel diagram shows each warp repeating its hash-table
+//! construction + walk "with different k-mer size if walk is not
+//! accepted": when the walk at the primary k terminates immediately (an
+//! unresolved fork right at the contig end, or no seed coverage), a
+//! *smaller* k can bridge it — thinner coverage suffices because more
+//! reads share each (shorter) k-mer. The retry ladder trades specificity
+//! for sensitivity, mirroring the global pipeline's increasing-k schedule
+//! in the small.
+
+use crate::walk::{Walk, WalkState};
+use serde::{Deserialize, Serialize};
+
+/// Policy deciding whether a finished walk is accepted and, if not, which
+/// k to retry with.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Minimum extension length for a walk to count as accepted. Walks
+    /// that made *any* progress are normally accepted (default 1).
+    pub accept_min_len: usize,
+    /// Successive k values to try after the primary k fails, in order.
+    pub fallback_ks: Vec<usize>,
+}
+
+impl RetryPolicy {
+    /// No retries: accept whatever the primary k produced (the
+    /// configuration used for the paper's single-k profiling datasets).
+    pub fn none() -> Self {
+        RetryPolicy { accept_min_len: 1, fallback_ks: Vec::new() }
+    }
+
+    /// The Fig. 4 ladder: retry at roughly ⅔k and ½k (kept odd, ≥ 11 —
+    /// odd k avoids palindromic k-mers, the usual assembler convention).
+    pub fn ladder(k: usize) -> Self {
+        let mut fallback_ks = Vec::new();
+        for f in [2.0 / 3.0, 0.5] {
+            let mut kk = ((k as f64 * f).round() as usize).max(11);
+            if kk.is_multiple_of(2) {
+                kk += 1;
+            }
+            if kk < k && !fallback_ks.contains(&kk) {
+                fallback_ks.push(kk);
+            }
+        }
+        RetryPolicy { accept_min_len: 1, fallback_ks }
+    }
+
+    /// Is this walk accepted (no retry needed)?
+    pub fn accepts(&self, walk: &Walk) -> bool {
+        walk.extension.len() >= self.accept_min_len
+            // A loop or length-cap termination means the graph genuinely
+            // continues; retrying with smaller k cannot help.
+            || matches!(walk.state, WalkState::Loop | WalkState::MaxLen)
+    }
+
+    /// The k values to attempt, primary first.
+    pub fn schedule(&self, primary_k: usize) -> Vec<usize> {
+        let mut ks = vec![primary_k];
+        for &k in &self.fallback_ks {
+            if k < primary_k && !ks.contains(&k) {
+                ks.push(k);
+            }
+        }
+        ks
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(len: usize, state: WalkState) -> Walk {
+        Walk { extension: vec![b'A'; len], state, steps: len as u32 + 1 }
+    }
+
+    #[test]
+    fn ladder_shrinks_and_stays_odd() {
+        let p = RetryPolicy::ladder(77);
+        assert_eq!(p.schedule(77), vec![77, 51, 39]);
+        for k in &p.fallback_ks {
+            assert_eq!(k % 2, 1);
+        }
+        let p = RetryPolicy::ladder(21);
+        // ⅔·21 = 14 → 15; ½·21 = 11 (already odd).
+        assert_eq!(p.schedule(21), vec![21, 15, 11]);
+    }
+
+    #[test]
+    fn ladder_floors_at_11() {
+        let p = RetryPolicy::ladder(13);
+        for &k in &p.fallback_ks {
+            assert!((11..13).contains(&k));
+        }
+    }
+
+    #[test]
+    fn acceptance_rules() {
+        let p = RetryPolicy::none();
+        assert!(p.accepts(&walk(5, WalkState::End)));
+        assert!(!p.accepts(&walk(0, WalkState::End)), "no progress → not accepted");
+        assert!(!p.accepts(&walk(0, WalkState::Fork)), "immediate fork → not accepted");
+        assert!(p.accepts(&walk(0, WalkState::Loop)), "loop: smaller k cannot help");
+        assert!(p.accepts(&walk(0, WalkState::MaxLen)));
+    }
+
+    #[test]
+    fn none_policy_has_single_entry_schedule() {
+        assert_eq!(RetryPolicy::none().schedule(55), vec![55]);
+    }
+
+    #[test]
+    fn schedule_dedups_and_filters() {
+        let p = RetryPolicy { accept_min_len: 1, fallback_ks: vec![33, 33, 55, 11] };
+        assert_eq!(p.schedule(33), vec![33, 11], "≥ primary and duplicates dropped");
+    }
+}

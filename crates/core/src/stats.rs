@@ -1,0 +1,133 @@
+//! Assembly contiguity statistics.
+//!
+//! Local assembly exists to push these numbers up (the MetaHipMer papers
+//! report N50 improvements from the contig-extension phase); the pipeline
+//! example and tests use them to show each round's effect.
+
+use serde::{Deserialize, Serialize};
+
+/// Standard summary of an assembly (a set of contig lengths).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AssemblyStats {
+    pub contigs: usize,
+    pub total_bases: usize,
+    pub min_len: usize,
+    pub max_len: usize,
+    pub mean_len: f64,
+    /// Length L such that contigs of length ≥ L cover half the assembly.
+    pub n50: usize,
+    /// Number of contigs needed to cover half the assembly.
+    pub l50: usize,
+}
+
+impl AssemblyStats {
+    /// Compute over contig lengths. Returns `None` for an empty assembly.
+    pub fn from_lengths(lengths: impl IntoIterator<Item = usize>) -> Option<AssemblyStats> {
+        let mut v: Vec<usize> = lengths.into_iter().collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = v.iter().sum();
+        let half = total.div_ceil(2);
+        let mut acc = 0usize;
+        let mut n50 = 0usize;
+        let mut l50 = 0usize;
+        for (i, &len) in v.iter().enumerate() {
+            acc += len;
+            if acc >= half {
+                n50 = len;
+                l50 = i + 1;
+                break;
+            }
+        }
+        Some(AssemblyStats {
+            contigs: v.len(),
+            total_bases: total,
+            min_len: *v.last().unwrap(),
+            max_len: v[0],
+            mean_len: total as f64 / v.len() as f64,
+            n50,
+            l50,
+        })
+    }
+
+    /// Compute over contig sequences.
+    pub fn from_contigs<'a>(contigs: impl IntoIterator<Item = &'a Vec<u8>>) -> Option<AssemblyStats> {
+        Self::from_lengths(contigs.into_iter().map(Vec::len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_n50() {
+        // Lengths 80, 70, 50, 40, 30, 20 (total 290, half 145):
+        // 80 + 70 = 150 ≥ 145 ⇒ N50 = 70, L50 = 2.
+        let s = AssemblyStats::from_lengths([50, 80, 20, 70, 40, 30]).unwrap();
+        assert_eq!(s.n50, 70);
+        assert_eq!(s.l50, 2);
+        assert_eq!(s.total_bases, 290);
+        assert_eq!(s.max_len, 80);
+        assert_eq!(s.min_len, 20);
+        assert!((s.mean_len - 290.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_contig() {
+        let s = AssemblyStats::from_lengths([123]).unwrap();
+        assert_eq!(s.n50, 123);
+        assert_eq!(s.l50, 1);
+        assert_eq!(s.contigs, 1);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(AssemblyStats::from_lengths(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn uniform_lengths() {
+        let s = AssemblyStats::from_lengths(vec![100; 10]).unwrap();
+        assert_eq!(s.n50, 100);
+        assert_eq!(s.l50, 5);
+    }
+
+    #[test]
+    fn extension_improves_n50() {
+        let before = AssemblyStats::from_lengths([100, 100, 100, 100]).unwrap();
+        let after = AssemblyStats::from_lengths([150, 150, 100, 100]).unwrap();
+        assert!(after.n50 > before.n50);
+        assert!(after.total_bases > before.total_bases);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// N50 is one of the input lengths; contigs ≥ N50 cover ≥ half.
+        #[test]
+        fn n50_invariants(lengths in proptest::collection::vec(1usize..10_000, 1..100)) {
+            let s = AssemblyStats::from_lengths(lengths.clone()).unwrap();
+            prop_assert!(lengths.contains(&s.n50));
+            let covered: usize = lengths.iter().filter(|&&l| l >= s.n50).sum();
+            prop_assert!(2 * covered >= s.total_bases);
+            prop_assert!(s.min_len <= s.n50 && s.n50 <= s.max_len);
+            prop_assert!(s.l50 >= 1 && s.l50 <= s.contigs);
+        }
+
+        /// Permutation invariant.
+        #[test]
+        fn order_invariant(mut lengths in proptest::collection::vec(1usize..1000, 2..50)) {
+            let a = AssemblyStats::from_lengths(lengths.clone()).unwrap();
+            lengths.reverse();
+            let b = AssemblyStats::from_lengths(lengths).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The mer-walk (Algorithm 2, "DNA walks").
+//!
+//! Starting from the terminal k-mer of the contig, repeatedly look the
+//! k-mer up in the de Bruijn hash table and append the winning extension
+//! base; terminate on a **fork** (ambiguous votes — the graph branches), an
+//! **end** (no entry / no votes), a **loop** (a k-mer repeats, i.e. the
+//! walk entered a cycle of the graph), or the walk-length cap.
+
+use crate::ht::{CpuHashTable, HtValue};
+use crate::quality::HI_QUAL_CUTOFF;
+use serde::{Deserialize, Serialize};
+
+/// Why a walk terminated (broadcast to the warp in the GPU kernel, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkState {
+    /// No entry or no viable votes: the graph simply ends here.
+    End,
+    /// Ambiguous extension votes: an unresolved fork in the graph.
+    Fork,
+    /// A k-mer repeated: the walk entered a cycle.
+    Loop,
+    /// The configured maximum walk length was reached.
+    MaxLen,
+}
+
+/// Walk parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkConfig {
+    /// Maximum number of bases a single walk may append.
+    pub max_walk_len: usize,
+    /// Minimum winning score (2·hi + low votes) required to extend.
+    pub min_votes: u32,
+    /// Phred cutoff splitting hi/low votes (fixed, documented here for
+    /// completeness; votes are already stratified at insertion time).
+    pub hi_qual_cutoff: u8,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { max_walk_len: 300, min_votes: 2, hi_qual_cutoff: HI_QUAL_CUTOFF }
+    }
+}
+
+/// The outcome of one mer-walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Bases appended to the contig end.
+    pub extension: Vec<u8>,
+    /// Why the walk stopped.
+    pub state: WalkState,
+    /// Hash-table lookups performed (= extension length + 1 unless capped).
+    pub steps: u32,
+}
+
+/// Decide the extension for an entry's votes.
+///
+/// Scoring follows MetaHipMer's quality-weighted vote: a high-quality vote
+/// counts double. The winner must (a) reach `min_votes` and (b) beat the
+/// runner-up by at least 2× — otherwise the position is an unresolved
+/// [`WalkState::Fork`]. No votes at all is an [`WalkState::End`].
+pub fn decide_extension(val: &HtValue, min_votes: u32) -> Result<usize, WalkState> {
+    let mut best = 0usize;
+    let mut best_score = 0u32;
+    let mut second_score = 0u32;
+    for b in 0..4 {
+        let score = 2 * val.hi_q[b] + val.low_q[b];
+        if score > best_score {
+            second_score = best_score;
+            best_score = score;
+            best = b;
+        } else if score > second_score {
+            second_score = score;
+        }
+    }
+    if best_score == 0 || best_score < min_votes {
+        Err(WalkState::End)
+    } else if second_score > 0 && best_score < 2 * second_score {
+        Err(WalkState::Fork)
+    } else {
+        Ok(best)
+    }
+}
+
+/// The fingerprint used by loop detection.
+///
+/// The walk records the `MurmurHashAligned2` value of every window it
+/// visits (the *same* hash the table lookup needs, so it costs nothing
+/// extra — one hash per lookup, exactly the paper's INTOP2 model) and
+/// declares a [`WalkState::Loop`] on the first repeat. The GPU kernels
+/// keep the same fingerprint list in device memory, so CPU and GPU loop
+/// semantics are identical by construction; a 32-bit collision over a
+/// ≤ `max_walk_len`-entry list (probability ~2⁻²³ per walk) would affect
+/// both implementations equally.
+pub const VISITED_SEED: u32 = crate::murmur::DEFAULT_SEED;
+
+/// The visited-set fingerprint of a window (also its table hash).
+pub fn window_fingerprint(window: &[u8]) -> u32 {
+    crate::murmur::murmur_hash_aligned2(window, VISITED_SEED)
+}
+
+/// Walk the de Bruijn graph from the last k-mer of `contig`.
+///
+/// `k` must not exceed the contig length. Loop detection uses the
+/// [`window_fingerprint`] visited list — identical semantics to the GPU
+/// kernels' device-memory list, so the CPU reference is an exact oracle.
+pub fn mer_walk(ht: &CpuHashTable, contig: &[u8], k: usize, cfg: &WalkConfig) -> Walk {
+    assert!(k >= 1 && k <= contig.len(), "k={k} out of range for contig of {}", contig.len());
+    // The rolling window: contig tail + appended extension.
+    let mut window: Vec<u8> = contig[contig.len() - k..].to_vec();
+    let mut visited: Vec<u32> = Vec::new();
+    let mut extension = Vec::new();
+    let mut steps = 0u32;
+
+    loop {
+        if extension.len() >= cfg.max_walk_len {
+            return Walk { extension, state: WalkState::MaxLen, steps };
+        }
+        let fp = window_fingerprint(&window);
+        if visited.contains(&fp) {
+            return Walk { extension, state: WalkState::Loop, steps };
+        }
+        visited.push(fp);
+
+        steps += 1;
+        let Some(val) = ht.lookup(&window) else {
+            return Walk { extension, state: WalkState::End, steps };
+        };
+        match decide_extension(val, cfg.min_votes) {
+            Ok(base) => {
+                let b = crate::dna::index_base(base);
+                extension.push(b);
+                window.rotate_left(1);
+                window[k - 1] = b;
+            }
+            Err(state) => return Walk { extension, state, steps },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::{ext_vote, KmerIter};
+    use crate::read::Read;
+
+    /// Build a table from reads the way Algorithm 1 does.
+    fn build(reads: &[Read], k: usize) -> CpuHashTable {
+        let slots: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
+        let mut ht = CpuHashTable::with_capacity(crate::estimate::estimate_slots(slots));
+        for r in reads {
+            for (pos, kmer) in KmerIter::new(&r.seq, k) {
+                ht.insert(kmer, ext_vote(r, pos, k)).unwrap();
+            }
+        }
+        ht
+    }
+
+    fn cfg() -> WalkConfig {
+        WalkConfig { min_votes: 1, ..WalkConfig::default() }
+    }
+
+    #[test]
+    fn walk_reconstructs_unique_path() {
+        // Contig ends with the prefix of a read; the walk should recover
+        // the read's unique suffix.
+        let read = Read::with_uniform_qual(b"ACGTACGGTTAC", b'I');
+        let ht = build(std::slice::from_ref(&read), 4);
+        let contig = b"GGGGACGTACG"; // last 4-mer "TACG" … wait, tail is "TACG"
+        let w = mer_walk(&ht, contig, 4, &cfg());
+        // Tail "TACG" → G, then "ACGG" → T, "CGGT" → T, "GGTT" → A,
+        // "GTTA" → C, "TTAC" is terminal (no vote) → End.
+        assert_eq!(w.extension, b"GTTAC");
+        assert_eq!(w.state, WalkState::End);
+        assert_eq!(w.steps, 6);
+    }
+
+    #[test]
+    fn fork_stops_walk() {
+        // Two high-quality reads disagree on the base after "ACGT".
+        let r1 = Read::with_uniform_qual(b"ACGTA", b'I');
+        let r2 = Read::with_uniform_qual(b"ACGTC", b'I');
+        let ht = build(&[r1, r2], 4);
+        let w = mer_walk(&ht, b"ACGT", 4, &cfg());
+        assert_eq!(w.state, WalkState::Fork);
+        assert!(w.extension.is_empty());
+    }
+
+    #[test]
+    fn quality_outvotes_errors() {
+        // Three hi-quality reads say 'A'; one low-quality read says 'C'.
+        let good = Read::with_uniform_qual(b"ACGTA", b'I');
+        let bad = Read::with_uniform_qual(b"ACGTC", b'#');
+        let ht = build(&[good.clone(), good.clone(), good, bad], 4);
+        let w = mer_walk(&ht, b"ACGT", 4, &cfg());
+        assert_eq!(w.extension, b"A");
+        assert_eq!(w.state, WalkState::End);
+    }
+
+    #[test]
+    fn loop_detected() {
+        // A cyclic sequence: "ACGACGACG…" loops on 3-mer "ACG"→A? Build a
+        // genuine cycle with k=4: sequence "AACCAACC…" has 4-mer cycle.
+        let read = Read::with_uniform_qual(b"AACCAACCAACC", b'I');
+        let ht = build(std::slice::from_ref(&read), 4);
+        let w = mer_walk(&ht, b"AACC", 4, &cfg());
+        assert_eq!(w.state, WalkState::Loop);
+        // The cycle has period 4: the walk appends until "AACC" recurs.
+        assert_eq!(w.extension.len(), 4);
+    }
+
+    #[test]
+    fn max_len_caps_walk() {
+        let read = Read::with_uniform_qual(b"AACCAACCAACC", b'I');
+        let ht = build(std::slice::from_ref(&read), 4);
+        let cfg = WalkConfig { max_walk_len: 2, min_votes: 1, ..WalkConfig::default() };
+        let w = mer_walk(&ht, b"AACC", 4, &cfg);
+        assert_eq!(w.state, WalkState::MaxLen);
+        assert_eq!(w.extension.len(), 2);
+    }
+
+    #[test]
+    fn missing_start_kmer_ends_immediately() {
+        let ht = CpuHashTable::with_capacity(32);
+        let w = mer_walk(&ht, b"ACGTACGT", 4, &cfg());
+        assert_eq!(w.state, WalkState::End);
+        assert!(w.extension.is_empty());
+        assert_eq!(w.steps, 1);
+    }
+
+    #[test]
+    fn min_votes_gates_extension() {
+        // One single hi-quality vote = score 2: passes min_votes 2 but not 3.
+        let read = Read::with_uniform_qual(b"ACGTA", b'I');
+        let ht = build(std::slice::from_ref(&read), 4);
+        let strict = WalkConfig { min_votes: 3, ..WalkConfig::default() };
+        let w = mer_walk(&ht, b"ACGT", 4, &strict);
+        assert_eq!(w.state, WalkState::End);
+        assert!(w.extension.is_empty());
+
+        let lenient = WalkConfig { min_votes: 2, ..WalkConfig::default() };
+        let w = mer_walk(&ht, b"ACGT", 4, &lenient);
+        assert_eq!(w.extension, b"A");
+    }
+
+    #[test]
+    fn decide_extension_rules() {
+        let mut v = HtValue::default();
+        assert_eq!(decide_extension(&v, 1), Err(WalkState::End));
+        v.hi_q[2] = 3;
+        assert_eq!(decide_extension(&v, 1), Ok(2));
+        // Runner-up with more than half the winner's score → fork.
+        v.hi_q[0] = 2; // score 4 vs 6: 6 < 2*4 → fork
+        assert_eq!(decide_extension(&v, 1), Err(WalkState::Fork));
+        // Dominant winner: 6 ≥ 2*2 when runner-up score is 2.
+        v.hi_q[0] = 1;
+        assert_eq!(decide_extension(&v, 1), Ok(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_longer_than_contig_panics() {
+        let ht = CpuHashTable::with_capacity(32);
+        mer_walk(&ht, b"ACG", 4, &cfg());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::kmer::{ext_vote, KmerIter};
+    use crate::read::Read;
+    use proptest::prelude::*;
+
+    fn dna(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            proptest::sample::select(crate::dna::BASES.to_vec()),
+            min..max,
+        )
+    }
+
+    proptest! {
+        /// Walks always terminate within max_walk_len and the extension is
+        /// valid DNA whose length is consistent with the step count.
+        #[test]
+        fn walk_terminates_and_is_valid(seq in dna(30, 120), k in 4usize..12) {
+            let read = Read::with_uniform_qual(&seq, b'I');
+            let mut ht = CpuHashTable::with_capacity(crate::estimate::estimate_slots(seq.len()));
+            for (pos, kmer) in KmerIter::new(&read.seq, k) {
+                ht.insert(kmer, ext_vote(&read, pos, k)).unwrap();
+            }
+            let cfg = WalkConfig { min_votes: 1, max_walk_len: 64, ..WalkConfig::default() };
+            let contig = &seq[..k.min(seq.len())];
+            let w = mer_walk(&ht, contig, k, &cfg);
+            prop_assert!(w.extension.len() <= 64);
+            prop_assert!(crate::dna::valid_seq(&w.extension));
+            match w.state {
+                // End/Fork: the terminating lookup is counted as a step.
+                WalkState::End | WalkState::Fork => {
+                    prop_assert_eq!(w.steps as usize, w.extension.len() + 1)
+                }
+                // Loop/MaxLen: detected before any further lookup.
+                WalkState::Loop | WalkState::MaxLen => {
+                    prop_assert_eq!(w.steps as usize, w.extension.len())
+                }
+            }
+        }
+
+        /// A walk seeded at the start of an error-free, repeat-free read
+        /// recovers its suffix exactly.
+        #[test]
+        fn unique_path_recovered(seed in any::<u64>()) {
+            // Construct a repeat-free sequence deterministically from seed.
+            let mut s = Vec::with_capacity(40);
+            let mut x = seed | 1;
+            while s.len() < 40 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s.push(crate::dna::BASES[(x >> 33) as usize % 4]);
+            }
+            let k = 12; // long k on a short random sequence: repeats vanish
+            let read = Read::with_uniform_qual(&s, b'I');
+            let mut ht = CpuHashTable::with_capacity(256);
+            for (pos, kmer) in KmerIter::new(&read.seq, k) {
+                ht.insert(kmer, ext_vote(&read, pos, k)).unwrap();
+            }
+            // Check the read has no repeated k-mer (skip degenerate draws).
+            let mut seen = std::collections::HashSet::new();
+            let unique = KmerIter::new(&s, k).all(|(_, km)| seen.insert(km.to_vec()));
+            prop_assume!(unique);
+            let cfg = WalkConfig { min_votes: 1, ..WalkConfig::default() };
+            let w = mer_walk(&ht, &s[..k], k, &cfg);
+            prop_assert_eq!(w.extension.as_slice(), &s[k..]);
+            prop_assert_eq!(w.state, WalkState::End);
+        }
+    }
+}

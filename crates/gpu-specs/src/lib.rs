@@ -1,0 +1,22 @@
+//! # gpu-specs — device models and analytic timing
+//!
+//! Parameter sets for the three GPUs of the paper (Tables I and III):
+//!
+//! | Board | Prog. model | Warp | CUs | L1/CU | L2 (used die/tile) | HBM BW | Peak INTOPS |
+//! |---|---|---|---|---|---|---|---|
+//! | NVIDIA A100 | CUDA | 32 | 108 SM | 192 KB | 40 MB | 1555 GB/s | 358 G |
+//! | AMD MI250X (1 GCD) | HIP | 64 | 110 CU | 16 KB | 8 MB | 1600 GB/s | 374 G |
+//! | Intel Max 1550 (1 tile) | SYCL | 16 | 64 Xe-core | 512 KB | 204 MB | 1176.21 GB/s | 105 G |
+//!
+//! plus an occupancy model that turns the shared caches into effective
+//! per-warp slices for the `memhier` simulator, and an analytic timing model
+//! that converts simulated instruction/byte counts into estimated kernel
+//! time (compute, bandwidth, and latency terms).
+
+pub mod occupancy;
+pub mod spec;
+pub mod timing;
+
+pub use occupancy::{effective_hierarchy, resident_warps};
+pub use spec::{DeviceId, DeviceSpec, ProgrammingModel, Vendor};
+pub use timing::{Bound, ModelParams, TimeEstimate};

@@ -1,0 +1,95 @@
+//! Occupancy model: shared caches → effective per-warp slices.
+//!
+//! The `memhier` simulator gives every warp a private view of the hierarchy
+//! (warps in the local assembly kernel share no data). Capacity, however,
+//! *is* shared on hardware: all warps resident on a compute unit compete for
+//! its L1, and every resident warp on the die competes for L2. We model this
+//! by slicing capacity evenly among resident warps — the standard
+//! cache-partitioning approximation for disjoint working sets.
+//!
+//! This is the mechanism behind the paper's central observation: at large
+//! k-mer sizes, the per-contig working set outgrows the MI250X's 8 MB L2
+//! share while still fitting the Max 1550's 204 MB share.
+
+use crate::spec::DeviceSpec;
+use memhier::{CacheConfig, HierarchyConfig};
+
+/// Warps concurrently resident on the device for a launch of `total_warps`.
+pub fn resident_warps(spec: &DeviceSpec, total_warps: u64) -> u64 {
+    let max_resident = spec.compute_units as u64 * spec.resident_warps_per_cu as u64;
+    total_warps.clamp(1, max_resident)
+}
+
+/// Build the effective per-warp hierarchy for a launch of `total_warps`.
+pub fn effective_hierarchy(spec: &DeviceSpec, total_warps: u64) -> HierarchyConfig {
+    let resident = resident_warps(spec, total_warps);
+    // Warps resident on one CU share its L1.
+    let warps_per_cu = resident.div_ceil(spec.compute_units as u64).max(1);
+    let l1_share = spec.l1_bytes_per_cu / warps_per_cu;
+    // All resident warps share the die-level L2.
+    let l2_share = spec.l2_bytes / resident;
+    let l2 = rounded_cache(l2_share, 128, 16);
+    HierarchyConfig {
+        l1: rounded_cache(l1_share, 128, 4),
+        l2: if spec.l2_sectored { l2 } else { l2.non_sectored() },
+    }
+}
+
+/// Round a capacity to valid cache geometry (whole sets), with a floor of
+/// one set so tiny shares degenerate gracefully.
+fn rounded_cache(capacity: u64, line: u64, ways: u32) -> CacheConfig {
+    let set_bytes = line * ways as u64;
+    let sets = (capacity / set_bytes).max(1);
+    CacheConfig::new(sets * set_bytes, line, ways)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{A100, MAX1550, MI250X};
+
+    #[test]
+    fn resident_clamps_to_device_capacity() {
+        assert_eq!(resident_warps(&A100, 10), 10);
+        assert_eq!(resident_warps(&A100, 1_000_000), 108 * 8);
+        assert_eq!(resident_warps(&A100, 0), 1);
+    }
+
+    #[test]
+    fn full_occupancy_shares() {
+        let h = effective_hierarchy(&A100, 1 << 20);
+        // 192 KB / 8 warps = 24 KB L1 share.
+        assert_eq!(h.l1.capacity_bytes, 24 * 1024);
+        // 40 MB / 864 warps ≈ 47.4 KB L2 share (rounded to sets).
+        let expect = 40 * 1024 * 1024 / (108 * 8);
+        assert!((h.l2.capacity_bytes as i64 - expect as i64).abs() < 2048);
+    }
+
+    #[test]
+    fn amd_share_is_much_smaller_than_intel() {
+        let amd = effective_hierarchy(&MI250X, 1 << 20);
+        let intel = effective_hierarchy(&MAX1550, 1 << 20);
+        // MI250X: 8 MB / 880 ≈ 9.5 KB; Max1550: 204 MB / 512 ≈ 408 KB.
+        assert!(amd.l2.capacity_bytes < 16 * 1024);
+        assert!(intel.l2.capacity_bytes > 256 * 1024);
+        assert!(intel.l2.capacity_bytes > 20 * amd.l2.capacity_bytes);
+    }
+
+    #[test]
+    fn low_occupancy_gets_bigger_shares() {
+        let few = effective_hierarchy(&MI250X, 8);
+        let many = effective_hierarchy(&MI250X, 10_000);
+        assert!(few.l2.capacity_bytes > many.l2.capacity_bytes);
+    }
+
+    #[test]
+    fn geometry_always_valid() {
+        for warps in [1u64, 7, 100, 999, 1 << 20] {
+            for spec in [&A100, &MI250X, &MAX1550] {
+                let h = effective_hierarchy(spec, warps);
+                assert!(h.l1.sets() >= 1);
+                assert!(h.l2.sets() >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Analytic timing model: counters → estimated kernel seconds.
+//!
+//! Real profiles give wall-clock time; a functional simulator does not. We
+//! estimate time from three ceilings, mirroring how the instruction roofline
+//! interprets performance:
+//!
+//! * **compute**: warp instructions over the sustained issue rate,
+//! * **bandwidth**: HBM bytes over sustained bandwidth,
+//! * **latency**: HBM transactions over the latency-limited request rate
+//!   (`resident_warps × mlp / latency`) — the binding term for
+//!   pointer-chasing phases like the mer-walk.
+//!
+//! The terms are summed rather than maxed: for an irregular, divergent
+//! kernel, overlap between issue and memory stalls is poor (this is exactly
+//! why the paper's measured architectural efficiencies sit near 15% of the
+//! roofline rather than near 100%). `sustained_*` fractions on
+//! [`DeviceSpec`] are the calibration constants and are reported in
+//! EXPERIMENTS.md.
+
+use crate::occupancy::resident_warps;
+use crate::spec::DeviceSpec;
+use serde::{Deserialize, Serialize};
+use simt::AggCounters;
+
+/// Which ceiling dominated the estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    Compute,
+    Bandwidth,
+    Latency,
+}
+
+/// Inputs to the model, decoupled from `simt` so the analysis layer can use
+/// it on synthetic counts too.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Warp width the kernel ran with (lane-slots = instructions × width).
+    pub width: u32,
+    /// Total warp instructions executed.
+    pub warp_instructions: u64,
+    /// Total HBM bytes moved.
+    pub hbm_bytes: u64,
+    /// Total HBM transactions (32 B sectors).
+    pub hbm_transactions: u64,
+    /// Number of warps in the launch.
+    pub warps: u64,
+}
+
+impl ModelParams {
+    pub fn from_counters(c: &AggCounters) -> Self {
+        ModelParams {
+            width: c.width,
+            warp_instructions: c.warp_instructions,
+            hbm_bytes: c.mem.hbm_bytes(),
+            hbm_transactions: c.mem.hbm_transactions(),
+            warps: c.warps,
+        }
+    }
+}
+
+/// Time estimate with per-term breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeEstimate {
+    pub seconds: f64,
+    pub compute_seconds: f64,
+    pub bandwidth_seconds: f64,
+    pub latency_seconds: f64,
+    pub bound: Bound,
+}
+
+impl TimeEstimate {
+    /// Estimate kernel time for `params` on `spec`, using the device's
+    /// default memory-level parallelism.
+    pub fn estimate(spec: &DeviceSpec, params: &ModelParams) -> TimeEstimate {
+        Self::estimate_with_mlp(spec, params, spec.mlp_per_warp)
+    }
+
+    /// Estimate with an explicit per-warp MLP — phases differ: the
+    /// warp-parallel construction sustains the device MLP, while the
+    /// single-lane pointer-chasing mer-walk has MLP ≈ 1 (each lookup
+    /// depends on the previous extension).
+    pub fn estimate_with_mlp(spec: &DeviceSpec, params: &ModelParams, mlp: f64) -> TimeEstimate {
+        // Compute time from lane-slots: every warp instruction occupies
+        // `width` lanes regardless of predication, and the device retires
+        // lane-slots at its (sustained) peak INTOP rate.
+        let lane_slots = params.warp_instructions as f64 * params.width.max(1) as f64;
+        let compute = lane_slots / (spec.peak_intops_per_sec * spec.sustained_issue_frac);
+
+        let bw = spec.hbm_bytes_per_sec * spec.sustained_bw_frac;
+        let bandwidth = params.hbm_bytes as f64 / bw;
+
+        let concurrency = resident_warps(spec, params.warps) as f64 * mlp;
+        let latency =
+            params.hbm_transactions as f64 * spec.hbm_latency_sec / concurrency.max(1.0);
+
+        let bound = if compute >= bandwidth && compute >= latency {
+            Bound::Compute
+        } else if bandwidth >= latency {
+            Bound::Bandwidth
+        } else {
+            Bound::Latency
+        };
+        TimeEstimate {
+            seconds: compute + bandwidth + latency,
+            compute_seconds: compute,
+            bandwidth_seconds: bandwidth,
+            latency_seconds: latency,
+            bound,
+        }
+    }
+
+    /// Achieved warp-level INTOPs per second given total INTOPs.
+    pub fn achieved_intops_per_sec(&self, intops: u64) -> f64 {
+        intops as f64 / self.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{A100, MAX1550, MI250X};
+
+    fn params(instr: u64, bytes: u64, warps: u64) -> ModelParams {
+        ModelParams {
+            width: 32,
+            warp_instructions: instr,
+            hbm_bytes: bytes,
+            hbm_transactions: bytes / 32,
+            warps,
+        }
+    }
+
+    #[test]
+    fn instruction_heavy_is_compute_bound() {
+        let t = TimeEstimate::estimate(&A100, &params(1_000_000_000, 1_000_000, 10_000));
+        assert_eq!(t.bound, Bound::Compute);
+        assert!(t.seconds >= t.compute_seconds);
+    }
+
+    #[test]
+    fn byte_heavy_is_memory_side_bound() {
+        let t = TimeEstimate::estimate(&A100, &params(1_000, 100_000_000_000, 10_000));
+        assert!(matches!(t.bound, Bound::Bandwidth | Bound::Latency));
+    }
+
+    #[test]
+    fn few_warps_become_latency_bound() {
+        // Same traffic, 4 warps vs 10k warps: concurrency collapses.
+        let many = TimeEstimate::estimate(&A100, &params(1_000, 1_000_000_000, 10_000));
+        let few = TimeEstimate::estimate(&A100, &params(1_000, 1_000_000_000, 4));
+        assert!(few.seconds > many.seconds);
+        assert_eq!(few.bound, Bound::Latency);
+    }
+
+    #[test]
+    fn time_is_monotone_in_inputs() {
+        let base = params(1_000_000, 1_000_000, 1000);
+        let t0 = TimeEstimate::estimate(&MI250X, &base).seconds;
+        let more_instr = TimeEstimate::estimate(
+            &MI250X,
+            &ModelParams { warp_instructions: 2_000_000, ..base },
+        )
+        .seconds;
+        let more_bytes =
+            TimeEstimate::estimate(&MI250X, &ModelParams { hbm_bytes: 2_000_000, ..base }).seconds;
+        assert!(more_instr > t0);
+        assert!(more_bytes > t0);
+    }
+
+    #[test]
+    fn achieved_performance_below_peak() {
+        // Whatever the inputs, achieved INTOPs/s must be below device peak
+        // (sustained fractions < 1 guarantee it for compute-bound runs).
+        for spec in [&A100, &MI250X, &MAX1550] {
+            let p = params(100_000_000, 50_000_000, 5_000);
+            let t = TimeEstimate::estimate(spec, &p);
+            let intops = p.warp_instructions * p.width as u64;
+            assert!(t.achieved_intops_per_sec(intops) < spec.peak_intops_per_sec);
+        }
+    }
+
+    #[test]
+    fn zero_work_is_zero_time() {
+        let t = TimeEstimate::estimate(&A100, &params(0, 0, 1));
+        assert_eq!(t.seconds, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! SYCL-dialect `ht_get_atomic` (paper Appendix A, third listing).
+//!
+//! The SYCLomatic port replaces `__match_any_sync`/`__syncwarp(mask)` with
+//! a sub-group `barrier()` after the claim+publish step of every probe
+//! round (`dpct::atomic_compare_exchange_strong` + `sg.barrier()`). The
+//! sub-group width is 16 — the size the paper found "most consistent and
+//! optimal" on the Max 1550 (§III-C) — which also reduces predication
+//! waste for ragged work.
+
+use crate::layout::{DeviceJob, EMPTY};
+use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
+use simt::{Mask, Warp};
+
+/// Find-or-claim the entry for each active lane's k-mer. Returns the slot
+/// index per lane.
+pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+    let mut slot = args.hash;
+    let mut searching = args.mask;
+
+    // Wrap guard ("*hashtable full*" in the listings).
+    let mut rounds = 0u32;
+    while !searching.is_empty() {
+        rounds += 1;
+        assert!(rounds <= job.slots + 1, "*hashtable full* (capacity {})", job.slots);
+        // prev = dpct::atomic_compare_exchange_strong(...)
+        let prev = cas_claim(warp, job, searching, &slot);
+
+        // Winners publish the key before the barrier.
+        let mut winners = Mask::NONE;
+        for l in searching.lanes() {
+            if prev[l] == EMPTY {
+                winners.set(l);
+            }
+        }
+        publish_key(warp, job, winners, &slot, args);
+
+        // sg.barrier(): the whole sub-group synchronizes every round.
+        warp.subgroup_barrier();
+
+        let losers = {
+            let mut m = Mask::NONE;
+            for l in searching.lanes() {
+                if prev[l] != EMPTY {
+                    m.set(l);
+                }
+            }
+            m
+        };
+        let eq = compare_stored_keys(warp, job, losers, &slot, args);
+        warp.iop(searching, 2);
+
+        let mut still = Mask::NONE;
+        for l in searching.lanes() {
+            if !(prev[l] == EMPTY || eq[l]) {
+                still.set(l);
+            }
+        }
+        searching = still;
+        advance(warp, job, searching, &mut slot);
+    }
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locassm_core::walk::WalkConfig;
+    use locassm_core::Read;
+    use memhier::HierarchyConfig;
+    use simt::LaneVec;
+
+    fn setup(width: u32) -> (Warp, DeviceJob) {
+        let mut warp = Warp::new(width, HierarchyConfig::tiny());
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGTACGT", b'I')];
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, 4, WalkConfig::default());
+        (warp, job)
+    }
+
+    #[test]
+    fn subgroup_width_16() {
+        let (mut warp, job) = setup(16);
+        let args = InsertArgs {
+            mask: Mask::full(16),
+            key_off: LaneVec::from_fn(16, |l| l % 9),
+            hash: LaneVec::from_fn(16, |l| (l % 9 * 5) % job.slots),
+        };
+        let slots = ht_get_atomic(&mut warp, &job, &args);
+        for l in 0..16u32 {
+            assert_eq!(slots[l], slots[l % 9]);
+        }
+    }
+
+    #[test]
+    fn same_result_as_cuda_dialect() {
+        let run = |sycl: bool| {
+            let (mut warp, job) = setup(16);
+            let args = InsertArgs {
+                mask: Mask(0b111),
+                key_off: LaneVec::from_fn(16, |l| l),
+                hash: LaneVec::splat(3u32),
+            };
+            let slots = if sycl {
+                ht_get_atomic(&mut warp, &job, &args)
+            } else {
+                crate::insert_cuda::ht_get_atomic(&mut warp, &job, &args)
+            };
+            (0..3).map(|l| slots[l]).collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn barrier_per_round() {
+        let (mut warp, job) = setup(16);
+        // Two distinct keys from the same start slot → 2 probe rounds for
+        // the second lane.
+        let args = InsertArgs {
+            mask: Mask(0b11),
+            key_off: LaneVec::from_fn(16, |l| l),
+            hash: LaneVec::splat(0u32),
+        };
+        let _ = ht_get_atomic(&mut warp, &job, &args);
+        assert_eq!(warp.counters.sync_instructions, 2, "one barrier per probe round");
+        assert_eq!(warp.counters.collective_instructions, 0, "no match_any in SYCL");
+    }
+}

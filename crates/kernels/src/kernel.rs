@@ -1,0 +1,167 @@
+//! The extension kernel: dialect dispatch + construct-then-walk per warp.
+
+use crate::construct::construct_hash_table;
+use crate::layout::DeviceJob;
+use crate::probe::{InsertArgs, SlotVec};
+use crate::walk::mer_walk_kernel;
+use gpu_specs::{DeviceId, ProgrammingModel};
+use locassm_core::walk::{WalkConfig, WalkState};
+use locassm_core::{Read, RetryPolicy};
+use simt::{Warp, WarpCounters};
+
+/// The three kernel dialects of the paper (Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    Cuda,
+    Hip,
+    Sycl,
+}
+
+impl Dialect {
+    /// The dialect written for a programming model (Table I).
+    pub fn for_model(m: ProgrammingModel) -> Dialect {
+        match m {
+            ProgrammingModel::Cuda => Dialect::Cuda,
+            ProgrammingModel::Hip => Dialect::Hip,
+            ProgrammingModel::Sycl => Dialect::Sycl,
+        }
+    }
+
+    /// The dialect the paper runs on a device (CUDA↔A100, HIP↔MI250X,
+    /// SYCL↔Max 1550).
+    pub fn native_for(device: DeviceId) -> Dialect {
+        Dialect::for_model(device.spec().model)
+    }
+
+    /// Dispatch `ht_get_atomic`.
+    pub fn insert(self, warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+        match self {
+            Dialect::Cuda => crate::insert_cuda::ht_get_atomic(warp, job, args),
+            Dialect::Hip => crate::insert_hip::ht_get_atomic(warp, job, args),
+            Dialect::Sycl => crate::insert_sycl::ht_get_atomic(warp, job, args),
+        }
+    }
+}
+
+impl std::fmt::Display for Dialect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dialect::Cuda => "CUDA",
+            Dialect::Hip => "HIP",
+            Dialect::Sycl => "SYCL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One warp's work item.
+#[derive(Debug, Clone)]
+pub struct KernelJob {
+    pub contig: Vec<u8>,
+    pub reads: Vec<Read>,
+    pub k: usize,
+    pub walk: WalkConfig,
+    pub retry: RetryPolicy,
+    pub dialect: Dialect,
+}
+
+/// What one warp returns to the host.
+#[derive(Debug, Clone)]
+pub struct KernelOut {
+    pub extension: Vec<u8>,
+    pub state: WalkState,
+    /// Counter snapshot at the construct/walk phase boundary.
+    pub construct: WarpCounters,
+}
+
+/// The per-warp extension kernel body: stage → Algorithm 1 → Algorithm 2,
+/// repeated down the retry ladder while the walk is not accepted (Fig. 4's
+/// "repeat with different k-mer size" loop — each retry rebuilds the hash
+/// table at the smaller k, exactly as the diagram shows).
+pub fn extension_kernel(warp: &mut Warp, job: &KernelJob) -> KernelOut {
+    if job.reads.is_empty() {
+        return KernelOut {
+            extension: Vec::new(),
+            state: WalkState::End,
+            construct: warp.snapshot(),
+        };
+    }
+    let mut best: Option<locassm_core::Walk> = None;
+    let mut construct = warp.snapshot();
+    for k in job.retry.schedule(job.k) {
+        if job.contig.len() < k {
+            continue;
+        }
+        let dev = DeviceJob::stage(warp, &job.contig, &job.reads, k, job.walk);
+        construct_hash_table(warp, &dev, job.dialect);
+        construct = warp.snapshot();
+        let walk = mer_walk_kernel(warp, &dev);
+        let accepted = job.retry.accepts(&walk);
+        let longer = best.as_ref().is_none_or(|b| walk.extension.len() >= b.extension.len());
+        if longer {
+            best = Some(walk);
+        }
+        if accepted {
+            break;
+        }
+    }
+    match best {
+        Some(walk) => KernelOut { extension: walk.extension, state: walk.state, construct },
+        None => KernelOut {
+            extension: Vec::new(),
+            state: WalkState::End,
+            construct: warp.snapshot(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier::HierarchyConfig;
+
+    #[test]
+    fn dialect_mappings() {
+        assert_eq!(Dialect::native_for(DeviceId::A100), Dialect::Cuda);
+        assert_eq!(Dialect::native_for(DeviceId::Mi250x), Dialect::Hip);
+        assert_eq!(Dialect::native_for(DeviceId::Max1550), Dialect::Sycl);
+        assert_eq!(Dialect::Cuda.to_string(), "CUDA");
+    }
+
+    #[test]
+    fn degenerate_jobs_return_empty() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = KernelJob {
+            contig: b"ACG".to_vec(),
+            reads: vec![Read::with_uniform_qual(b"ACGTACGT", b'I')],
+            k: 5,
+            walk: WalkConfig::default(),
+            retry: RetryPolicy::none(),
+            dialect: Dialect::Cuda,
+        };
+        let out = extension_kernel(&mut warp, &job);
+        assert!(out.extension.is_empty());
+        assert_eq!(out.state, WalkState::End);
+    }
+
+    #[test]
+    fn kernel_extends_and_counts_phases() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = KernelJob {
+            contig: b"GGGGACGTACG".to_vec(),
+            reads: vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')],
+            k: 4,
+            walk: WalkConfig { min_votes: 1, ..WalkConfig::default() },
+            retry: RetryPolicy::none(),
+            dialect: Dialect::Cuda,
+        };
+        let out = extension_kernel(&mut warp, &job);
+        assert!(!out.extension.is_empty());
+        let total = warp.finish();
+        assert!(out.construct.int_instructions > 0);
+        assert!(
+            total.int_instructions > out.construct.int_instructions,
+            "walk phase must add instructions"
+        );
+    }
+}

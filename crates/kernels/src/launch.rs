@@ -1,0 +1,360 @@
+//! The host-side pipeline (Fig. 3): contig binning → hash-table size
+//! estimation → batch creation → GPU initialize → right extension kernel →
+//! left extension kernel → append extensions.
+
+use crate::kernel::{extension_kernel, Dialect, KernelJob, KernelOut};
+use crate::profile::{BatchProfile, KernelProfile, PhaseCounters};
+use gpu_specs::{effective_hierarchy, DeviceId, DeviceSpec, ModelParams, TimeEstimate};
+use locassm_core::io::Dataset;
+use locassm_core::walk::WalkConfig;
+use locassm_core::{bin_contigs, BinningPolicy, ExtensionResult, RetryPolicy};
+use simt::{launch_warps, AggCounters, LaunchConfig};
+
+/// Configuration of a simulated GPU run.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    pub device: DeviceId,
+    /// Kernel dialect; the paper pairs each device with its native model,
+    /// but any combination is allowed (used by the ablation benches).
+    pub dialect: Dialect,
+    /// Warp/sub-group width; defaults to the device's hardware width.
+    pub width: u32,
+    pub binning: BinningPolicy,
+    pub walk: WalkConfig,
+    /// Retry ladder for unaccepted walks (Fig. 4's outer loop).
+    pub retry: RetryPolicy,
+    /// Simulate warps in parallel (rayon).
+    pub parallel: bool,
+    /// Override the device's architectural parameters (what-if hardware
+    /// projections, e.g. "MI250X with a 40 MB L2"). `None` uses the
+    /// published spec for `device`.
+    pub custom_spec: Option<DeviceSpec>,
+}
+
+impl GpuConfig {
+    /// The paper's configuration for a device: native dialect, hardware
+    /// width, power-of-two binning.
+    pub fn for_device(device: DeviceId) -> Self {
+        GpuConfig {
+            device,
+            dialect: Dialect::native_for(device),
+            width: device.spec().warp_width,
+            binning: BinningPolicy::PowerOfTwo,
+            walk: WalkConfig::default(),
+            retry: RetryPolicy::none(),
+            parallel: true,
+            custom_spec: None,
+        }
+    }
+
+    /// The architectural parameters this run simulates.
+    pub fn spec(&self) -> &DeviceSpec {
+        self.custom_spec.as_ref().unwrap_or_else(|| self.device.spec())
+    }
+
+    /// A what-if variant of this configuration with a modified spec.
+    pub fn with_spec(mut self, spec: DeviceSpec) -> Self {
+        self.custom_spec = Some(spec);
+        self
+    }
+}
+
+/// Outcome of a simulated run.
+#[derive(Debug, Clone)]
+pub struct GpuRunResult {
+    /// Per-contig extensions, in dataset order.
+    pub extensions: Vec<ExtensionResult>,
+    pub profile: KernelProfile,
+}
+
+/// Run the full local assembly pipeline for a dataset on a simulated GPU.
+pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
+    let spec = cfg.spec();
+    let k = ds.k;
+
+    let batches = bin_contigs(&ds.jobs, cfg.binning);
+
+    let mut total = AggCounters::default();
+    let mut phases = PhaseCounters::default();
+    let mut batch_profiles = Vec::new();
+
+    // Results indexed by job position.
+    let mut right: Vec<(Vec<u8>, locassm_core::WalkState)> =
+        vec![(Vec::new(), locassm_core::WalkState::End); ds.jobs.len()];
+    let mut left = right.clone();
+
+    for batch in &batches {
+        // Right extension kernel, then left extension kernel (Fig. 3).
+        for side in [Side::Right, Side::Left] {
+            let jobs: Vec<(usize, KernelJob)> = batch
+                .jobs
+                .iter()
+                .filter_map(|&idx| {
+                    let j = &ds.jobs[idx];
+                    let job = match side {
+                        Side::Right => KernelJob {
+                            contig: j.contig.clone(),
+                            reads: j.right_reads.clone(),
+                            k,
+                            walk: cfg.walk,
+                            retry: cfg.retry.clone(),
+                            dialect: cfg.dialect,
+                        },
+                        Side::Left => {
+                            let t = j.left_as_right();
+                            KernelJob {
+                                contig: t.contig,
+                                reads: t.right_reads,
+                                k,
+                                walk: cfg.walk,
+                                retry: cfg.retry.clone(),
+                                dialect: cfg.dialect,
+                            }
+                        }
+                    };
+                    // The host skips contigs with no work for this side
+                    // under any k in the retry schedule.
+                    let min_k = job.retry.schedule(k).into_iter().min().unwrap_or(k);
+                    (job.contig.len() >= min_k && !job.reads.is_empty()).then_some((idx, job))
+                })
+                .collect();
+            if jobs.is_empty() {
+                continue;
+            }
+
+            let (indices, kernel_jobs): (Vec<usize>, Vec<KernelJob>) = jobs.into_iter().unzip();
+            let hierarchy = effective_hierarchy(spec, kernel_jobs.len() as u64);
+            let launch_cfg =
+                LaunchConfig { width: cfg.width, hierarchy, parallel: cfg.parallel };
+            let out = launch_warps(launch_cfg, &kernel_jobs, |warp, job: &KernelJob| {
+                let r: KernelOut = extension_kernel(warp, job);
+                r
+            });
+
+            // Phase split: construct snapshots summed; walk = total − construct.
+            let mut construct = AggCounters::default();
+            for o in &out.results {
+                construct.absorb(&o.construct);
+            }
+            phases.construct.merge(&construct);
+            let walk_agg = diff_agg(&out.counters, &construct);
+            phases.walk.merge(&walk_agg);
+
+            // Per-phase timing: construction overlaps memory at the
+            // device's MLP; the mer-walk is a single-lane dependence chain
+            // (MLP ≈ 1).
+            let t_construct =
+                TimeEstimate::estimate(spec, &ModelParams::from_counters(&construct));
+            let t_walk = TimeEstimate::estimate_with_mlp(
+                spec,
+                &ModelParams::from_counters(&walk_agg),
+                1.0,
+            );
+            let time = TimeEstimate {
+                seconds: t_construct.seconds + t_walk.seconds,
+                compute_seconds: t_construct.compute_seconds + t_walk.compute_seconds,
+                bandwidth_seconds: t_construct.bandwidth_seconds + t_walk.bandwidth_seconds,
+                latency_seconds: t_construct.latency_seconds + t_walk.latency_seconds,
+                bound: if t_construct.seconds >= t_walk.seconds {
+                    t_construct.bound
+                } else {
+                    t_walk.bound
+                },
+            };
+            batch_profiles.push(BatchProfile {
+                band: batch.band,
+                warps: out.counters.warps,
+                time,
+            });
+            total.merge(&out.counters);
+
+            for (idx, o) in indices.into_iter().zip(out.results) {
+                match side {
+                    Side::Right => right[idx] = (o.extension, o.state),
+                    Side::Left => {
+                        // Left walks ran on the reverse complement.
+                        left[idx] = (locassm_core::revcomp(&o.extension), o.state);
+                    }
+                }
+            }
+        }
+    }
+
+    let extensions = ds
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| ExtensionResult {
+            id: j.id,
+            right: std::mem::take(&mut right[i].0),
+            left: std::mem::take(&mut left[i].0),
+            right_state: right[i].1,
+            left_state: left[i].1,
+        })
+        .collect();
+
+    GpuRunResult {
+        extensions,
+        profile: KernelProfile {
+            device: cfg.device,
+            dialect: cfg.dialect,
+            k,
+            total,
+            phases,
+            batches: batch_profiles,
+        },
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Side {
+    Right,
+    Left,
+}
+
+/// Aggregate difference (total − construct) for phase attribution.
+fn diff_agg(total: &AggCounters, part: &AggCounters) -> AggCounters {
+    AggCounters {
+        width: total.width,
+        warps: total.warps,
+        warp_instructions: total.warp_instructions - part.warp_instructions,
+        int_instructions: total.int_instructions - part.int_instructions,
+        collective_instructions: total.collective_instructions - part.collective_instructions,
+        sync_instructions: total.sync_instructions - part.sync_instructions,
+        atomic_instructions: total.atomic_instructions - part.atomic_instructions,
+        atomic_replays: total.atomic_replays - part.atomic_replays,
+        lane_int_ops: total.lane_int_ops - part.lane_int_ops,
+        occupancy_quartiles: [
+            total.occupancy_quartiles[0] - part.occupancy_quartiles[0],
+            total.occupancy_quartiles[1] - part.occupancy_quartiles[1],
+            total.occupancy_quartiles[2] - part.occupancy_quartiles[2],
+            total.occupancy_quartiles[3] - part.occupancy_quartiles[3],
+        ],
+        max_warp_instructions: total.max_warp_instructions,
+        mem: total.mem.since(&part.mem),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locassm_core::{assemble_all, AssemblyConfig};
+    use workloads::paper_dataset;
+
+    fn small_ds() -> Dataset {
+        paper_dataset(21, 0.002, 42)
+    }
+
+    #[test]
+    fn gpu_matches_cpu_reference() {
+        let ds = small_ds();
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let gpu = run_local_assembly(&ds, &cfg);
+        let cpu = assemble_all(
+            &ds.jobs,
+            &AssemblyConfig { k: ds.k, walk: cfg.walk, retry: cfg.retry.clone() },
+            true,
+        );
+        assert_eq!(gpu.extensions, cpu, "A100/CUDA run must match the CPU oracle");
+    }
+
+    #[test]
+    fn all_devices_produce_identical_extensions() {
+        let ds = small_ds();
+        let a = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::A100));
+        let b = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::Mi250x));
+        let c = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::Max1550));
+        assert_eq!(a.extensions, b.extensions);
+        assert_eq!(a.extensions, c.extensions);
+    }
+
+    #[test]
+    fn profile_has_work() {
+        let ds = small_ds();
+        let r = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::A100));
+        let p = &r.profile;
+        assert!(p.intops() > 0);
+        assert!(p.hbm_bytes() > 0);
+        assert!(p.seconds() > 0.0);
+        assert!(p.phases.construct.int_instructions > 0);
+        assert!(p.phases.walk.int_instructions > 0);
+        assert!(!p.batches.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_parallel_modes() {
+        let ds = small_ds();
+        let mut cfg = GpuConfig::for_device(DeviceId::Max1550);
+        let par = run_local_assembly(&ds, &cfg);
+        cfg.parallel = false;
+        let ser = run_local_assembly(&ds, &cfg);
+        assert_eq!(par.extensions, ser.extensions);
+        assert_eq!(par.profile.total, ser.profile.total);
+    }
+
+    #[test]
+    fn binning_policies_agree_on_results() {
+        let ds = small_ds();
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        let a = run_local_assembly(&ds, &cfg);
+        cfg.binning = BinningPolicy::Single;
+        let b = run_local_assembly(&ds, &cfg);
+        assert_eq!(a.extensions, b.extensions);
+        // Work totals match too; only batch structure differs.
+        assert_eq!(a.profile.total.int_instructions, b.profile.total.int_instructions);
+    }
+}
+
+#[cfg(test)]
+mod whatif_tests {
+    use super::*;
+    use workloads::paper_dataset;
+
+    /// The paper's §V-E conclusion in executable form: giving the MI250X
+    /// model a Max 1550-sized L2 collapses its HBM traffic toward the
+    /// A100's.
+    #[test]
+    fn bigger_l2_fixes_the_mi250x() {
+        // Full occupancy (one batch > 880 resident warps) so the L2 share
+        // is under real pressure, as in the production-scale runs.
+        let ds = paper_dataset(21, 0.07, 61);
+        let mut cfg = GpuConfig::for_device(DeviceId::Mi250x);
+        cfg.binning = locassm_core::BinningPolicy::Single;
+        let stock = run_local_assembly(&ds, &cfg);
+
+        let mut spec = DeviceId::Mi250x.spec().clone();
+        spec.l2_bytes = 204 * 1024 * 1024; // Max 1550-sized
+        let upgraded_cfg = cfg.clone().with_spec(spec);
+        let upgraded = run_local_assembly(&ds, &upgraded_cfg);
+
+        assert_eq!(
+            stock.extensions, upgraded.extensions,
+            "hardware what-ifs must not change results"
+        );
+        assert!(
+            upgraded.profile.hbm_bytes() * 2 < stock.profile.hbm_bytes(),
+            "204 MB L2 must collapse traffic: {} vs {}",
+            upgraded.profile.hbm_bytes(),
+            stock.profile.hbm_bytes()
+        );
+        assert!(upgraded.profile.seconds() < stock.profile.seconds());
+    }
+
+    /// Conversely, shrinking the A100's L2 to the MI250X's pushes its
+    /// traffic up.
+    #[test]
+    fn smaller_l2_hurts_the_a100() {
+        let ds = paper_dataset(21, 0.07, 62);
+        let mut base = GpuConfig::for_device(DeviceId::A100);
+        base.binning = locassm_core::BinningPolicy::Single;
+        let stock = run_local_assembly(&ds, &base);
+
+        let mut spec = DeviceId::A100.spec().clone();
+        spec.l2_bytes = 8 * 1024 * 1024;
+        spec.l1_bytes_per_cu = 16 * 1024;
+        let cfg = base.clone().with_spec(spec);
+        let shrunk = run_local_assembly(&ds, &cfg);
+
+        assert!(shrunk.profile.hbm_bytes() > stock.profile.hbm_bytes());
+    }
+}

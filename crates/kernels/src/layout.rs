@@ -1,0 +1,167 @@
+//! Device-memory layout of one warp's job.
+//!
+//! The host reserves, per contig: the contig bytes, the concatenated read
+//! sequences and quality strings, the hash-table slab (sized by
+//! `locassm_core::estimate_slots`), the walk's visited-fingerprint list and
+//! the output extension buffer — mirroring the "Estimate Hash Table Sizes /
+//! GPU Initialize" steps of Fig. 3. Input data is staged with direct
+//! (uncounted) writes, modeling the host→device copy that precedes the
+//! kernel; everything the *kernel* touches flows through the cache
+//! simulator.
+
+use locassm_core::walk::WalkConfig;
+use locassm_core::{estimate_slots, Read};
+use memhier::Addr;
+use simt::Warp;
+
+/// Hash-table entry layout (stride and field offsets, bytes).
+///
+/// ```text
+/// 0   key_len   u32  (0 = EMPTY sentinel; the atomicCAS claim target)
+/// 4   key_off   u32  (offset of the key bytes in the reads buffer)
+/// 8   hi_q[4]   u32 × 4
+/// 24  low_q[4]  u32 × 4
+/// 40  count     u32
+/// 44  ext       u32  (decided extension; written by the walk)
+/// ```
+pub const ENTRY_STRIDE: u64 = 48;
+pub const OFF_KEY_LEN: u64 = 0;
+pub const OFF_KEY_OFF: u64 = 4;
+pub const OFF_HI_Q: u64 = 8;
+pub const OFF_LOW_Q: u64 = 24;
+pub const OFF_COUNT: u64 = 40;
+
+/// `key_len` value marking an empty slot.
+pub const EMPTY: u32 = 0;
+
+/// One read's placement in the device buffers.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadSpan {
+    /// Byte offset of the sequence (and, at the same offset in the quality
+    /// buffer, its qualities).
+    pub offset: u32,
+    pub len: u32,
+}
+
+/// Resolved device addresses for one warp's job.
+#[derive(Debug, Clone)]
+pub struct DeviceJob {
+    pub k: usize,
+    pub walk: WalkConfig,
+    pub contig: Addr,
+    pub contig_len: u32,
+    /// Concatenated read sequences.
+    pub reads: Addr,
+    /// Concatenated read qualities (same spans as `reads`).
+    pub quals: Addr,
+    pub spans: Vec<ReadSpan>,
+    /// Hash-table slab.
+    pub ht: Addr,
+    pub slots: u32,
+    /// Visited-fingerprint list (u32 per potential walk step).
+    pub visited: Addr,
+    /// Output extension buffer.
+    pub out: Addr,
+}
+
+impl DeviceJob {
+    /// Stage a job into the warp's memory arena.
+    pub fn stage(warp: &mut Warp, contig: &[u8], reads: &[Read], k: usize, walk: WalkConfig) -> Self {
+        let contig_addr = warp.mem.alloc_bytes(contig);
+
+        let total: usize = reads.iter().map(Read::len).sum();
+        let reads_addr = warp.mem.alloc(total as u64);
+        let quals_addr = warp.mem.alloc(total as u64);
+        let mut spans = Vec::with_capacity(reads.len());
+        let mut off = 0u32;
+        for r in reads {
+            warp.mem.write_bytes(reads_addr + off as u64, &r.seq);
+            warp.mem.write_bytes(quals_addr + off as u64, &r.qual);
+            spans.push(ReadSpan { offset: off, len: r.len() as u32 });
+            off += r.len() as u32;
+        }
+
+        let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
+        let slots = estimate_slots(insertions) as u32;
+        let ht = warp.mem.alloc_aligned(slots as u64 * ENTRY_STRIDE, 32);
+        // GPU Initialize (Fig. 3): table zeroed before launch (cudaMemset —
+        // not kernel traffic).
+        warp.mem.fill(ht, slots as u64 * ENTRY_STRIDE, 0);
+
+        let visited = warp.mem.alloc(walk.max_walk_len as u64 * 4);
+        let out = warp.mem.alloc(walk.max_walk_len as u64);
+
+        DeviceJob {
+            k,
+            walk,
+            contig: contig_addr,
+            contig_len: contig.len() as u32,
+            reads: reads_addr,
+            quals: quals_addr,
+            spans,
+            ht,
+            slots,
+            visited,
+            out,
+        }
+    }
+
+    /// Address of entry `slot`'s field at `field_off`.
+    #[inline]
+    pub fn entry_field(&self, slot: u32, field_off: u64) -> Addr {
+        self.ht + slot as u64 * ENTRY_STRIDE + field_off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier::HierarchyConfig;
+
+    fn reads() -> Vec<Read> {
+        vec![
+            Read::with_uniform_qual(b"ACGTACGTAC", b'I'),
+            Read::with_uniform_qual(b"GGGTTTCCCA", b'#'),
+        ]
+    }
+
+    #[test]
+    fn staging_preserves_data() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        assert_eq!(warp.mem.read_bytes(job.contig, 8), b"ACGTACGT");
+        assert_eq!(job.spans.len(), 2);
+        let s1 = job.spans[1];
+        assert_eq!(warp.mem.read_bytes(job.reads + s1.offset as u64, s1.len as u64), b"GGGTTTCCCA");
+        assert_eq!(warp.mem.read_bytes(job.quals + s1.offset as u64, 3), b"###");
+    }
+
+    #[test]
+    fn table_is_zeroed_and_sized() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        // 2 reads × 7 k-mers = 14 insertions → ≥ 14 / 0.66 slots.
+        assert!(job.slots >= 21);
+        for s in 0..job.slots {
+            assert_eq!(warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN)), EMPTY);
+        }
+    }
+
+    #[test]
+    fn staging_is_uncounted_host_traffic() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let _ = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        let c = warp.finish();
+        assert_eq!(c.mem.hbm_bytes(), 0, "host staging must not count as kernel traffic");
+        assert_eq!(c.warp_instructions, 0);
+    }
+
+    #[test]
+    fn entry_field_addresses_are_disjoint() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        let a = job.entry_field(0, OFF_COUNT);
+        let b = job.entry_field(1, OFF_KEY_LEN);
+        assert_eq!(b - (a + 4), 4, "count(+ext pad) then next entry");
+    }
+}

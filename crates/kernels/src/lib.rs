@@ -1,0 +1,39 @@
+//! # locassm-kernels — the GPU local assembly kernel, three dialects
+//!
+//! Warp-synchronous transcriptions of the paper's kernel (Fig. 4,
+//! Appendix A), executed on the `simt` simulator:
+//!
+//! * [`insert_cuda`] — `ht_get_atomic` via `atomicCAS` +
+//!   `__match_any_sync` + `__syncwarp(mask)` (the original optimized CUDA
+//!   path, warp width 32),
+//! * [`insert_hip`] — the HIP port: no `__match_any_sync` on CDNA, so a
+//!   per-lane `done` flag with `__all(done)` loop termination
+//!   (wavefront width 64),
+//! * [`insert_sycl`] — the SYCL port: sub-group `barrier()` per probe
+//!   round (sub-group width 16).
+//!
+//! [`construct`] drives warp-parallel hash-table construction
+//! (Algorithm 1), [`walk`] the single-lane mer-walk with shuffle broadcast
+//! (Algorithm 2), [`kernel`] composes them into the right/left extension
+//! kernels, and [`launch`] is the host pipeline of Fig. 3 (binning → size
+//! estimation → batching → kernel calls), producing a [`profile::KernelProfile`]
+//! with the counters the paper collects via `ncu`/`rocprof`/Advisor.
+
+pub mod construct;
+pub mod insert_cuda;
+pub mod insert_hip;
+pub mod insert_sycl;
+pub mod kernel;
+pub mod launch;
+pub mod multi_gpu;
+pub mod pipeline;
+pub mod layout;
+pub mod probe;
+pub mod profile;
+pub mod walk;
+
+pub use kernel::Dialect;
+pub use launch::{run_local_assembly, GpuConfig, GpuRunResult};
+pub use multi_gpu::{run_multi_gpu, MultiGpuResult, Partition};
+pub use pipeline::{run_pipeline_gpu, GpuPipelineResult, GpuRoundReport};
+pub use profile::{KernelProfile, PhaseCounters};

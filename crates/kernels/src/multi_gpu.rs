@@ -1,0 +1,222 @@
+//! Multi-device distribution of local assembly work.
+//!
+//! MetaHipMer scales across thousands of nodes by localizing each contig
+//! and its reads on one rank, whose GPU then runs the local assembly
+//! pipeline independently (§II-B: "localized portions of work on each node
+//! are offloaded to GPUs … without being interrupted by off node
+//! communications"). This module reproduces that structure: contigs are
+//! partitioned across N simulated devices, every device runs the full
+//! Fig. 3 pipeline on its shard, and the results merge back in input
+//! order. Since shards share nothing, distribution must not change any
+//! extension — asserted by tests — and the interesting output is the
+//! load-balance profile.
+
+use crate::launch::{run_local_assembly, GpuConfig, GpuRunResult};
+use crate::profile::KernelProfile;
+use locassm_core::io::Dataset;
+use locassm_core::ExtensionResult;
+use rayon::prelude::*;
+
+/// How contigs are assigned to ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Round-robin by contig index (MetaHipMer's hashed distribution is
+    /// uniform-random; round-robin is its deterministic stand-in).
+    RoundRobin,
+    /// Contiguous blocks of equal contig count.
+    Blocked,
+    /// Greedy balance on estimated work (hash insertions per contig) —
+    /// assign each contig, heaviest first, to the least-loaded rank.
+    WorkBalanced,
+}
+
+/// Result of a distributed run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuResult {
+    /// Extensions in dataset order (identical to a single-device run).
+    pub extensions: Vec<ExtensionResult>,
+    /// Per-rank kernel profiles.
+    pub ranks: Vec<KernelProfile>,
+    /// Per-rank contig counts.
+    pub shard_sizes: Vec<usize>,
+}
+
+impl MultiGpuResult {
+    /// Wall-clock of the distributed phase: the slowest rank.
+    pub fn makespan_seconds(&self) -> f64 {
+        self.ranks.iter().map(KernelProfile::seconds).fold(0.0, f64::max)
+    }
+
+    /// Load imbalance: slowest rank time over mean rank time (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 1.0;
+        }
+        let times: Vec<f64> = self.ranks.iter().map(KernelProfile::seconds).collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.makespan_seconds() / mean
+        }
+    }
+}
+
+/// Assign each contig index to a rank.
+pub fn partition(ds: &Dataset, ranks: usize, policy: Partition) -> Vec<usize> {
+    assert!(ranks > 0, "need at least one rank");
+    let n = ds.jobs.len();
+    match policy {
+        Partition::RoundRobin => (0..n).map(|i| i % ranks).collect(),
+        Partition::Blocked => {
+            let per = n.div_ceil(ranks.min(n.max(1))).max(1);
+            (0..n).map(|i| (i / per).min(ranks - 1)).collect()
+        }
+        Partition::WorkBalanced => {
+            let mut order: Vec<usize> = (0..n).collect();
+            let work: Vec<usize> =
+                ds.jobs.iter().map(|j| j.insertion_count(ds.k).max(1)).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(work[i]));
+            let mut load = vec![0usize; ranks];
+            let mut assign = vec![0usize; n];
+            for i in order {
+                let rank = (0..ranks).min_by_key(|&r| load[r]).unwrap();
+                assign[i] = rank;
+                load[rank] += work[i];
+            }
+            assign
+        }
+    }
+}
+
+/// Run local assembly across `ranks` simulated devices of the same
+/// configuration.
+pub fn run_multi_gpu(
+    ds: &Dataset,
+    cfg: &GpuConfig,
+    ranks: usize,
+    policy: Partition,
+) -> MultiGpuResult {
+    let assign = partition(ds, ranks, policy);
+
+    // Build per-rank shards (keeping original indices for the merge).
+    let mut shards: Vec<(Vec<usize>, Vec<locassm_core::ContigJob>)> =
+        (0..ranks).map(|_| (Vec::new(), Vec::new())).collect();
+    for (idx, job) in ds.jobs.iter().enumerate() {
+        let r = assign[idx];
+        shards[r].0.push(idx);
+        shards[r].1.push(job.clone());
+    }
+
+    // Each rank runs its own full pipeline. Ranks are independent; nested
+    // rayon parallelism is fine (work-stealing flattens it).
+    let rank_runs: Vec<(Vec<usize>, GpuRunResult)> = shards
+        .into_par_iter()
+        .map(|(indices, jobs)| {
+            let shard = Dataset::new(ds.k, jobs);
+            let run = run_local_assembly(&shard, cfg);
+            (indices, run)
+        })
+        .collect();
+
+    let mut extensions: Vec<Option<ExtensionResult>> = vec![None; ds.jobs.len()];
+    let mut rank_profiles = Vec::with_capacity(ranks);
+    let mut shard_sizes = Vec::with_capacity(ranks);
+    for (indices, run) in rank_runs {
+        shard_sizes.push(indices.len());
+        for (idx, ext) in indices.into_iter().zip(run.extensions) {
+            extensions[idx] = Some(ext);
+        }
+        rank_profiles.push(run.profile);
+    }
+
+    MultiGpuResult {
+        extensions: extensions.into_iter().map(|e| e.expect("every contig assigned")).collect(),
+        ranks: rank_profiles,
+        shard_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_specs::DeviceId;
+    use workloads::paper_dataset;
+
+    fn ds() -> Dataset {
+        paper_dataset(21, 0.003, 71)
+    }
+
+    #[test]
+    fn distribution_preserves_results() {
+        let ds = ds();
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let single = run_local_assembly(&ds, &cfg);
+        for policy in [Partition::RoundRobin, Partition::Blocked, Partition::WorkBalanced] {
+            let multi = run_multi_gpu(&ds, &cfg, 4, policy);
+            assert_eq!(multi.extensions, single.extensions, "{policy:?}");
+            assert_eq!(multi.ranks.len(), 4);
+            assert_eq!(multi.shard_sizes.iter().sum::<usize>(), ds.jobs.len());
+        }
+    }
+
+    #[test]
+    fn work_balanced_beats_blocked_on_skew() {
+        // Build a skewed dataset: sort contigs by read count so a blocked
+        // partition puts all heavy contigs on one rank. The balanced
+        // policy must spread the estimated work (hash insertions) across
+        // ranks strictly better.
+        let mut base = ds();
+        base.jobs.sort_by_key(|j| std::cmp::Reverse(j.read_count()));
+        for (i, j) in base.jobs.iter_mut().enumerate() {
+            j.id = i as u32;
+        }
+        let max_shard_work = |policy: Partition| -> usize {
+            let assign = partition(&base, 4, policy);
+            let mut load = vec![0usize; 4];
+            for (i, j) in base.jobs.iter().enumerate() {
+                load[assign[i]] += j.insertion_count(base.k);
+            }
+            load.into_iter().max().unwrap()
+        };
+        assert!(
+            max_shard_work(Partition::WorkBalanced) < max_shard_work(Partition::Blocked),
+            "balanced must lower the heaviest shard: {} vs {}",
+            max_shard_work(Partition::WorkBalanced),
+            max_shard_work(Partition::Blocked)
+        );
+        // And the results are identical either way.
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let blocked = run_multi_gpu(&base, &cfg, 4, Partition::Blocked);
+        let balanced = run_multi_gpu(&base, &cfg, 4, Partition::WorkBalanced);
+        assert_eq!(balanced.extensions, blocked.extensions);
+        assert!(balanced.imbalance() >= 1.0 && blocked.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn partitions_cover_all_indices() {
+        let ds = ds();
+        for policy in [Partition::RoundRobin, Partition::Blocked, Partition::WorkBalanced] {
+            let assign = partition(&ds, 5, policy);
+            assert_eq!(assign.len(), ds.jobs.len());
+            assert!(assign.iter().all(|&r| r < 5), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity_partition() {
+        let ds = ds();
+        let assign = partition(&ds, 1, Partition::WorkBalanced);
+        assert!(assign.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn more_ranks_than_contigs() {
+        let mut small = ds();
+        small.jobs.truncate(3);
+        let cfg = GpuConfig::for_device(DeviceId::Max1550);
+        let multi = run_multi_gpu(&small, &cfg, 8, Partition::RoundRobin);
+        assert_eq!(multi.extensions.len(), 3);
+        assert_eq!(multi.shard_sizes.iter().sum::<usize>(), 3);
+    }
+}

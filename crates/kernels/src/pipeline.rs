@@ -1,0 +1,136 @@
+//! The iterative MetaHipMer workflow (Fig. 2) on the simulated GPU.
+//!
+//! `locassm_core::pipeline` runs the k = 21, 33, 55, 77 loop on the CPU
+//! reference; this module runs the same loop through the simulated device
+//! — one full Fig. 3 pipeline (binning → estimation → batches → right/left
+//! kernels) per round — and returns a per-round [`KernelProfile`] so the
+//! cumulative device cost of the whole workflow can be analysed.
+
+use crate::launch::{run_local_assembly, GpuConfig};
+use crate::profile::KernelProfile;
+use locassm_core::io::Dataset;
+use locassm_core::ContigJob;
+
+/// Report for one GPU pipeline round.
+#[derive(Debug, Clone)]
+pub struct GpuRoundReport {
+    pub k: usize,
+    pub contigs_extended: usize,
+    pub bases_gained: usize,
+    pub total_contig_len: usize,
+    /// Full device profile of this round's kernel calls.
+    pub profile: KernelProfile,
+}
+
+/// Outcome of the iterative pipeline on the simulated device.
+#[derive(Debug, Clone)]
+pub struct GpuPipelineResult {
+    /// Final contigs, in input order.
+    pub contigs: Vec<Vec<u8>>,
+    pub rounds: Vec<GpuRoundReport>,
+}
+
+impl GpuPipelineResult {
+    /// Total simulated device seconds across all rounds.
+    pub fn total_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.profile.seconds()).sum()
+    }
+
+    /// Total warp-level INTOPs across all rounds.
+    pub fn total_intops(&self) -> u64 {
+        self.rounds.iter().map(|r| r.profile.intops()).sum()
+    }
+}
+
+/// Run the iterative local assembly workflow on the simulated GPU.
+///
+/// `cfg.walk`/`cfg.retry`/`cfg.binning` apply to every round; the round's
+/// k comes from `schedule`. As in the CPU pipeline, each contig's read set
+/// stays fixed between rounds (re-alignment is outside the studied kernel).
+pub fn run_pipeline_gpu(
+    jobs: &[ContigJob],
+    schedule: &[usize],
+    cfg: &GpuConfig,
+) -> GpuPipelineResult {
+    let mut current: Vec<ContigJob> = jobs.to_vec();
+    let mut rounds = Vec::with_capacity(schedule.len());
+
+    for &k in schedule {
+        let ds = Dataset::new(k, current);
+        let run = run_local_assembly(&ds, cfg);
+        current = ds.jobs;
+
+        let mut extended = 0usize;
+        let mut gained = 0usize;
+        for (job, r) in current.iter_mut().zip(&run.extensions) {
+            if r.total_len() > 0 {
+                extended += 1;
+                gained += r.total_len();
+                job.contig = r.apply(&job.contig);
+            }
+        }
+        rounds.push(GpuRoundReport {
+            k,
+            contigs_extended: extended,
+            bases_gained: gained,
+            total_contig_len: current.iter().map(|j| j.contig.len()).sum(),
+            profile: run.profile,
+        });
+    }
+
+    GpuPipelineResult { contigs: current.into_iter().map(|j| j.contig).collect(), rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_specs::DeviceId;
+    use locassm_core::pipeline::run_pipeline;
+    use locassm_core::walk::WalkConfig;
+
+    fn small_jobs() -> Vec<ContigJob> {
+        workloads::paper_dataset(21, 0.001, 55).jobs
+    }
+
+    #[test]
+    fn gpu_pipeline_matches_cpu_pipeline() {
+        let jobs = small_jobs();
+        let schedule = [21usize, 33];
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let gpu = run_pipeline_gpu(&jobs, &schedule, &cfg);
+        let cpu = run_pipeline(&jobs, &schedule, WalkConfig::default(), true);
+        assert_eq!(gpu.contigs, cpu.contigs, "round-by-round contigs must agree");
+        for (g, c) in gpu.rounds.iter().zip(&cpu.rounds) {
+            assert_eq!(g.k, c.k);
+            assert_eq!(g.contigs_extended, c.contigs_extended);
+            assert_eq!(g.bases_gained, c.bases_gained);
+            assert_eq!(g.total_contig_len, c.total_contig_len);
+        }
+    }
+
+    #[test]
+    fn profiles_accumulate_per_round() {
+        let jobs = small_jobs();
+        let cfg = GpuConfig::for_device(DeviceId::Mi250x);
+        let out = run_pipeline_gpu(&jobs, &[21, 33], &cfg);
+        assert_eq!(out.rounds.len(), 2);
+        assert!(out.rounds.iter().all(|r| r.profile.intops() > 0));
+        assert!(out.total_seconds() > 0.0);
+        assert_eq!(
+            out.total_intops(),
+            out.rounds.iter().map(|r| r.profile.intops()).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn empty_schedule_is_identity() {
+        let jobs = small_jobs();
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let out = run_pipeline_gpu(&jobs, &[], &cfg);
+        assert_eq!(out.contigs.len(), jobs.len());
+        assert!(out.rounds.is_empty());
+        for (a, b) in out.contigs.iter().zip(&jobs) {
+            assert_eq!(a, &b.contig);
+        }
+    }
+}

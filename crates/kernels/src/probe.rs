@@ -1,0 +1,135 @@
+//! Shared probe machinery for the three `ht_get_atomic` dialects.
+
+use crate::layout::{DeviceJob, EMPTY, OFF_KEY_LEN, OFF_KEY_OFF};
+use simt::{LaneVec, Mask, Warp};
+
+/// Arguments to one warp-cooperative batch of hash-table claims: each
+/// active lane wants the entry for the k-mer at `key_off` in the reads
+/// buffer, starting its linear probe at `hash` (already reduced mod slots).
+#[derive(Debug, Clone)]
+pub struct InsertArgs {
+    pub mask: Mask,
+    pub key_off: LaneVec<u32>,
+    pub hash: LaneVec<u32>,
+}
+
+/// Result: the slot index each active lane ended up owning/finding.
+pub type SlotVec = LaneVec<u32>;
+
+/// Issue the warp-wide `atomicCAS(&ht[slot].key_len, EMPTY, k)` for the
+/// lanes in `mask`; returns the per-lane `prev` values.
+pub fn cas_claim(warp: &mut Warp, job: &DeviceJob, mask: Mask, slot: &LaneVec<u32>) -> LaneVec<u32> {
+    let addrs = LaneVec::from_fn(warp.width(), |l| job.entry_field(slot[l], OFF_KEY_LEN));
+    let cmp = LaneVec::splat(EMPTY);
+    let new = LaneVec::splat(job.k as u32);
+    warp.atomic_cas_u32(mask, &addrs, &cmp, &new)
+}
+
+/// For the winning lanes, publish the key: store `key_off` into the entry.
+/// (The value struct was zero-initialized host-side; the CUDA listing's
+/// `.val = {0}` init is modeled as one more store per winner.)
+pub fn publish_key(warp: &mut Warp, job: &DeviceJob, winners: Mask, slot: &LaneVec<u32>, args: &InsertArgs) {
+    if winners.is_empty() {
+        return;
+    }
+    let addrs = LaneVec::from_fn(warp.width(), |l| job.entry_field(slot[l], OFF_KEY_OFF));
+    warp.store_u32(winners, &addrs, &args.key_off);
+}
+
+/// Compare each active lane's k-mer against the stored key of its current
+/// slot. Returns per-lane equality. Charges the modeled cost: one
+/// `key_off` load plus `⌈k/4⌉` stored-key chunk loads and compares.
+pub fn compare_stored_keys(
+    warp: &mut Warp,
+    job: &DeviceJob,
+    mask: Mask,
+    slot: &LaneVec<u32>,
+    args: &InsertArgs,
+) -> LaneVec<bool> {
+    let mut eq = LaneVec::splat(false);
+    if mask.is_empty() {
+        return eq;
+    }
+    let off_addrs = LaneVec::from_fn(warp.width(), |l| job.entry_field(slot[l], OFF_KEY_OFF));
+    let stored_off = warp.load_u32(mask, &off_addrs);
+
+    let k = job.k;
+    let chunks = k.div_ceil(4) as u64;
+    for j in 0..chunks {
+        let addrs =
+            LaneVec::from_fn(warp.width(), |l| job.reads + stored_off[l] as u64 + 4 * j);
+        let _ = warp.load_u32(mask, &addrs);
+        warp.iop(mask, 1); // chunk compare
+    }
+    warp.iop(mask, 2); // tail handling / result reduction
+
+    // Semantic truth from memory contents.
+    for l in mask.lanes() {
+        let a = warp.mem.read_bytes(job.reads + stored_off[l] as u64, k as u64).to_vec();
+        let b = warp.mem.read_bytes(job.reads + args.key_off[l] as u64, k as u64);
+        eq[l] = a == b;
+    }
+    eq
+}
+
+/// Advance the probe cursor for the lanes still searching.
+pub fn advance(warp: &mut Warp, job: &DeviceJob, mask: Mask, slot: &mut LaneVec<u32>) {
+    warp.iop(mask, 2); // increment + modulo
+    slot.update_masked(mask, |_, s| (s + 1) % job.slots);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::DeviceJob;
+    use locassm_core::walk::WalkConfig;
+    use locassm_core::Read;
+    use memhier::HierarchyConfig;
+
+    fn setup() -> (Warp, DeviceJob) {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGTACGT", b'I')];
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 4, WalkConfig::default());
+        (warp, job)
+    }
+
+    #[test]
+    fn cas_claims_exactly_once() {
+        let (mut warp, job) = setup();
+        let mask = Mask(0b11); // two lanes contend for slot 5
+        let slot = LaneVec::splat(5u32);
+        let prev = cas_claim(&mut warp, &job, mask, &slot);
+        assert_eq!(prev[0], EMPTY, "lane 0 wins");
+        assert_eq!(prev[1], 4, "lane 1 sees the claimed key_len");
+        assert_eq!(warp.mem.read_u32(job.entry_field(5, OFF_KEY_LEN)), 4);
+    }
+
+    #[test]
+    fn publish_and_compare() {
+        let (mut warp, job) = setup();
+        let mask = Mask::lane(0);
+        let slot = LaneVec::splat(3u32);
+        // Lane 0 inserts the k-mer at offset 0 ("ACGT").
+        let mut args = InsertArgs { mask, key_off: LaneVec::splat(0u32), hash: LaneVec::splat(3) };
+        cas_claim(&mut warp, &job, mask, &slot);
+        publish_key(&mut warp, &job, mask, &slot, &args);
+
+        // Same k-mer appears at offset 4 ("ACGT"): equal.
+        args.key_off[0] = 4;
+        let eq = compare_stored_keys(&mut warp, &job, mask, &slot, &args);
+        assert!(eq[0]);
+
+        // Different k-mer at offset 1 ("CGTA"): not equal.
+        args.key_off[0] = 1;
+        let eq = compare_stored_keys(&mut warp, &job, mask, &slot, &args);
+        assert!(!eq[0]);
+    }
+
+    #[test]
+    fn advance_wraps() {
+        let (mut warp, job) = setup();
+        let mut slot = LaneVec::splat(job.slots - 1);
+        advance(&mut warp, &job, Mask::lane(0), &mut slot);
+        assert_eq!(slot[0], 0);
+    }
+}

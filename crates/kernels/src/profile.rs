@@ -1,0 +1,134 @@
+//! Kernel profiles — the quantities the paper extracts with `ncu`,
+//! `rocprof` and Intel Advisor (Appendix B).
+
+use gpu_specs::{Bound, DeviceId, ModelParams, TimeEstimate};
+use crate::kernel::Dialect;
+use simt::AggCounters;
+
+/// Counters split at the construct/walk phase boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseCounters {
+    /// Algorithm 1: hash-table construction.
+    pub construct: AggCounters,
+    /// Algorithm 2: mer-walks (including the state broadcast).
+    pub walk: AggCounters,
+}
+
+/// Profile of one batch (one kernel call in the Fig. 3 pipeline).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProfile {
+    /// Binning band (lower read-count bound) this batch came from.
+    pub band: usize,
+    pub warps: u64,
+    pub time: TimeEstimate,
+}
+
+/// Full profile of a local-assembly run on one device.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    pub device: DeviceId,
+    pub dialect: Dialect,
+    pub k: usize,
+    /// Aggregate over all kernel calls (right + left, all batches).
+    pub total: AggCounters,
+    pub phases: PhaseCounters,
+    pub batches: Vec<BatchProfile>,
+}
+
+impl KernelProfile {
+    /// Total kernel time: the sum over kernel calls (they are issued
+    /// back-to-back on one device, as in the paper's measurements).
+    pub fn seconds(&self) -> f64 {
+        self.batches.iter().map(|b| b.time.seconds).sum()
+    }
+
+    /// Total warp-level integer operations.
+    pub fn intops(&self) -> u64 {
+        self.total.intops()
+    }
+
+    /// Total HBM bytes moved.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.total.mem.hbm_bytes()
+    }
+
+    /// Achieved GINTOPs per second.
+    pub fn gintops_per_sec(&self) -> f64 {
+        self.intops() as f64 / self.seconds() / 1e9
+    }
+
+    /// INTOP intensity (integer ops per HBM byte) — the roofline x-axis.
+    pub fn intop_intensity(&self) -> f64 {
+        self.total.intop_intensity()
+    }
+
+    /// The dominant bound across batches, weighted by time.
+    pub fn bound(&self) -> Bound {
+        let mut compute = 0.0;
+        let mut bw = 0.0;
+        let mut lat = 0.0;
+        for b in &self.batches {
+            compute += b.time.compute_seconds;
+            bw += b.time.bandwidth_seconds;
+            lat += b.time.latency_seconds;
+        }
+        if compute >= bw && compute >= lat {
+            Bound::Compute
+        } else if bw >= lat {
+            Bound::Bandwidth
+        } else {
+            Bound::Latency
+        }
+    }
+
+    /// The `ModelParams` equivalent of the whole run (for re-estimation,
+    /// e.g. in what-if analyses).
+    pub fn model_params(&self) -> ModelParams {
+        ModelParams::from_counters(&self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(instr: u64, width: u32) -> AggCounters {
+        AggCounters {
+            width,
+            warps: 1,
+            warp_instructions: instr,
+            int_instructions: instr,
+            ..Default::default()
+        }
+    }
+
+    fn batch(seconds: f64) -> BatchProfile {
+        BatchProfile {
+            band: 1,
+            warps: 1,
+            time: TimeEstimate {
+                seconds,
+                compute_seconds: seconds,
+                bandwidth_seconds: 0.0,
+                latency_seconds: 0.0,
+                bound: Bound::Compute,
+            },
+        }
+    }
+
+    #[test]
+    fn totals_and_rates() {
+        let p = KernelProfile {
+            device: DeviceId::A100,
+            dialect: Dialect::Cuda,
+            k: 21,
+            total: agg(1_000_000, 32),
+            phases: PhaseCounters::default(),
+            batches: vec![batch(0.001), batch(0.003)],
+        };
+        assert!((p.seconds() - 0.004).abs() < 1e-12);
+        assert_eq!(p.intops(), 32_000_000);
+        assert!((p.gintops_per_sec() - 8.0).abs() < 1e-9);
+        assert_eq!(p.bound(), Bound::Compute);
+    }
+}

@@ -1,0 +1,209 @@
+//! The device-side mer-walk (Algorithm 2, Fig. 4).
+//!
+//! One thread of the warp performs the walk — "relatively short graph
+//! walks are faster if done serially" (§I) — while the rest are masked
+//! out; the terminating state is then broadcast to the full warp with
+//! shuffles. All the instruction cost is charged to the single-lane mask,
+//! which is exactly the thread-predication effect the paper analyses:
+//! every walk instruction still occupies the whole warp.
+
+use crate::layout::{DeviceJob, EMPTY, OFF_HI_Q, OFF_KEY_LEN, OFF_KEY_OFF, OFF_LOW_Q};
+use locassm_core::murmur::murmur_intops;
+use locassm_core::walk::{decide_extension, window_fingerprint, Walk, WalkState};
+use locassm_core::HtValue;
+use simt::{LaneVec, Mask, Warp};
+
+/// Walk lane (lane 0 performs the walk).
+const WALK_LANE: u32 = 0;
+
+/// Perform the mer-walk from the staged contig's terminal k-mer.
+///
+/// Semantics are identical to `locassm_core::mer_walk` on the CPU table —
+/// the integration tests assert bit-equality of extensions — while every
+/// memory access and integer operation is charged to the simulator.
+pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Walk {
+    let lane = WALK_LANE;
+    let lm = Mask::lane(lane);
+    let k = job.k;
+    let chunks = k.div_ceil(4) as u64;
+    let cfg = job.walk;
+
+    // Slice the terminal k-mer out of the contig (Algorithm 2 line 4).
+    let tail = job.contig + job.contig_len as u64 - k as u64;
+    for j in 0..chunks {
+        // Chunked loads; the final chunk is clamped to stay in bounds.
+        let addr = (tail + 4 * j).min(job.contig + job.contig_len as u64 - 4);
+        let _ = warp.load_u32_scalar(lane, addr);
+    }
+    let mut window = warp.mem.read_bytes(tail, k as u64).to_vec();
+
+    let mut visited = 0u64;
+    let mut extension: Vec<u8> = Vec::new();
+    let mut steps = 0u32;
+
+    let walk = 'walk: loop {
+        if extension.len() >= cfg.max_walk_len {
+            break WalkState::MaxLen;
+        }
+
+        // Hash the window once: it is both the table index and the
+        // visited-set fingerprint (the paper's INTOP2: one hash per lookup).
+        warp.iop(lm, murmur_intops(k));
+        let fp = window_fingerprint(&window);
+
+        // loop_exists(k-mer): scan the visited list in device memory.
+        for i in 0..visited {
+            let v = warp.load_u32_scalar(lane, job.visited + 4 * i);
+            warp.iop(lm, 1);
+            if v == fp {
+                break 'walk WalkState::Loop;
+            }
+        }
+        warp.store_u32_scalar(lane, job.visited + 4 * visited, fp);
+        visited += 1;
+
+        steps += 1;
+
+        // ext = k-mer_ht.lookup(k-mer): linear probe from murmur % slots.
+        let mut slot = fp % job.slots;
+        warp.iop(lm, 2);
+        let mut found = None;
+        for _probe in 0..job.slots {
+            let len_v = warp.load_u32_scalar(lane, job.entry_field(slot, OFF_KEY_LEN));
+            warp.iop(lm, 1);
+            if len_v == EMPTY {
+                break;
+            }
+            let off = warp.load_u32_scalar(lane, job.entry_field(slot, OFF_KEY_OFF));
+            for j in 0..chunks {
+                let _ = warp.load_u32_scalar(lane, job.reads + off as u64 + 4 * j);
+                warp.iop(lm, 1);
+            }
+            let stored = warp.mem.read_bytes(job.reads + off as u64, k as u64);
+            if stored == window.as_slice() {
+                found = Some(slot);
+                break;
+            }
+            slot = (slot + 1) % job.slots;
+            warp.iop(lm, 2);
+        }
+        let Some(s) = found else {
+            break WalkState::End;
+        };
+
+        // Load the vote counters and decide the extension.
+        let mut val = HtValue::default();
+        for b in 0..4u64 {
+            val.hi_q[b as usize] =
+                warp.load_u32_scalar(lane, job.entry_field(s, OFF_HI_Q + 4 * b));
+            val.low_q[b as usize] =
+                warp.load_u32_scalar(lane, job.entry_field(s, OFF_LOW_Q + 4 * b));
+        }
+        warp.iop(lm, 12); // vote scoring + winner/runner-up reduction
+
+        match decide_extension(&val, cfg.min_votes) {
+            Ok(base) => {
+                let ch = locassm_core::index_base(base);
+                warp.store_u8_scalar(lane, job.out + extension.len() as u64, ch);
+                extension.push(ch);
+                window.rotate_left(1);
+                window[k - 1] = ch;
+                warp.iop(lm, 4); // window shift + append bookkeeping
+            }
+            Err(state) => break state,
+        }
+    };
+
+    // Broadcast the walk state and length to the warp (Fig. 4).
+    let state_vec = LaneVec::splat(walk as u32);
+    let _ = warp.shfl_u32(warp.full_mask(), &state_vec, lane);
+    let len_vec = LaneVec::splat(extension.len() as u32);
+    let _ = warp.shfl_u32(warp.full_mask(), &len_vec, lane);
+    warp.syncwarp(warp.full_mask());
+
+    Walk { extension, state: walk, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::construct_hash_table;
+    use crate::kernel::Dialect;
+    use locassm_core::walk::{mer_walk, WalkConfig};
+    use locassm_core::{assemble, Read};
+    use memhier::HierarchyConfig;
+
+    fn run_gpu(contig: &[u8], reads: &[Read], k: usize, cfg: WalkConfig) -> Walk {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage(&mut warp, contig, reads, k, cfg);
+        construct_hash_table(&mut warp, &job, Dialect::Cuda);
+        mer_walk_kernel(&mut warp, &job)
+    }
+
+    fn run_cpu(contig: &[u8], reads: &[Read], k: usize, cfg: WalkConfig) -> Walk {
+        let ht = assemble::build_table(reads, k);
+        mer_walk(&ht, contig, k, &cfg)
+    }
+
+    fn cfg() -> WalkConfig {
+        WalkConfig { min_votes: 1, ..WalkConfig::default() }
+    }
+
+    #[test]
+    fn gpu_walk_matches_cpu_unique_path() {
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
+        let contig = b"GGGGACGTACG";
+        let gpu = run_gpu(contig, &reads, 4, cfg());
+        let cpu = run_cpu(contig, &reads, 4, cfg());
+        assert_eq!(gpu, cpu);
+        assert!(!gpu.extension.is_empty());
+    }
+
+    #[test]
+    fn gpu_walk_matches_cpu_on_fork() {
+        let reads = vec![
+            Read::with_uniform_qual(b"TACGTA", b'I'),
+            Read::with_uniform_qual(b"TACGTC", b'I'),
+        ];
+        let gpu = run_gpu(b"TTACGT", &reads, 5, cfg());
+        let cpu = run_cpu(b"TTACGT", &reads, 5, cfg());
+        assert_eq!(gpu, cpu);
+        assert_eq!(gpu.state, WalkState::Fork);
+    }
+
+    #[test]
+    fn gpu_walk_matches_cpu_on_loop() {
+        let reads = vec![Read::with_uniform_qual(b"AACCAACCAACC", b'I')];
+        let gpu = run_gpu(b"GGAACC", &reads, 4, cfg());
+        let cpu = run_cpu(b"GGAACC", &reads, 4, cfg());
+        assert_eq!(gpu, cpu);
+        assert_eq!(gpu.state, WalkState::Loop);
+    }
+
+    #[test]
+    fn gpu_walk_max_len() {
+        let reads = vec![Read::with_uniform_qual(b"AACCAACCAACC", b'I')];
+        let short = WalkConfig { max_walk_len: 2, min_votes: 1, ..WalkConfig::default() };
+        let gpu = run_gpu(b"GGAACC", &reads, 4, short);
+        assert_eq!(gpu.state, WalkState::MaxLen);
+        assert_eq!(gpu.extension.len(), 2);
+    }
+
+    #[test]
+    fn walk_cost_is_single_lane() {
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg());
+        construct_hash_table(&mut warp, &job, Dialect::Cuda);
+        let before = warp.snapshot();
+        let _ = mer_walk_kernel(&mut warp, &job);
+        let delta = warp.snapshot().since(&before);
+        // All walk integer instructions ran with one active lane out of 32.
+        assert!(delta.int_instructions > 0);
+        assert!(
+            delta.lane_utilization() < 0.05,
+            "walk utilization should be ~1/32, got {}",
+            delta.lane_utilization()
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! A sectored, set-associative cache level with LRU replacement.
+//!
+//! GPU caches are *sectored*: a line is allocated as a whole (tag + set slot)
+//! but only the 32-byte sectors that were actually requested are filled from
+//! the level below. This matters for the paper's workload — random
+//! hash-table probes touch one or two sectors of a line, and a non-sectored
+//! model would overestimate DRAM traffic by up to 4×.
+
+use crate::config::{CacheConfig, SECTOR_BYTES};
+
+/// Outcome of accessing one sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectorOutcome {
+    /// Tag and sector present.
+    Hit,
+    /// Tag present but the sector had not been filled yet.
+    SectorMiss,
+    /// Tag absent: a (possibly evicting) line allocation plus sector fill.
+    LineMiss,
+}
+
+impl SectorOutcome {
+    /// Whether the level below must be consulted.
+    pub fn is_miss(self) -> bool {
+        !matches!(self, SectorOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    /// Line-granular tag (address / line_bytes), or `None` when invalid.
+    tag: Option<u64>,
+    /// Bit i set ⇒ sector i of the line is present.
+    sector_valid: u32,
+    /// Bit i set ⇒ sector i has been written (dirty); used for write-back
+    /// accounting.
+    sector_dirty: u32,
+    /// LRU timestamp.
+    last_use: u64,
+}
+
+impl Line {
+    fn empty() -> Self {
+        Line { tag: None, sector_valid: 0, sector_dirty: 0, last_use: 0 }
+    }
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Line>,
+    tick: u64,
+    /// Dirty sectors evicted (write-back traffic to the level below).
+    pub writebacks: u64,
+    /// Extra sectors fetched beyond the requested one (non-sectored whole-
+    /// line fills); charged as additional traffic from the level below.
+    pub extra_fills: u64,
+}
+
+impl Cache {
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = (cfg.sets() * cfg.ways as u64) as usize;
+        Cache { cfg, sets: vec![Line::empty(); n], tick: 0, writebacks: 0, extra_fills: 0 }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Clear all contents and counters (reuse between warps).
+    pub fn reset(&mut self) {
+        for l in &mut self.sets {
+            *l = Line::empty();
+        }
+        self.tick = 0;
+        self.writebacks = 0;
+        self.extra_fills = 0;
+    }
+
+    fn set_range(&self, line_tag: u64) -> (usize, usize) {
+        let set = (line_tag % self.cfg.sets()) as usize;
+        let ways = self.cfg.ways as usize;
+        (set * ways, set * ways + ways)
+    }
+
+    /// Access one sector (identified by its sector-granular address
+    /// `sector_addr = addr / SECTOR_BYTES`). Returns what happened; on a
+    /// miss the caller is responsible for forwarding to the level below.
+    pub fn access_sector(&mut self, sector_addr: u64, write: bool) -> SectorOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let sectors_per_line = self.cfg.sectors_per_line() as u64;
+        let line_tag = sector_addr / sectors_per_line;
+        let sector_in_line = (sector_addr % sectors_per_line) as u32;
+        let sector_bit = 1u32 << sector_in_line;
+        let (lo, hi) = self.set_range(line_tag);
+
+        // Look for the tag.
+        for way in lo..hi {
+            let line = &mut self.sets[way];
+            if line.tag == Some(line_tag) {
+                line.last_use = tick;
+                if write {
+                    line.sector_dirty |= sector_bit;
+                }
+                return if line.sector_valid & sector_bit != 0 {
+                    line.sector_valid |= sector_bit;
+                    SectorOutcome::Hit
+                } else {
+                    line.sector_valid |= sector_bit;
+                    SectorOutcome::SectorMiss
+                };
+            }
+        }
+
+        // Miss: find victim (invalid way first, else LRU).
+        let victim = (lo..hi)
+            .min_by_key(|&w| match self.sets[w].tag {
+                None => (0, 0),
+                Some(_) => (1, self.sets[w].last_use),
+            })
+            .expect("set has at least one way");
+        let sectored = self.cfg.sectored;
+        let line = &mut self.sets[victim];
+        if line.tag.is_some() && line.sector_dirty != 0 {
+            self.writebacks += line.sector_dirty.count_ones() as u64;
+        }
+        let valid = if sectored {
+            sector_bit
+        } else {
+            // Whole-line fill: every sector arrives from the level below.
+            self.extra_fills += sectors_per_line - 1;
+            if sectors_per_line >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << sectors_per_line) - 1
+            }
+        };
+        *line = Line {
+            tag: Some(line_tag),
+            sector_valid: valid,
+            sector_dirty: if write { sector_bit } else { 0 },
+            last_use: tick,
+        };
+        SectorOutcome::LineMiss
+    }
+
+    /// Total bytes of write-back traffic generated so far.
+    pub fn writeback_bytes(&self) -> u64 {
+        self.writebacks * SECTOR_BYTES
+    }
+
+    /// Flush all dirty sectors, returning the number of dirty sectors that
+    /// would be written back (and counting them into `writebacks`).
+    pub fn flush(&mut self) -> u64 {
+        let mut flushed = 0;
+        for line in &mut self.sets {
+            if line.tag.is_some() {
+                flushed += line.sector_dirty.count_ones() as u64;
+                line.sector_dirty = 0;
+            }
+        }
+        self.writebacks += flushed;
+        flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets × 2 ways × 128 B lines = 512 B.
+        Cache::new(CacheConfig::new(512, 128, 2))
+    }
+
+    #[test]
+    fn first_touch_is_line_miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access_sector(0, false), SectorOutcome::LineMiss);
+        assert_eq!(c.access_sector(0, false), SectorOutcome::Hit);
+    }
+
+    #[test]
+    fn sibling_sector_is_sector_miss() {
+        let mut c = small();
+        assert_eq!(c.access_sector(0, false), SectorOutcome::LineMiss);
+        // Sector 1 of the same 128-byte line (4 sectors per line).
+        assert_eq!(c.access_sector(1, false), SectorOutcome::SectorMiss);
+        assert_eq!(c.access_sector(1, false), SectorOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Lines map to sets by (line_tag % 2). Tags 0, 2, 4 share set 0.
+        let s = |line: u64| line * 4; // first sector of each line
+        assert_eq!(c.access_sector(s(0), false), SectorOutcome::LineMiss);
+        assert_eq!(c.access_sector(s(2), false), SectorOutcome::LineMiss);
+        // Touch line 0 so line 2 becomes LRU.
+        assert_eq!(c.access_sector(s(0), false), SectorOutcome::Hit);
+        // Line 4 evicts line 2.
+        assert_eq!(c.access_sector(s(4), false), SectorOutcome::LineMiss);
+        assert_eq!(c.access_sector(s(0), false), SectorOutcome::Hit);
+        assert_eq!(c.access_sector(s(2), false), SectorOutcome::LineMiss);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = small();
+        let s = |line: u64| line * 4;
+        c.access_sector(s(0), true);
+        c.access_sector(s(2), false);
+        c.access_sector(s(4), false); // evicts line 2 (clean) or 0? LRU: line 0 older…
+        c.access_sector(s(6), false);
+        // By now the dirty line 0 must have been evicted.
+        assert!(c.writebacks >= 1, "dirty sector eviction must be counted");
+    }
+
+    #[test]
+    fn flush_writes_back_all_dirty() {
+        let mut c = small();
+        c.access_sector(0, true);
+        c.access_sector(4, true);
+        let flushed = c.flush();
+        assert_eq!(flushed, 2);
+        assert_eq!(c.writebacks, 2);
+        // Second flush is a no-op.
+        assert_eq!(c.flush(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = small();
+        c.access_sector(0, true);
+        c.reset();
+        assert_eq!(c.writebacks, 0);
+        assert_eq!(c.access_sector(0, false), SectorOutcome::LineMiss);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = small(); // 4 lines total
+        let mut line_misses = 0;
+        for round in 0..3 {
+            for line in 0..8u64 {
+                if c.access_sector(line * 4, false) == SectorOutcome::LineMiss {
+                    line_misses += 1;
+                }
+            }
+            let _ = round;
+        }
+        // 8 lines cycling through 4-line cache with LRU ⇒ every access misses.
+        assert_eq!(line_misses, 24);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = small();
+        for _ in 0..3 {
+            for line in 0..4u64 {
+                c.access_sector(line * 4, false);
+            }
+        }
+        // After warm-up all four lines fit (2 per set).
+        let mut misses = 0;
+        for line in 0..4u64 {
+            if c.access_sector(line * 4, false).is_miss() {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The L1 → L2 → HBM stack.
+//!
+//! One `MemHierarchy` instance models the view a single warp has of the
+//! memory subsystem: a private L1 slice and an *effective* L2 slice (the
+//! shared L2 divided by the number of resident warps — see
+//! `gpu-specs::occupancy`). Warps in the local assembly kernel never share
+//! data, so this decomposition is exact for hit/miss behaviour up to the
+//! capacity-sharing approximation, which is documented in DESIGN.md.
+
+use crate::cache::Cache;
+use crate::coalesce::CoalesceResult;
+use crate::config::HierarchyConfig;
+use crate::stats::MemStats;
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+impl AccessKind {
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A per-warp memory hierarchy with traffic counters.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    l1: Cache,
+    l2: Cache,
+    stats: MemStats,
+    /// L2 whole-line overfetch already charged to HBM (non-sectored mode).
+    synced_extra_fills: u64,
+    /// L2 write-backs already charged to HBM (baseline survives
+    /// `take_stats`, which zeroes the stats but not the cache counters).
+    synced_writebacks: u64,
+}
+
+impl MemHierarchy {
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        MemHierarchy {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            stats: MemStats::default(),
+            synced_extra_fills: 0,
+            synced_writebacks: 0,
+        }
+    }
+
+    /// Reset contents and counters for reuse by the next warp.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+        self.stats = MemStats::default();
+        self.synced_extra_fills = 0;
+        self.synced_writebacks = 0;
+    }
+
+    /// Route one warp-wide coalesced access through the hierarchy.
+    ///
+    /// Counts one memory instruction and walks every unique sector. Reads go
+    /// L1 → L2 → HBM. Writes model the GPU's write-through, no-write-allocate
+    /// L1: they are sent directly to the (write-back) L2, whose dirty
+    /// evictions are charged as HBM write transactions.
+    pub fn access(&mut self, coalesced: &CoalesceResult, kind: AccessKind) {
+        self.stats.mem_instructions += 1;
+        for &sector in &coalesced.sectors {
+            match kind {
+                AccessKind::Read => self.read_sector(sector),
+                AccessKind::Write => self.write_sector(sector),
+            }
+        }
+    }
+
+    /// Route one warp-wide atomic access: atomics bypass L1 on real GPUs
+    /// and resolve in the L2/memory partition. One memory instruction,
+    /// however many unique sectors the warp's lanes touch.
+    pub fn access_atomic(&mut self, coalesced: &CoalesceResult) {
+        self.stats.mem_instructions += 1;
+        for &sector in &coalesced.sectors {
+            self.l2_request(sector, true);
+        }
+        self.sync_writebacks();
+    }
+
+    /// Route a single atomic sector (convenience over [`Self::access_atomic`]).
+    pub fn access_atomic_sector(&mut self, sector: u64) {
+        self.stats.mem_instructions += 1;
+        self.l2_request(sector, true);
+        self.sync_writebacks();
+    }
+
+    fn read_sector(&mut self, sector: u64) {
+        self.stats.l1.requests += 1;
+        let l1_out = self.l1.access_sector(sector, false);
+        if l1_out.is_miss() {
+            self.stats.l1.misses += 1;
+            self.l2_request(sector, false);
+        } else {
+            self.stats.l1.hits += 1;
+        }
+        self.sync_writebacks();
+    }
+
+    fn write_sector(&mut self, sector: u64) {
+        // Write-through / no-write-allocate L1: the write goes straight to
+        // L2 and marks the sector dirty there. A write miss at L2 allocates
+        // the line with a sector fill from HBM (our writes are narrower than
+        // a sector, so the fill is required for correctness on hardware).
+        self.l2_request(sector, true);
+        self.sync_writebacks();
+    }
+
+    fn l2_request(&mut self, sector: u64, write: bool) {
+        self.stats.l2.requests += 1;
+        let out = self.l2.access_sector(sector, write);
+        if out.is_miss() {
+            self.stats.l2.misses += 1;
+            self.stats.hbm_read_transactions += 1;
+        } else {
+            self.stats.l2.hits += 1;
+        }
+    }
+
+    /// Pull eviction write-back counts from the L2 into the stats (HBM
+    /// write transactions) and whole-line fill overfetch (extra HBM read
+    /// transactions for a non-sectored L2, e.g. the MI250X model). The L1
+    /// is write-through and never holds dirty data.
+    fn sync_writebacks(&mut self) {
+        let l2_wb = self.l2.writebacks;
+        if l2_wb > self.synced_writebacks {
+            let delta = l2_wb - self.synced_writebacks;
+            self.synced_writebacks = l2_wb;
+            self.stats.l2.writebacks += delta;
+            self.stats.hbm_write_transactions += delta;
+        }
+        let fills = self.l2.extra_fills;
+        if fills > self.synced_extra_fills {
+            self.stats.hbm_read_transactions += fills - self.synced_extra_fills;
+            self.synced_extra_fills = fills;
+        }
+    }
+
+    /// Flush both levels (end of kernel): dirty data must reach HBM.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.sync_writebacks();
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Take the counters, leaving zeros (used when aggregating a finished warp).
+    pub fn take_stats(&mut self) -> MemStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::coalesce_sectors;
+    use crate::config::{CacheConfig, HierarchyConfig, SECTOR_BYTES};
+
+    fn hier() -> MemHierarchy {
+        MemHierarchy::new(HierarchyConfig::tiny())
+    }
+
+    #[test]
+    fn cold_read_reaches_hbm() {
+        let mut h = hier();
+        let acc = coalesce_sectors([(0u64, 4u32)]);
+        h.access(&acc, AccessKind::Read);
+        let s = h.stats();
+        assert_eq!(s.l1.misses, 1);
+        assert_eq!(s.l2.misses, 1);
+        assert_eq!(s.hbm_read_transactions, 1);
+        assert_eq!(s.hbm_bytes(), SECTOR_BYTES);
+    }
+
+    #[test]
+    fn warm_read_stays_in_l1() {
+        let mut h = hier();
+        let acc = coalesce_sectors([(0u64, 4u32)]);
+        h.access(&acc, AccessKind::Read);
+        h.access(&acc, AccessKind::Read);
+        let s = h.stats();
+        assert_eq!(s.l1.hits, 1);
+        assert_eq!(s.hbm_read_transactions, 1, "second access must not re-fetch");
+        assert_eq!(s.mem_instructions, 2);
+    }
+
+    #[test]
+    fn l1_capacity_miss_hits_l2() {
+        // L1 tiny(): 1 KiB, 128-B lines, 4-way ⇒ 8 lines, 2 sets.
+        let mut h = hier();
+        // Touch 16 distinct lines (2 KiB) twice: second pass must miss L1
+        // for early lines but hit L2 (16 KiB).
+        for round in 0..2 {
+            for line in 0..16u64 {
+                let acc = coalesce_sectors([(line * 128, 4u32)]);
+                h.access(&acc, AccessKind::Read);
+            }
+            let _ = round;
+        }
+        let s = h.stats();
+        assert_eq!(s.hbm_read_transactions, 16, "L2 holds the working set");
+        assert!(s.l2.hits >= 16, "second pass served by L2, got {:?}", s.l2);
+    }
+
+    #[test]
+    fn dirty_data_flushes_to_hbm() {
+        let mut h = hier();
+        let acc = coalesce_sectors([(0u64, 4u32)]);
+        h.access(&acc, AccessKind::Write);
+        assert_eq!(h.stats().hbm_write_transactions, 0);
+        h.flush();
+        assert_eq!(h.stats().hbm_write_transactions, 1);
+        assert_eq!(h.stats().hbm_bytes(), 2 * SECTOR_BYTES); // 1 read fill + 1 write-back
+    }
+
+    #[test]
+    fn atomic_goes_to_l2() {
+        let mut h = hier();
+        h.access_atomic_sector(0);
+        let s = h.stats();
+        assert_eq!(s.l1.requests, 0, "atomics bypass L1");
+        assert_eq!(s.l2.requests, 1);
+        assert_eq!(s.hbm_read_transactions, 1);
+        h.access_atomic_sector(0);
+        assert_eq!(h.stats().l2.hits, 1);
+    }
+
+    #[test]
+    fn take_stats_resets_counters_only() {
+        let mut h = hier();
+        let acc = coalesce_sectors([(0u64, 4u32)]);
+        h.access(&acc, AccessKind::Read);
+        let taken = h.take_stats();
+        assert_eq!(taken.l1.requests, 1);
+        assert_eq!(h.stats().l1.requests, 0);
+        // Cache contents survive take_stats: next access hits.
+        h.access(&acc, AccessKind::Read);
+        assert_eq!(h.stats().l1.hits, 1);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut h = hier();
+        let acc = coalesce_sectors([(0u64, 4u32)]);
+        h.access(&acc, AccessKind::Read);
+        h.reset();
+        h.access(&acc, AccessKind::Read);
+        assert_eq!(h.stats().l1.misses, 1, "after reset the line is cold again");
+    }
+
+    #[test]
+    fn non_sectored_l2_amplifies_scattered_traffic() {
+        // AMD-style whole-line fills: a scattered 4-byte read stream pulls
+        // full 128-byte lines from HBM, ~4× the sectored traffic.
+        let bytes = |sectored: bool| {
+            let l2 = CacheConfig::new(1 << 12, 128, 8);
+            let cfg = HierarchyConfig {
+                l1: CacheConfig::new(512, 128, 2),
+                l2: if sectored { l2 } else { l2.non_sectored() },
+            };
+            let mut h = MemHierarchy::new(cfg);
+            // 512 distinct lines ≫ capacity: every access line-misses.
+            for line in 0..512u64 {
+                let acc = coalesce_sectors([(line * 128, 4u32)]);
+                h.access(&acc, AccessKind::Read);
+            }
+            h.stats().hbm_bytes()
+        };
+        let sectored = bytes(true);
+        let whole_line = bytes(false);
+        assert_eq!(whole_line, 4 * sectored, "{whole_line} vs {sectored}");
+    }
+
+    #[test]
+    fn non_sectored_fill_makes_sibling_sectors_hit() {
+        let l2 = CacheConfig::new(1 << 12, 128, 8).non_sectored();
+        let cfg = HierarchyConfig { l1: CacheConfig::new(512, 128, 2), l2 };
+        let mut h = MemHierarchy::new(cfg);
+        // Atomic to sector 0 fills the whole line at L2…
+        h.access_atomic_sector(0);
+        let before = h.stats().hbm_read_transactions;
+        // …so the sibling sector is already resident.
+        h.access_atomic_sector(1);
+        assert_eq!(h.stats().hbm_read_transactions, before);
+        assert_eq!(h.stats().l2.hits, 1);
+    }
+
+    #[test]
+    fn smaller_l2_moves_more_hbm_bytes() {
+        // The paper's central cache-size claim, in miniature: stream a
+        // working set that fits the big L2 but not the small one.
+        let big = HierarchyConfig {
+            l1: CacheConfig::new(512, 128, 2),
+            l2: CacheConfig::new(1 << 15, 128, 8), // 32 KiB
+        };
+        let small = HierarchyConfig {
+            l1: CacheConfig::new(512, 128, 2),
+            l2: CacheConfig::new(1 << 12, 128, 8), // 4 KiB
+        };
+        let bytes = |cfg: HierarchyConfig| {
+            let mut h = MemHierarchy::new(cfg);
+            for _ in 0..4 {
+                for line in 0..128u64 {
+                    // 16 KiB working set
+                    let acc = coalesce_sectors([(line * 128, 4u32)]);
+                    h.access(&acc, AccessKind::Read);
+                }
+            }
+            h.stats().hbm_bytes()
+        };
+        assert!(bytes(small) > 2 * bytes(big));
+    }
+}

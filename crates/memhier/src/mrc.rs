@@ -1,0 +1,145 @@
+//! Miss-rate curves: replay a recorded sector trace against a sweep of
+//! cache capacities.
+//!
+//! This is the quantitative backing for the paper's cache-size narrative
+//! ("the local assembly kernel is sensitive to cache size when operating
+//! for larger k-mer sizes"): record one warp's access stream, then ask at
+//! which capacity the working set transitions from thrashing to resident.
+
+use crate::cache::Cache;
+use crate::config::CacheConfig;
+
+/// A recorded sequence of sector-granular accesses (`addr / 32`, plus the
+/// write flag).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SectorTrace {
+    accesses: Vec<(u64, bool)>,
+}
+
+impl SectorTrace {
+    pub fn new() -> Self {
+        SectorTrace::default()
+    }
+
+    /// Record one access.
+    pub fn push(&mut self, sector: u64, write: bool) {
+        self.accesses.push((sector, write));
+    }
+
+    /// Record every sector of a coalesced warp access.
+    pub fn push_coalesced(&mut self, co: &crate::coalesce::CoalesceResult, write: bool) {
+        for &s in &co.sectors {
+            self.push(s, write);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Number of distinct sectors (compulsory misses / working-set size
+    /// in sectors).
+    pub fn unique_sectors(&self) -> usize {
+        let mut v: Vec<u64> = self.accesses.iter().map(|&(s, _)| s).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Replay the trace through a cache of the given geometry; returns the
+    /// miss rate (misses / accesses), or 0 for an empty trace.
+    pub fn miss_rate(&self, cfg: CacheConfig) -> f64 {
+        if self.accesses.is_empty() {
+            return 0.0;
+        }
+        let mut cache = Cache::new(cfg);
+        let misses = self
+            .accesses
+            .iter()
+            .filter(|&&(s, w)| cache.access_sector(s, w).is_miss())
+            .count();
+        misses as f64 / self.accesses.len() as f64
+    }
+
+    /// The miss-rate curve over a capacity sweep (same line size and
+    /// associativity per point; capacities are rounded to whole sets).
+    pub fn miss_rate_curve(&self, capacities: &[u64], line: u64, ways: u32) -> Vec<(u64, f64)> {
+        capacities
+            .iter()
+            .map(|&cap| {
+                let set_bytes = line * ways as u64;
+                let sets = (cap / set_bytes).max(1);
+                let cfg = CacheConfig::new(sets * set_bytes, line, ways);
+                (cfg.capacity_bytes, self.miss_rate(cfg))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three passes over a fixed working set of `n` lines.
+    fn looping_trace(n: u64) -> SectorTrace {
+        let mut t = SectorTrace::new();
+        for _ in 0..3 {
+            for line in 0..n {
+                t.push(line * 4, false);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn curve_has_the_knee_at_working_set_size() {
+        // 64 lines × 128 B = 8 KiB working set.
+        let t = looping_trace(64);
+        let curve = t.miss_rate_curve(&[1 << 10, 1 << 12, 1 << 13, 1 << 14], 128, 4);
+        // Way below: thrash (miss rate ~1); at/above: only compulsory.
+        assert!(curve[0].1 > 0.9, "1 KiB thrashes: {:?}", curve);
+        assert!(curve[3].1 < 0.4, "16 KiB holds the set: {:?}", curve);
+        // Monotone non-increasing along the sweep.
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn compulsory_floor() {
+        let t = looping_trace(16);
+        // A huge cache still pays one miss per distinct sector.
+        let mr = t.miss_rate(CacheConfig::new(1 << 20, 128, 4));
+        let floor = t.unique_sectors() as f64 / t.len() as f64;
+        assert!((mr - floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_sectors_counts_distinct() {
+        let mut t = SectorTrace::new();
+        t.push(1, false);
+        t.push(1, true);
+        t.push(2, false);
+        assert_eq!(t.unique_sectors(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = SectorTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.miss_rate(CacheConfig::new(1024, 128, 2)), 0.0);
+    }
+
+    #[test]
+    fn coalesced_recording() {
+        let co = crate::coalesce::coalesce_sectors([(0u64, 4u32), (64, 4)]);
+        let mut t = SectorTrace::new();
+        t.push_coalesced(&co, false);
+        assert_eq!(t.len(), 2);
+    }
+}

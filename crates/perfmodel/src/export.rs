@@ -1,0 +1,106 @@
+//! CSV export of analysis data.
+//!
+//! The repro harness prints ASCII tables/plots; for external plotting
+//! (matplotlib, gnuplot, …) it can also emit the underlying data as CSV
+//! via `repro --csv <dir>`. The writer is deliberately minimal: RFC-4180
+//! quoting, no dependencies.
+
+use std::fmt::Write as _;
+
+/// A CSV document under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Quote a field per RFC 4180 when needed.
+fn quote(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+impl Csv {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; width must match the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "CSV row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render the document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            let line: Vec<String> = row.iter().map(|c| quote(c)).collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        };
+        write_row(&mut out, &self.header);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// Format a float with full round-trip precision for CSV cells.
+pub fn num(v: f64) -> String {
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(["k", "device", "seconds"]);
+        c.row(["21", "NVIDIA", "0.19"]);
+        c.row(["33", "AMD", "0.25"]);
+        assert_eq!(c.render(), "k,device,seconds\n21,NVIDIA,0.19\n33,AMD,0.25\n");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quotes_special_fields() {
+        let mut c = Csv::new(["a", "b"]);
+        c.row(["plain", "has,comma"]);
+        c.row(["has\"quote", "has\nnewline"]);
+        let s = c.render();
+        assert!(s.contains("\"has,comma\""));
+        assert!(s.contains("\"has\"\"quote\""));
+        assert!(s.contains("\"has\nnewline\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ragged_rows_rejected() {
+        Csv::new(["a", "b"]).row(["only"]);
+    }
+
+    #[test]
+    fn parse_roundtrip_simple() {
+        // Fields without specials parse back by naive split.
+        let mut c = Csv::new(["x", "y"]);
+        c.row([num(1.5), num(2.25)]);
+        let line = c.render().lines().nth(1).unwrap().to_string();
+        let parts: Vec<f64> = line.split(',').map(|p| p.parse().unwrap()).collect();
+        assert_eq!(parts, vec![1.5, 2.25]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # perfmodel — the paper's analysis layer
+//!
+//! * [`roofline`] — the Instruction Roofline restricted to integer
+//!   operations: INTOP intensity (INTOPs / HBM byte), ceilings, bound
+//!   classification (Fig. 6),
+//! * [`theoretical`] — the analytic model of Tables V and VI: per-hash
+//!   integer operations, per-step bytes (B1 = 2k + 13, B2 = k + 13), and
+//!   the theoretical INTOP intensity,
+//! * [`efficiency`] — architectural efficiency (fraction of the roofline,
+//!   Table IV) and algorithm efficiency (fraction of theoretical II,
+//!   Table VII),
+//! * [`pennycook`] — the harmonic-mean performance portability metric P,
+//! * [`speedup`] — the potential speed-up plot (Fig. 9),
+//! * [`table`], [`plot`] — ASCII rendering used by the repro harness.
+
+pub mod efficiency;
+pub mod export;
+pub mod pennycook;
+pub mod plot;
+pub mod roofline;
+pub mod speedup;
+pub mod table;
+pub mod theoretical;
+
+pub use efficiency::{algorithm_efficiency, architectural_efficiency};
+pub use export::Csv;
+pub use pennycook::performance_portability;
+pub use roofline::{roofline_ceiling, RooflinePoint};
+pub use speedup::SpeedupPoint;
+pub use theoretical::{theoretical_ii, TheoreticalModel};

@@ -1,0 +1,112 @@
+//! The Pennycook performance portability metric (paper §V-D).
+//!
+//! For an application `a` solving problem `p` on a platform set `H`:
+//!
+//! ```text
+//!            |H| / Σ_{i∈H} 1 / e_i(a,p)     if a is supported on all i ∈ H
+//! P(a,p,H) =
+//!            0                              otherwise
+//! ```
+//!
+//! where `e_i` is a performance efficiency on platform `i` — the harmonic
+//! mean of efficiencies, dominated by the worst platform.
+
+/// The performance portability P of the given per-platform efficiencies.
+///
+/// Efficiencies must lie in (0, 1]; any unsupported platform (efficiency 0
+/// or NaN) makes P = 0, per the metric's definition.
+pub fn performance_portability(efficiencies: &[f64]) -> f64 {
+    if efficiencies.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for &e in efficiencies {
+        if e.is_nan() || e <= 0.0 {
+            return 0.0;
+        }
+        denom += 1.0 / e;
+    }
+    efficiencies.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_efficiencies_pass_through() {
+        assert!((performance_portability(&[0.15, 0.15, 0.15]) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_dominated_by_worst() {
+        let p = performance_portability(&[0.9, 0.9, 0.01]);
+        assert!(p < 0.03, "harmonic mean must collapse toward the worst: {p}");
+        // And is below the arithmetic mean.
+        assert!(p < (0.9 + 0.9 + 0.01) / 3.0);
+    }
+
+    #[test]
+    fn unsupported_platform_zeroes_the_metric() {
+        assert_eq!(performance_portability(&[0.5, 0.0, 0.8]), 0.0);
+        assert_eq!(performance_portability(&[0.5, f64::NAN]), 0.0);
+        assert_eq!(performance_portability(&[]), 0.0);
+    }
+
+    #[test]
+    fn single_platform_is_its_own_efficiency() {
+        assert!((performance_portability(&[0.42]) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table4_row_reproduces() {
+        // Paper Table IV, k=21 row: 12.8%, 15.1%, 15.6% → P ≈ 14.4%.
+        let p = performance_portability(&[0.128, 0.151, 0.156]);
+        assert!((p - 0.144).abs() < 0.002, "{p}");
+    }
+
+    #[test]
+    fn table7_row_reproduces() {
+        // Paper Table VII, k=21 row: 17.1%, 55.4%, 13.4%. The strict
+        // harmonic mean of these is 19.8%; the paper prints 18.0%
+        // (a small internal inconsistency, recorded in EXPERIMENTS.md —
+        // we keep the metric's exact definition).
+        let p = performance_portability(&[0.171, 0.554, 0.134]);
+        assert!((p - 0.1985).abs() < 0.001, "{p}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// P lies between the minimum and maximum efficiency.
+        #[test]
+        fn bounded_by_min_max(effs in proptest::collection::vec(0.001f64..1.0, 1..8)) {
+            let p = performance_portability(&effs);
+            let min = effs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = effs.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(p >= min - 1e-12);
+            prop_assert!(p <= max + 1e-12);
+        }
+
+        /// P never exceeds the arithmetic mean (harmonic ≤ arithmetic).
+        #[test]
+        fn below_arithmetic_mean(effs in proptest::collection::vec(0.001f64..1.0, 1..8)) {
+            let p = performance_portability(&effs);
+            let am = effs.iter().sum::<f64>() / effs.len() as f64;
+            prop_assert!(p <= am + 1e-12);
+        }
+
+        /// Permutation invariant.
+        #[test]
+        fn permutation_invariant(mut effs in proptest::collection::vec(0.001f64..1.0, 2..8)) {
+            let a = performance_portability(&effs);
+            effs.reverse();
+            let b = performance_portability(&effs);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! ASCII plots: log-log scatter (roofline, correlation) and bar charts
+//! (kernel-time comparison) for the repro harness.
+
+/// A labeled point series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub label: String,
+    /// Marker character used in the plot.
+    pub marker: char,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A log-log ASCII scatter plot.
+#[derive(Debug, Clone)]
+pub struct LogLogScatter {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    pub width: usize,
+    pub height: usize,
+    /// Draw the y = x diagonal (for the Fig. 7/8 correlation plots).
+    pub diagonal: bool,
+}
+
+impl LogLogScatter {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        LogLogScatter {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 64,
+            height: 20,
+            diagonal: false,
+        }
+    }
+
+    pub fn series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| *x > 0.0 && *y > 0.0 && x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("## {}\n(no finite points)\n", self.title);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &pts {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+        if self.diagonal {
+            // Make the plane square so the diagonal is meaningful.
+            x0 = x0.min(y0);
+            y0 = x0;
+            x1 = x1.max(y1);
+            y1 = x1;
+        }
+        // Pad a decade fraction on each side.
+        let (lx0, lx1) = (x0.log10() - 0.1, x1.log10() + 0.1);
+        let (ly0, ly1) = (y0.log10() - 0.1, y1.log10() + 0.1);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let to_cell = |x: f64, y: f64| -> (usize, usize) {
+            let cx = ((x.log10() - lx0) / (lx1 - lx0) * (self.width - 1) as f64).round();
+            let cy = ((y.log10() - ly0) / (ly1 - ly0) * (self.height - 1) as f64).round();
+            (
+                (cx as usize).min(self.width - 1),
+                self.height - 1 - (cy as usize).min(self.height - 1),
+            )
+        };
+        if self.diagonal {
+            for i in 0..self.width.min(self.height * 3) {
+                let t = i as f64 / (self.width - 1) as f64;
+                let lx = lx0 + t * (lx1 - lx0);
+                let (cx, cy) = to_cell(10f64.powf(lx), 10f64.powf(lx));
+                grid[cy][cx] = '.';
+            }
+        }
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if x > 0.0 && y > 0.0 && x.is_finite() && y.is_finite() {
+                    let (cx, cy) = to_cell(x, y);
+                    grid[cy][cx] = s.marker;
+                }
+            }
+        }
+
+        let mut out = format!("## {}\n", self.title);
+        out.push_str(&format!(
+            "y: {} [{:.2e} .. {:.2e}] (log)\n",
+            self.y_label,
+            10f64.powf(ly0),
+            10f64.powf(ly1)
+        ));
+        for row in &grid {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "x: {} [{:.2e} .. {:.2e}] (log)   ",
+            self.x_label,
+            10f64.powf(lx0),
+            10f64.powf(lx1)
+        ));
+        for s in &self.series {
+            out.push_str(&format!("{}={} ", s.marker, s.label));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// A horizontal bar chart with grouped bars (Fig. 5 style).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    pub title: String,
+    pub unit: String,
+    /// (label, value) pairs.
+    pub bars: Vec<(String, f64)>,
+    pub width: usize,
+}
+
+impl BarChart {
+    pub fn new(title: impl Into<String>, unit: impl Into<String>) -> Self {
+        BarChart { title: title.into(), unit: unit.into(), bars: Vec::new(), width: 50 }
+    }
+
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let max = self.bars.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        let lw = self.bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let mut out = format!("## {}\n", self.title);
+        for (label, v) in &self.bars {
+            let n = if max > 0.0 { (v / max * self.width as f64).round() as usize } else { 0 };
+            out.push_str(&format!(
+                "{label:<lw$} |{} {v:.6} {}\n",
+                "#".repeat(n),
+                self.unit
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_renders_points_and_legend() {
+        let mut p = LogLogScatter::new("T", "x", "y");
+        p.series(Series {
+            label: "a".into(),
+            marker: 'o',
+            points: vec![(1.0, 10.0), (100.0, 1000.0)],
+        });
+        let s = p.render();
+        assert!(s.contains("## T"));
+        assert!(s.contains('o'));
+        assert!(s.contains("o=a"));
+    }
+
+    #[test]
+    fn scatter_handles_empty_and_nonfinite() {
+        let mut p = LogLogScatter::new("E", "x", "y");
+        p.series(Series { label: "n".into(), marker: 'x', points: vec![(0.0, 1.0), (f64::NAN, 2.0)] });
+        assert!(p.render().contains("no finite points"));
+    }
+
+    #[test]
+    fn diagonal_plot_is_square() {
+        let mut p = LogLogScatter::new("D", "x", "y");
+        p.diagonal = true;
+        p.series(Series { label: "s".into(), marker: '*', points: vec![(1.0, 100.0)] });
+        let s = p.render();
+        assert!(s.contains('.'), "diagonal dots expected");
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let mut b = BarChart::new("B", "s");
+        b.bar("one", 1.0).bar("two", 2.0);
+        let s = b.render();
+        let ones = s.lines().find(|l| l.starts_with("one")).unwrap();
+        let twos = s.lines().find(|l| l.starts_with("two")).unwrap();
+        let count = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(count(twos), 2 * count(ones));
+    }
+
+    #[test]
+    fn zero_bars_render() {
+        let mut b = BarChart::new("Z", "s");
+        b.bar("z", 0.0);
+        assert!(b.render().contains("0.000000"));
+    }
+}

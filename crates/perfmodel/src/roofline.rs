@@ -1,0 +1,110 @@
+//! The Instruction Roofline for integer-only kernels (paper §V-B).
+//!
+//! Performance is characterized as GINTOPs/s against INTOP intensity
+//! (integer operations per HBM byte). The roofline ceiling at intensity
+//! `x` is `min(peak_intops, hbm_bandwidth · x)`; the ridge point is the
+//! machine balance (0.23 / 0.23 / 0.09 for the three devices).
+
+use gpu_specs::{Bound, DeviceSpec};
+use serde::{Deserialize, Serialize};
+
+/// One measured kernel on the roofline plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// INTOP intensity (INTOPs per HBM byte).
+    pub ii: f64,
+    /// Achieved performance, INTOPs per second.
+    pub intops_per_sec: f64,
+}
+
+impl RooflinePoint {
+    pub fn new(intops: u64, hbm_bytes: u64, seconds: f64) -> Self {
+        assert!(seconds > 0.0, "kernel time must be positive");
+        RooflinePoint {
+            ii: if hbm_bytes == 0 { f64::INFINITY } else { intops as f64 / hbm_bytes as f64 },
+            intops_per_sec: intops as f64 / seconds,
+        }
+    }
+
+    /// Which side of the ridge point the kernel sits on.
+    pub fn bound(&self, spec: &DeviceSpec) -> Bound {
+        if self.ii < spec.machine_balance() {
+            Bound::Bandwidth
+        } else {
+            Bound::Compute
+        }
+    }
+
+    /// Fraction of the roofline ceiling achieved at this intensity —
+    /// the paper's *architectural efficiency* (Table IV).
+    pub fn fraction_of_roofline(&self, spec: &DeviceSpec) -> f64 {
+        self.intops_per_sec / roofline_ceiling(spec, self.ii)
+    }
+}
+
+/// The attainable INTOPs/s at intensity `ii` on a device.
+pub fn roofline_ceiling(spec: &DeviceSpec, ii: f64) -> f64 {
+    spec.peak_intops_per_sec.min(spec.hbm_bytes_per_sec * ii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_specs::spec::{A100, MAX1550, MI250X};
+
+    #[test]
+    fn ceiling_has_ridge_at_machine_balance() {
+        for spec in [&A100, &MI250X, &MAX1550] {
+            let mb = spec.machine_balance();
+            // Just below the ridge: bandwidth-limited.
+            assert!(roofline_ceiling(spec, mb * 0.5) < spec.peak_intops_per_sec);
+            // At/above the ridge: the compute peak.
+            assert_eq!(roofline_ceiling(spec, mb * 2.0), spec.peak_intops_per_sec);
+            let below = roofline_ceiling(spec, mb * 0.999);
+            let at = roofline_ceiling(spec, mb);
+            assert!((at - spec.peak_intops_per_sec).abs() / at < 1e-3);
+            assert!(below < at);
+        }
+    }
+
+    #[test]
+    fn bound_classification() {
+        let memory_side = RooflinePoint { ii: 0.05, intops_per_sec: 1e9 };
+        let compute_side = RooflinePoint { ii: 5.0, intops_per_sec: 1e9 };
+        assert_eq!(memory_side.bound(&A100), Bound::Bandwidth);
+        assert_eq!(compute_side.bound(&A100), Bound::Compute);
+        // 0.05 < 0.09: still memory-bound on the Intel tile.
+        assert_eq!(memory_side.bound(&MAX1550), Bound::Bandwidth);
+    }
+
+    #[test]
+    fn fraction_of_roofline_in_unit_range_for_feasible_points() {
+        // A kernel at 10% of peak, compute side.
+        let p = RooflinePoint { ii: 1.0, intops_per_sec: A100.peak_intops_per_sec * 0.1 };
+        let f = p.fraction_of_roofline(&A100);
+        assert!((f - 0.1).abs() < 1e-12);
+        // Memory side: ceiling is bw·ii.
+        let p = RooflinePoint { ii: 0.1, intops_per_sec: A100.hbm_bytes_per_sec * 0.1 * 0.2 };
+        assert!((p.fraction_of_roofline(&A100) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_from_raw_counters() {
+        let p = RooflinePoint::new(2_000_000_000, 1_000_000_000, 0.5);
+        assert!((p.ii - 2.0).abs() < 1e-12);
+        assert!((p.intops_per_sec - 4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_bytes_is_infinite_intensity() {
+        let p = RooflinePoint::new(100, 0, 1.0);
+        assert!(p.ii.is_infinite());
+        assert_eq!(p.bound(&A100), Bound::Compute);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        RooflinePoint::new(1, 1, 0.0);
+    }
+}

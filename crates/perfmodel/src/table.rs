@@ -1,0 +1,142 @@
+//! Minimal ASCII table rendering for the repro harness.
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>) -> Self {
+        Table { title: title.into(), header: Vec::new(), rows: Vec::new() }
+    }
+
+    pub fn header<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.header = cols.into_iter().map(Into::into).collect();
+        self
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert!(
+            self.header.is_empty() || cells.len() == self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with column alignment (left for first column, right for
+    /// the rest — number-friendly).
+    pub fn render(&self) -> String {
+        let ncols = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n", self.title));
+        }
+        let fmt_row = |row: &[String]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header));
+            out.push('\n');
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimals.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Format a byte count in engineering units.
+pub fn bytes_eng(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1000.0 && u < UNITS.len() - 1 {
+        v /= 1000.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo").header(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[3].starts_with("alpha"));
+        // Right-aligned numbers share their last column.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("x").header(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.155), "15.5%");
+        assert_eq!(bytes_eng(999), "999 B");
+        assert_eq!(bytes_eng(1_500_000), "1.50 MB");
+        assert_eq!(bytes_eng(2_340_000_000), "2.34 GB");
+    }
+
+    #[test]
+    fn headerless_table() {
+        let mut t = Table::new("");
+        t.row(["a", "b"]);
+        assert_eq!(t.render(), "a  b\n");
+    }
+}

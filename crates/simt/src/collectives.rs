@@ -1,0 +1,182 @@
+//! Warp collectives: shuffle, ballot, match, vote, synchronization.
+//!
+//! These are the intrinsics whose (un)availability across vendors drives the
+//! porting story in §III of the paper:
+//!
+//! * CUDA has `__match_any_sync` + `__syncwarp(mask)` → [`Warp::match_any`],
+//!   [`Warp::syncwarp`];
+//! * HIP lacks both, so the port uses `__all(done)` in a retry loop →
+//!   [`Warp::all`];
+//! * SYCL uses a sub-group barrier → [`Warp::subgroup_barrier`];
+//! * all three broadcast mer-walk state with shuffles → [`Warp::shfl_u32`].
+
+use crate::lanevec::LaneVec;
+use crate::mask::Mask;
+use crate::warp::Warp;
+
+impl Warp {
+    /// `__shfl_sync`: every active lane receives lane `src`'s value.
+    pub fn shfl_u32(&mut self, mask: Mask, vals: &LaneVec<u32>, src: u32) -> LaneVec<u32> {
+        self.count_collective(1);
+        let v = vals[src];
+        let mut out = LaneVec::splat(0u32);
+        out.set_masked(mask, v);
+        out
+    }
+
+    /// 64-bit shuffle (two 32-bit shuffles on hardware → 2 instructions).
+    pub fn shfl_u64(&mut self, mask: Mask, vals: &LaneVec<u64>, src: u32) -> LaneVec<u64> {
+        self.count_collective(2);
+        let v = vals[src];
+        let mut out = LaneVec::splat(0u64);
+        out.set_masked(mask, v);
+        out
+    }
+
+    /// `__ballot_sync`: mask of active lanes whose predicate is true.
+    pub fn ballot(&mut self, mask: Mask, preds: &LaneVec<bool>) -> Mask {
+        self.count_collective(1);
+        let mut out = Mask::NONE;
+        for (l, p) in preds.iter_masked(mask) {
+            if p {
+                out.set(l);
+            }
+        }
+        out
+    }
+
+    /// `__match_any_sync`: for each active lane, the mask of active lanes
+    /// holding an equal key. Used by the CUDA dialect to detect thread
+    /// collisions on identical k-mers (§III-A, Appendix A).
+    pub fn match_any(&mut self, mask: Mask, keys: &LaneVec<u64>) -> LaneVec<Mask> {
+        self.count_collective(1);
+        let mut out = LaneVec::splat(Mask::NONE);
+        for (l, k) in keys.iter_masked(mask) {
+            let mut m = Mask::NONE;
+            for (l2, k2) in keys.iter_masked(mask) {
+                if k2 == k {
+                    m.set(l2);
+                }
+            }
+            out[l] = m;
+        }
+        out
+    }
+
+    /// `__all`: true iff every active lane's predicate is true. (HIP dialect
+    /// termination test for the done-flag insertion loop.)
+    pub fn all(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {
+        self.count_collective(1);
+        preds.iter_masked(mask).all(|(_, p)| p)
+    }
+
+    /// `__any`: true iff at least one active lane's predicate is true.
+    pub fn any(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {
+        self.count_collective(1);
+        preds.iter_masked(mask).any(|(_, p)| p)
+    }
+
+    /// `__syncwarp(mask)`: converge the given lanes. In a lockstep simulator
+    /// this is a pure accounting event.
+    pub fn syncwarp(&mut self, _mask: Mask) {
+        self.counters.sync_instructions += 1;
+        self.counters.warp_instructions += 1;
+    }
+
+    /// SYCL `sg.barrier()`: synchronize the whole sub-group.
+    pub fn subgroup_barrier(&mut self) {
+        self.counters.sync_instructions += 1;
+        self.counters.warp_instructions += 1;
+    }
+
+    fn count_collective(&mut self, n: u64) {
+        self.counters.collective_instructions += n;
+        self.counters.warp_instructions += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier::HierarchyConfig;
+
+    fn warp(width: u32) -> Warp {
+        Warp::new(width, HierarchyConfig::tiny())
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let mut w = warp(32);
+        let vals = LaneVec::from_fn(32, |l| l * 2);
+        let out = w.shfl_u32(w.full_mask(), &vals, 7);
+        assert_eq!(out[0], 14);
+        assert_eq!(out[31], 14);
+        assert_eq!(w.counters.collective_instructions, 1);
+    }
+
+    #[test]
+    fn shfl_u64_costs_two() {
+        let mut w = warp(16);
+        let vals = LaneVec::splat(0xdead_beef_0000_0001u64);
+        let out = w.shfl_u64(w.full_mask(), &vals, 0);
+        assert_eq!(out[15], 0xdead_beef_0000_0001);
+        assert_eq!(w.counters.collective_instructions, 2);
+    }
+
+    #[test]
+    fn ballot_collects_predicates() {
+        let mut w = warp(32);
+        let preds = LaneVec::from_fn(32, |l| l % 2 == 0);
+        let m = w.ballot(w.full_mask(), &preds);
+        assert_eq!(m.0, 0x5555_5555);
+        // Inactive lanes never vote.
+        let m2 = w.ballot(Mask(0b11), &preds);
+        assert_eq!(m2.0, 0b01);
+    }
+
+    #[test]
+    fn match_any_groups_equal_keys() {
+        let mut w = warp(8);
+        // Lanes 0,3 share key 42; lanes 1,2 share key 7; rest unique.
+        let keys = LaneVec::from_fn(8, |l| match l {
+            0 | 3 => 42,
+            1 | 2 => 7,
+            l => 1000 + l as u64,
+        });
+        let m = w.match_any(w.full_mask(), &keys);
+        assert_eq!(m[0].0, 0b1001);
+        assert_eq!(m[3].0, 0b1001);
+        assert_eq!(m[1].0, 0b0110);
+        assert_eq!(m[5].0, 0b100000);
+    }
+
+    #[test]
+    fn match_any_respects_mask() {
+        let mut w = warp(8);
+        let keys = LaneVec::splat(1u64);
+        let m = w.match_any(Mask(0b1010), &keys);
+        assert_eq!(m[1].0, 0b1010);
+        assert_eq!(m[0].0, 0, "inactive lane gets empty mask");
+    }
+
+    #[test]
+    fn all_and_any() {
+        let mut w = warp(4);
+        let preds = LaneVec::from_fn(4, |l| l != 2);
+        assert!(!w.all(w.full_mask(), &preds));
+        assert!(w.any(w.full_mask(), &preds));
+        // With lane 2 masked off, all() becomes true.
+        assert!(w.all(Mask(0b1011), &preds));
+        let none = LaneVec::splat(false);
+        assert!(!w.any(w.full_mask(), &none));
+    }
+
+    #[test]
+    fn sync_counts_instructions() {
+        let mut w = warp(32);
+        w.syncwarp(w.full_mask());
+        w.subgroup_barrier();
+        assert_eq!(w.counters.sync_instructions, 2);
+        assert_eq!(w.counters.warp_instructions, 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Grid launcher: run one kernel over many independent warps.
+//!
+//! The local assembly kernel assigns one contig (plus its reads) per warp,
+//! and warps share no data — so the simulation parallelizes perfectly with
+//! rayon while remaining deterministic (results are collected in job order
+//! and counters are commutatively merged).
+
+use crate::counters::AggCounters;
+use crate::warp::Warp;
+use memhier::HierarchyConfig;
+use rayon::prelude::*;
+
+/// Configuration for a kernel launch.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchConfig {
+    /// Warp/wavefront/sub-group width.
+    pub width: u32,
+    /// Per-warp view of the memory hierarchy (L2 already scaled to the
+    /// occupancy-derived effective share — see `gpu-specs::occupancy`).
+    pub hierarchy: HierarchyConfig,
+    /// Simulate warps in parallel with rayon. Disable for strictly
+    /// single-threaded runs (e.g. inside criterion benchmarks measuring
+    /// simulator throughput).
+    pub parallel: bool,
+}
+
+impl LaunchConfig {
+    pub fn new(width: u32, hierarchy: HierarchyConfig) -> Self {
+        LaunchConfig { width, hierarchy, parallel: true }
+    }
+}
+
+/// Result of a launch: per-job kernel outputs plus aggregated counters.
+#[derive(Debug, Clone)]
+pub struct LaunchOutput<R> {
+    /// Kernel return values, in job order.
+    pub results: Vec<R>,
+    /// Counters aggregated over all warps.
+    pub counters: AggCounters,
+}
+
+/// Launch `kernel` once per job, each on a fresh warp.
+///
+/// The kernel receives a mutable [`Warp`] (with an empty memory arena — it
+/// performs its own device-side allocation, mirroring the reserved slabs the
+/// host pre-computes in the paper's Fig. 3 pipeline) and its job.
+pub fn launch_warps<J, R, F>(cfg: LaunchConfig, jobs: &[J], kernel: F) -> LaunchOutput<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&mut Warp, &J) -> R + Sync,
+{
+    let run_one = |job: &J| -> (R, crate::WarpCounters) {
+        let mut warp = Warp::new(cfg.width, cfg.hierarchy);
+        let r = kernel(&mut warp, job);
+        let counters = warp.finish();
+        (r, counters)
+    };
+
+    let per_warp: Vec<(R, crate::WarpCounters)> = if cfg.parallel {
+        jobs.par_iter().map(run_one).collect()
+    } else {
+        jobs.iter().map(run_one).collect()
+    };
+
+    let mut agg = AggCounters::default();
+    let mut results = Vec::with_capacity(per_warp.len());
+    for (r, c) in per_warp {
+        agg.absorb(&c);
+        results.push(r);
+    }
+    LaunchOutput { results, counters: agg }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanevec::LaneVec;
+
+    fn cfg(parallel: bool) -> LaunchConfig {
+        LaunchConfig { width: 32, hierarchy: HierarchyConfig::tiny(), parallel }
+    }
+
+    #[test]
+    fn results_in_job_order() {
+        let jobs: Vec<u32> = (0..100).collect();
+        let out = launch_warps(cfg(true), &jobs, |w, &j| {
+            w.iop(w.full_mask(), j as u64 + 1);
+            j * 2
+        });
+        assert_eq!(out.results, (0..100).map(|j| j * 2).collect::<Vec<_>>());
+        assert_eq!(out.counters.warps, 100);
+    }
+
+    #[test]
+    fn counters_aggregate_deterministically() {
+        let jobs: Vec<u32> = (0..64).collect();
+        let body = |w: &mut Warp, j: &u32| {
+            let base = w.mem.alloc(256);
+            let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+            let vals = LaneVec::splat(*j);
+            w.store_u32(w.full_mask(), &addrs, &vals);
+            let _ = w.load_u32(w.full_mask(), &addrs);
+            w.iop(w.full_mask(), 5);
+        };
+        let a = launch_warps(cfg(true), &jobs, body);
+        let b = launch_warps(cfg(false), &jobs, body);
+        assert_eq!(a.counters, b.counters, "parallel and serial launches agree");
+        assert_eq!(a.counters.int_instructions, 64 * 5);
+        assert_eq!(a.counters.intops(), 64 * 5 * 32);
+    }
+
+    #[test]
+    fn max_warp_instructions_tracks_imbalance() {
+        let jobs: Vec<u64> = vec![1, 1, 100, 1];
+        let out = launch_warps(cfg(true), &jobs, |w, &j| w.iop(w.full_mask(), j));
+        assert_eq!(out.counters.max_warp_instructions, 100);
+    }
+
+    #[test]
+    fn empty_launch() {
+        let out = launch_warps(cfg(true), &Vec::<u32>::new(), |_, _| 0u32);
+        assert!(out.results.is_empty());
+        assert_eq!(out.counters.warps, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # simt — lockstep SIMT execution simulator
+//!
+//! Executes GPU-style kernels on the CPU in *warp-synchronous SOA form*:
+//! kernel code operates on [`LaneVec`] per-lane value vectors under explicit
+//! [`Mask`]s, mirroring how a warp/wavefront/sub-group executes in lockstep
+//! with predication. The simulator provides
+//!
+//! * integer-instruction accounting at warp level (`smsp__inst_executed`
+//!   style, so INTOPs = warp instructions × warp width, exactly as the paper
+//!   measures on NVIDIA and AMD — Appendix B),
+//! * warp collectives: `shfl`, `ballot`, `match_any` (CUDA
+//!   `__match_any_sync`), `all` (HIP `__all`), `syncwarp`/sub-group barrier,
+//! * global-memory atomics (`atomicCAS`, `atomicAdd`) with address-conflict
+//!   serialization,
+//! * per-access routing through the [`memhier`] cache/HBM simulator with
+//!   warp-level coalescing,
+//! * a rayon-parallel grid launcher for independent warps (the local
+//!   assembly kernel assigns one contig per warp and warps share nothing).
+//!
+//! Warp widths are configurable (32 = CUDA warp, 64 = CDNA wavefront,
+//! 16 = SYCL sub-group on Xe), up to [`MAX_LANES`].
+
+pub mod collectives;
+pub mod counters;
+pub mod grid;
+pub mod lanevec;
+pub mod mask;
+pub mod mem;
+pub mod warp;
+
+pub use counters::{AggCounters, WarpCounters};
+pub use grid::{launch_warps, LaunchConfig, LaunchOutput};
+pub use lanevec::LaneVec;
+pub use mask::Mask;
+pub use mem::GlobalMem;
+pub use warp::Warp;
+
+/// Maximum number of lanes in a warp the simulator supports.
+pub const MAX_LANES: usize = 64;

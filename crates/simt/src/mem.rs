@@ -1,0 +1,182 @@
+//! Simulated per-warp global memory.
+//!
+//! The local assembly kernel gives every warp a private slice of device
+//! memory holding its contig, reads, quality scores, hash table and output
+//! buffer (reserved up-front by the host-side size-estimation pass, Fig. 3
+//! of the paper). `GlobalMem` models that slice as a bump-allocated arena
+//! with typed little-endian accessors.
+//!
+//! Addresses are plain `u64` byte offsets. Offset 0 is reserved so that `0`
+//! can serve as a null/empty sentinel, like a null device pointer.
+
+use memhier::Addr;
+
+/// Alignment used by [`GlobalMem::alloc`] by default.
+pub const DEFAULT_ALIGN: u64 = 8;
+
+/// A bump-allocated, bounds-checked arena of simulated device memory.
+#[derive(Debug, Clone)]
+pub struct GlobalMem {
+    data: Vec<u8>,
+    next: u64,
+}
+
+impl GlobalMem {
+    /// An arena with a reserved null page (first 64 bytes unused).
+    pub fn new() -> Self {
+        GlobalMem { data: vec![0; 64], next: 64 }
+    }
+
+    /// Preallocate capacity for `bytes` of upcoming allocations.
+    pub fn with_capacity(bytes: usize) -> Self {
+        let mut m = GlobalMem::new();
+        m.data.reserve(bytes);
+        m
+    }
+
+    /// Allocate `len` bytes with `align` alignment; returns the base address.
+    pub fn alloc_aligned(&mut self, len: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        let end = base + len;
+        if end as usize > self.data.len() {
+            self.data.resize(end as usize, 0);
+        }
+        self.next = end;
+        base
+    }
+
+    /// Allocate with [`DEFAULT_ALIGN`].
+    pub fn alloc(&mut self, len: u64) -> Addr {
+        self.alloc_aligned(len, DEFAULT_ALIGN)
+    }
+
+    /// Copy a byte slice into freshly allocated memory; returns its address.
+    pub fn alloc_bytes(&mut self, bytes: &[u8]) -> Addr {
+        let a = self.alloc(bytes.len() as u64);
+        self.write_bytes(a, bytes);
+        a
+    }
+
+    /// Total bytes allocated (high-water mark).
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    #[inline]
+    fn check(&self, addr: Addr, len: u64) {
+        assert!(
+            addr >= 64 && addr + len <= self.data.len() as u64,
+            "device memory access out of bounds: addr={addr} len={len} size={}",
+            self.data.len()
+        );
+    }
+
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        self.check(addr, 1);
+        self.data[addr as usize]
+    }
+
+    pub fn write_u8(&mut self, addr: Addr, v: u8) {
+        self.check(addr, 1);
+        self.data[addr as usize] = v;
+    }
+
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        self.check(addr, 4);
+        let i = addr as usize;
+        u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap())
+    }
+
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.check(addr, 4);
+        let i = addr as usize;
+        self.data[i..i + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        self.check(addr, 8);
+        let i = addr as usize;
+        u64::from_le_bytes(self.data[i..i + 8].try_into().unwrap())
+    }
+
+    pub fn write_u64(&mut self, addr: Addr, v: u64) {
+        self.check(addr, 8);
+        let i = addr as usize;
+        self.data[i..i + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn read_bytes(&self, addr: Addr, len: u64) -> &[u8] {
+        self.check(addr, len);
+        &self.data[addr as usize..(addr + len) as usize]
+    }
+
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        self.check(addr, bytes.len() as u64);
+        let i = addr as usize;
+        self.data[i..i + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Zero a region (device-side memset, used for hash-table init).
+    pub fn fill(&mut self, addr: Addr, len: u64, byte: u8) {
+        self.check(addr, len);
+        self.data[addr as usize..(addr + len) as usize].fill(byte);
+    }
+}
+
+impl Default for GlobalMem {
+    fn default() -> Self {
+        GlobalMem::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_aligned(10, 8);
+        let b = m.alloc_aligned(10, 8);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= a + 10);
+        assert!(a >= 64, "null page reserved");
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(32);
+        m.write_u32(a, 0xdead_beef);
+        m.write_u64(a + 8, 0x0123_4567_89ab_cdef);
+        m.write_u8(a + 16, 0x5a);
+        assert_eq!(m.read_u32(a), 0xdead_beef);
+        assert_eq!(m.read_u64(a + 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(a + 16), 0x5a);
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_fill() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc_bytes(b"ACGTACGT");
+        assert_eq!(m.read_bytes(a, 8), b"ACGTACGT");
+        m.fill(a, 4, b'N');
+        assert_eq!(m.read_bytes(a, 8), b"NNNNACGT");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = GlobalMem::new();
+        m.read_u32(1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn null_deref_panics() {
+        let m = GlobalMem::new();
+        m.read_u8(0);
+    }
+}

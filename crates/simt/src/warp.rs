@@ -1,0 +1,468 @@
+//! The warp execution context.
+//!
+//! A [`Warp`] bundles the simulated device memory arena, the per-warp view
+//! of the memory hierarchy, and instruction counters. Kernel code calls its
+//! methods the way CUDA code executes instructions:
+//!
+//! * [`Warp::iop`] — integer arithmetic (hashing, comparisons, index math),
+//! * [`Warp::load_u32`] / [`Warp::store_u32`] / byte variants — global
+//!   memory accesses, coalesced across the active mask,
+//! * [`Warp::atomic_cas_u32`] / [`Warp::atomic_add_u32`] — global atomics
+//!   with address-conflict serialization,
+//! * collectives in [`crate::collectives`].
+
+use crate::counters::WarpCounters;
+use crate::lanevec::LaneVec;
+use crate::mask::Mask;
+use crate::mem::GlobalMem;
+use memhier::{coalesce_sectors, AccessKind, Addr, HierarchyConfig, MemHierarchy};
+
+/// Execution context for a single warp.
+#[derive(Debug)]
+pub struct Warp {
+    width: u32,
+    pub mem: GlobalMem,
+    hier: MemHierarchy,
+    pub counters: WarpCounters,
+}
+
+impl Warp {
+    /// A new warp of `width` lanes in front of the given hierarchy.
+    pub fn new(width: u32, hier_cfg: HierarchyConfig) -> Self {
+        assert!(
+            (1..=crate::MAX_LANES as u32).contains(&width),
+            "warp width {width} out of range"
+        );
+        Warp {
+            width,
+            mem: GlobalMem::new(),
+            hier: MemHierarchy::new(hier_cfg),
+            counters: WarpCounters::new(width),
+        }
+    }
+
+    /// Warp width (32 CUDA / 64 HIP wavefront / 16 SYCL sub-group).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The full active mask for this warp.
+    pub fn full_mask(&self) -> Mask {
+        Mask::full(self.width)
+    }
+
+    /// Issue `n` integer warp instructions under `mask`.
+    ///
+    /// Cost model: every instruction is issued warp-wide (hardware lockstep),
+    /// so INTOPs grow by `n × width` regardless of how many lanes are
+    /// active; the active count only feeds the utilization statistic.
+    #[inline]
+    pub fn iop(&mut self, mask: Mask, n: u64) {
+        self.counters.warp_instructions += n;
+        self.counters.int_instructions += n;
+        let active = mask.count();
+        self.counters.lane_int_ops += n * active as u64;
+        // Divergence profile: bucket by active-lane quartile.
+        let q = ((4 * active).div_ceil(self.width).clamp(1, 4) - 1) as usize;
+        self.counters.occupancy_quartiles[q] += n;
+    }
+
+    fn mem_access(&mut self, mask: Mask, addrs: &LaneVec<Addr>, size: u32, kind: AccessKind) {
+        let co = coalesce_sectors(addrs.iter_masked(mask).map(|(_, a)| (a, size)));
+        self.hier.access(&co, kind);
+        self.counters.warp_instructions += 1;
+    }
+
+    /// Warp-wide 32-bit load. Inactive lanes read as 0.
+    pub fn load_u32(&mut self, mask: Mask, addrs: &LaneVec<Addr>) -> LaneVec<u32> {
+        self.mem_access(mask, addrs, 4, AccessKind::Read);
+        let mut out = LaneVec::splat(0u32);
+        for (l, a) in addrs.iter_masked(mask) {
+            out[l] = self.mem.read_u32(a);
+        }
+        out
+    }
+
+    /// Warp-wide 32-bit store.
+    pub fn store_u32(&mut self, mask: Mask, addrs: &LaneVec<Addr>, vals: &LaneVec<u32>) {
+        self.mem_access(mask, addrs, 4, AccessKind::Write);
+        for (l, a) in addrs.iter_masked(mask) {
+            self.mem.write_u32(a, vals[l]);
+        }
+    }
+
+    /// Warp-wide byte load. Inactive lanes read as 0.
+    pub fn load_u8(&mut self, mask: Mask, addrs: &LaneVec<Addr>) -> LaneVec<u8> {
+        self.mem_access(mask, addrs, 1, AccessKind::Read);
+        let mut out = LaneVec::splat(0u8);
+        for (l, a) in addrs.iter_masked(mask) {
+            out[l] = self.mem.read_u8(a);
+        }
+        out
+    }
+
+    /// Warp-wide byte store.
+    pub fn store_u8(&mut self, mask: Mask, addrs: &LaneVec<Addr>, vals: &LaneVec<u8>) {
+        self.mem_access(mask, addrs, 1, AccessKind::Write);
+        for (l, a) in addrs.iter_masked(mask) {
+            self.mem.write_u8(a, vals[l]);
+        }
+    }
+
+    /// Single-lane 32-bit load (a divergent branch where one lane walks).
+    pub fn load_u32_scalar(&mut self, lane: u32, addr: Addr) -> u32 {
+        let addrs = {
+            let mut a = LaneVec::splat(0u64);
+            a[lane] = addr;
+            a
+        };
+        let out = self.load_u32(Mask::lane(lane), &addrs);
+        out[lane]
+    }
+
+    /// Single-lane byte load.
+    pub fn load_u8_scalar(&mut self, lane: u32, addr: Addr) -> u8 {
+        let addrs = {
+            let mut a = LaneVec::splat(0u64);
+            a[lane] = addr;
+            a
+        };
+        let out = self.load_u8(Mask::lane(lane), &addrs);
+        out[lane]
+    }
+
+    /// Single-lane 32-bit store.
+    pub fn store_u32_scalar(&mut self, lane: u32, addr: Addr, v: u32) {
+        let addrs = {
+            let mut a = LaneVec::splat(0u64);
+            a[lane] = addr;
+            a
+        };
+        let mut vals = LaneVec::splat(0u32);
+        vals[lane] = v;
+        self.store_u32(Mask::lane(lane), &addrs, &vals);
+    }
+
+    /// Single-lane 64-bit load (one instruction, 8-byte access).
+    pub fn load_u64_scalar(&mut self, lane: u32, addr: Addr) -> u64 {
+        let co = memhier::coalesce_sectors([(addr, 8u32)]);
+        self.hier.access(&co, AccessKind::Read);
+        self.counters.warp_instructions += 1;
+        let _ = lane;
+        self.mem.read_u64(addr)
+    }
+
+    /// Single-lane 64-bit store (one instruction, 8-byte access).
+    pub fn store_u64_scalar(&mut self, lane: u32, addr: Addr, v: u64) {
+        let co = memhier::coalesce_sectors([(addr, 8u32)]);
+        self.hier.access(&co, AccessKind::Write);
+        self.counters.warp_instructions += 1;
+        let _ = lane;
+        self.mem.write_u64(addr, v);
+    }
+
+    /// Single-lane byte store.
+    pub fn store_u8_scalar(&mut self, lane: u32, addr: Addr, v: u8) {
+        let addrs = {
+            let mut a = LaneVec::splat(0u64);
+            a[lane] = addr;
+            a
+        };
+        let mut vals = LaneVec::splat(0u8);
+        vals[lane] = v;
+        self.store_u8(Mask::lane(lane), &addrs, &vals);
+    }
+
+    /// `atomicCAS` on 32-bit words: for each active lane, if `*addr == cmp`
+    /// then `*addr = new`; returns the old value per lane.
+    ///
+    /// Lanes are processed in ascending order (hardware serializes
+    /// conflicting atomics; the order is unspecified there, ascending here
+    /// for determinism). Each *unique address beyond the first* costs one
+    /// replay instruction, modeling atomic serialization.
+    pub fn atomic_cas_u32(
+        &mut self,
+        mask: Mask,
+        addrs: &LaneVec<Addr>,
+        cmp: &LaneVec<u32>,
+        new: &LaneVec<u32>,
+    ) -> LaneVec<u32> {
+        self.atomic_traffic(mask, addrs);
+        let mut out = LaneVec::splat(0u32);
+        for (l, a) in addrs.iter_masked(mask) {
+            let old = self.mem.read_u32(a);
+            if old == cmp[l] {
+                self.mem.write_u32(a, new[l]);
+            }
+            out[l] = old;
+        }
+        out
+    }
+
+    /// `atomicAdd` on 32-bit words; returns the old value per lane.
+    pub fn atomic_add_u32(
+        &mut self,
+        mask: Mask,
+        addrs: &LaneVec<Addr>,
+        vals: &LaneVec<u32>,
+    ) -> LaneVec<u32> {
+        self.atomic_traffic(mask, addrs);
+        let mut out = LaneVec::splat(0u32);
+        for (l, a) in addrs.iter_masked(mask) {
+            let old = self.mem.read_u32(a);
+            self.mem.write_u32(a, old.wrapping_add(vals[l]));
+            out[l] = old;
+        }
+        out
+    }
+
+    fn atomic_traffic(&mut self, mask: Mask, addrs: &LaneVec<Addr>) {
+        let co = coalesce_sectors(addrs.iter_masked(mask).map(|(_, a)| (a, 4)));
+        let unique_sectors = co.transactions();
+        self.hier.access_atomic(&co);
+        self.counters.atomic_instructions += 1;
+        self.counters.warp_instructions += 1;
+        if unique_sectors > 1 {
+            let replays = unique_sectors - 1;
+            self.counters.atomic_replays += replays;
+            self.counters.warp_instructions += replays;
+        }
+    }
+
+    /// A mid-kernel counter snapshot (memory stats included, without
+    /// flushing the caches). Used for per-phase attribution: take one
+    /// snapshot at a phase boundary and compute the next phase with
+    /// [`WarpCounters::since`]-style arithmetic.
+    pub fn snapshot(&self) -> WarpCounters {
+        let mut c = self.counters;
+        c.mem = *self.hier.stats();
+        c
+    }
+
+    /// Finish the warp: flush dirty data to HBM and fold memory stats into
+    /// the counters. Returns the final counter snapshot.
+    pub fn finish(&mut self) -> WarpCounters {
+        self.hier.flush();
+        self.counters.mem = self.hier.take_stats();
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier::config::SECTOR_BYTES;
+
+    fn warp() -> Warp {
+        Warp::new(32, HierarchyConfig::tiny())
+    }
+
+    #[test]
+    fn iop_counts_warp_level() {
+        let mut w = warp();
+        let half = Mask(0xffff); // 16 of 32 lanes
+        w.iop(half, 10);
+        assert_eq!(w.counters.int_instructions, 10);
+        assert_eq!(w.counters.intops(), 320, "predication does not reduce INTOPs");
+        assert_eq!(w.counters.lane_int_ops, 160);
+        assert!((w.counters.lane_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_load_roundtrip() {
+        let mut w = warp();
+        let base = w.mem.alloc(4 * 32);
+        for i in 0..32u32 {
+            w.mem.write_u32(base + 4 * i as u64, i * 7);
+        }
+        let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+        let vals = w.load_u32(w.full_mask(), &addrs);
+        assert_eq!(vals[0], 0);
+        assert_eq!(vals[31], 31 * 7);
+        // 128 consecutive bytes = at most 5 sectors (alignment) → few HBM reads.
+        let c = w.finish();
+        assert!(c.mem.hbm_read_transactions <= 5);
+        assert_eq!(c.mem.mem_instructions, 1);
+    }
+
+    #[test]
+    fn scattered_load_moves_more_bytes() {
+        let run = |stride: u64| {
+            let mut w = warp();
+            let base = w.mem.alloc(stride * 32 + 4);
+            let addrs = LaneVec::from_fn(32, |l| base + stride * l as u64);
+            let _ = w.load_u32(w.full_mask(), &addrs);
+            w.finish().mem.hbm_bytes()
+        };
+        let coalesced = run(4);
+        let scattered = run(SECTOR_BYTES * 4);
+        assert!(scattered >= 4 * coalesced, "{scattered} vs {coalesced}");
+    }
+
+    #[test]
+    fn store_then_load_sees_value() {
+        let mut w = warp();
+        let base = w.mem.alloc(128);
+        let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+        let vals = LaneVec::from_fn(32, |l| l * 3);
+        w.store_u32(w.full_mask(), &addrs, &vals);
+        let back = w.load_u32(w.full_mask(), &addrs);
+        assert_eq!(back[10], 30);
+    }
+
+    #[test]
+    fn masked_lanes_do_not_touch_memory() {
+        let mut w = warp();
+        let base = w.mem.alloc(128);
+        let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+        let vals = LaneVec::splat(9u32);
+        w.store_u32(Mask::lane(3), &addrs, &vals);
+        assert_eq!(w.mem.read_u32(base + 12), 9);
+        assert_eq!(w.mem.read_u32(base + 16), 0, "inactive lane wrote nothing");
+    }
+
+    #[test]
+    fn atomic_cas_semantics() {
+        let mut w = warp();
+        let a = w.mem.alloc(4);
+        // All 32 lanes CAS the same address from 0 to lane-specific values:
+        // only lane 0 (processed first) wins.
+        let addrs = LaneVec::splat(a);
+        let cmp = LaneVec::splat(0u32);
+        let new = LaneVec::from_fn(32, |l| l + 100);
+        let old = w.atomic_cas_u32(w.full_mask(), &addrs, &cmp, &new);
+        assert_eq!(old[0], 0, "lane 0 saw EMPTY and won");
+        assert_eq!(old[1], 100, "lane 1 saw lane 0's value");
+        assert_eq!(w.mem.read_u32(a), 100);
+        assert_eq!(w.counters.atomic_replays, 0, "same sector: no replay");
+    }
+
+    #[test]
+    fn atomic_conflicting_sectors_replay() {
+        let mut w = warp();
+        let base = w.mem.alloc(SECTOR_BYTES * 32);
+        let addrs = LaneVec::from_fn(32, |l| base + SECTOR_BYTES * l as u64);
+        let vals = LaneVec::splat(1u32);
+        w.atomic_add_u32(w.full_mask(), &addrs, &vals);
+        assert_eq!(w.counters.atomic_instructions, 1);
+        assert_eq!(w.counters.atomic_replays, 31);
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let mut w = warp();
+        let a = w.mem.alloc(4);
+        let addrs = LaneVec::splat(a);
+        let vals = LaneVec::splat(2u32);
+        w.atomic_add_u32(w.full_mask(), &addrs, &vals);
+        assert_eq!(w.mem.read_u32(a), 64, "32 lanes × 2");
+    }
+
+    #[test]
+    fn scalar_helpers() {
+        let mut w = warp();
+        let a = w.mem.alloc(8);
+        w.store_u8_scalar(5, a, 0xAB);
+        assert_eq!(w.load_u8_scalar(5, a), 0xAB);
+        w.mem.write_u32(a + 4, 123);
+        assert_eq!(w.load_u32_scalar(0, a + 4), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        Warp::new(0, HierarchyConfig::tiny());
+    }
+
+    #[test]
+    fn finish_flushes_writes() {
+        let mut w = warp();
+        let a = w.mem.alloc(4);
+        let addrs = LaneVec::splat(a);
+        let vals = LaneVec::splat(7u32);
+        w.store_u32(Mask::lane(0), &addrs, &vals);
+        let c = w.finish();
+        assert!(c.mem.hbm_write_transactions >= 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// atomic_add over arbitrary lane subsets accumulates exactly the
+        /// sum of active lanes' values.
+        #[test]
+        fn atomic_add_sums(mask_bits in 0u64..(1u64 << 32), vals in proptest::collection::vec(0u32..1000, 32)) {
+            let mut w = Warp::new(32, HierarchyConfig::tiny());
+            let a = w.mem.alloc(4);
+            let addrs = LaneVec::splat(a);
+            let v = LaneVec::from_fn(32, |l| vals[l as usize]);
+            let mask = Mask(mask_bits & 0xffff_ffff);
+            w.atomic_add_u32(mask, &addrs, &v);
+            let expect: u32 = mask.lanes().map(|l| vals[l as usize]).sum();
+            prop_assert_eq!(w.mem.read_u32(a), expect);
+        }
+
+        /// Exactly one lane wins a contended CAS from EMPTY, and it is the
+        /// lowest active lane (deterministic serialization order).
+        #[test]
+        fn cas_single_winner(mask_bits in 1u64..(1u64 << 32)) {
+            let mut w = Warp::new(32, HierarchyConfig::tiny());
+            let a = w.mem.alloc(4);
+            let addrs = LaneVec::splat(a);
+            let cmp = LaneVec::splat(0u32);
+            let new = LaneVec::from_fn(32, |l| l + 1);
+            let mask = Mask(mask_bits & 0xffff_ffff);
+            let old = w.atomic_cas_u32(mask, &addrs, &cmp, &new);
+            let winner = mask.first().unwrap();
+            prop_assert_eq!(old[winner], 0);
+            prop_assert_eq!(w.mem.read_u32(a), winner + 1);
+            for l in mask.lanes().skip(1) {
+                prop_assert_eq!(old[l], winner + 1, "losers observe the winner's value");
+            }
+        }
+
+        /// Loads return exactly what memory holds, for any mask.
+        #[test]
+        fn load_faithful(mask_bits in 0u64..(1u64 << 32), seed in any::<u32>()) {
+            let mut w = Warp::new(32, HierarchyConfig::tiny());
+            let base = w.mem.alloc(4 * 32);
+            for i in 0..32u32 {
+                w.mem.write_u32(base + 4 * i as u64, seed.wrapping_mul(i + 1));
+            }
+            let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+            let mask = Mask(mask_bits & 0xffff_ffff);
+            let got = w.load_u32(mask, &addrs);
+            for l in mask.lanes() {
+                prop_assert_eq!(got[l], seed.wrapping_mul(l + 1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod divergence_tests {
+    use super::*;
+
+    #[test]
+    fn iop_buckets_by_active_fraction() {
+        let mut w = Warp::new(32, HierarchyConfig::tiny());
+        w.iop(Mask::full(32), 10); // 100% → Q4
+        w.iop(Mask(0xffff), 5); // 50% → Q2
+        w.iop(Mask::lane(0), 3); // 1/32 → Q1
+        w.iop(Mask(0xffffff), 2); // 75% → Q3
+        assert_eq!(w.counters.occupancy_quartiles, [3, 5, 2, 10]);
+    }
+
+    #[test]
+    fn single_lane_walk_is_all_first_quartile() {
+        // Divergence signature of the mer-walk: one lane of 32 active.
+        let mut w = Warp::new(32, HierarchyConfig::tiny());
+        w.iop(Mask::lane(5), 100);
+        let p = w.counters.divergence_profile();
+        assert_eq!(p, [1.0, 0.0, 0.0, 0.0]);
+    }
+}

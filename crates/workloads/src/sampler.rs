@@ -1,0 +1,260 @@
+//! Read sampling over contig junctions.
+//!
+//! Local assembly only sees the reads that align to a contig's ends. We
+//! sample reads from the true genome around each junction: every read is
+//! full-length, overlaps the extension region, and at least one read per
+//! side anchors on the contig's terminal k-mer (the walk's seed). A
+//! substitution error model with quality correlation exercises the
+//! hi/low-vote machinery.
+
+use locassm_core::dna::BASES;
+use locassm_core::quality::qual_char;
+use locassm_core::Read;
+use rand::{Rng, RngExt};
+
+/// Error/quality model for sampled reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadProfile {
+    /// Read length (every read is full length, as in Table II's fixed
+    /// average read lengths).
+    pub read_len: usize,
+    /// Per-base substitution probability.
+    pub error_rate: f64,
+    /// Phred score of correct bases (jittered ±3).
+    pub base_qual: u8,
+    /// Phred score of most error bases.
+    pub error_qual: u8,
+    /// Fraction of error bases that nevertheless get high quality
+    /// (undetected errors — these create the hard forks).
+    pub loud_error_frac: f64,
+}
+
+impl ReadProfile {
+    pub fn illumina_like(read_len: usize) -> Self {
+        ReadProfile {
+            read_len,
+            error_rate: 0.002,
+            base_qual: 38,
+            error_qual: 8,
+            loud_error_frac: 0.15,
+        }
+    }
+}
+
+/// Extract one read at `start` from `genome`, applying the error model.
+pub fn read_at<R: Rng>(genome: &[u8], start: usize, profile: &ReadProfile, rng: &mut R) -> Read {
+    assert!(
+        start + profile.read_len <= genome.len(),
+        "read [{start}, {}) exceeds genome of {}",
+        start + profile.read_len,
+        genome.len()
+    );
+    let mut seq = genome[start..start + profile.read_len].to_vec();
+    let mut qual = Vec::with_capacity(profile.read_len);
+    for b in seq.iter_mut() {
+        if rng.random_bool(profile.error_rate) {
+            // Substitute with one of the three other bases.
+            let others: Vec<u8> = BASES.iter().copied().filter(|x| x != b).collect();
+            *b = others[rng.random_range(0..3)];
+            let q = if rng.random_bool(profile.loud_error_frac) {
+                profile.base_qual
+            } else {
+                profile.error_qual
+            };
+            qual.push(qual_char(q));
+        } else {
+            let jitter = rng.random_range(0..=6) as i16 - 3;
+            qual.push(qual_char((profile.base_qual as i16 + jitter).max(2) as u8));
+        }
+    }
+    Read::new(seq, qual)
+}
+
+/// Sample `n` reads covering the *right* junction of a contig.
+///
+/// `junction` is the genome index one past the contig's last base;
+/// `ext_target` is how far past the junction the coverage may reach
+/// (bounded by the genome); `k` is the k-mer size the walk will use.
+///
+/// Placement models how aligned boundary reads look in a real assembly:
+/// the first read is **anchored** (contains the contig's terminal k-mer,
+/// seeding the walk) and subsequent reads **chain** — each starts at the
+/// previous read's last k-mer (minus a little jitter), so coverage
+/// continues without gaps until the extension budget or the read supply
+/// runs out. Leftover reads land uniformly in the covered window.
+pub fn sample_right_junction<R: Rng>(
+    genome: &[u8],
+    junction: usize,
+    ext_target: usize,
+    k: usize,
+    n: usize,
+    profile: &ReadProfile,
+    rng: &mut R,
+) -> Vec<Read> {
+    let len = profile.read_len;
+    assert!(junction + ext_target <= genome.len(), "extension region exceeds genome");
+    assert!(len >= 2 * k, "reads must be at least 2k long to anchor a walk");
+
+    let mut reads = Vec::with_capacity(n);
+    if n == 0 {
+        return reads;
+    }
+
+    // The last position any read may start at (end ≤ junction + ext_target).
+    let clamp_hi = (junction + ext_target).saturating_sub(len);
+
+    // Anchored read: contains the terminal k-mer [junction − k, junction),
+    // placed to reach as far right as the budget allows.
+    let anchor_lo = junction.saturating_sub(len - k);
+    let anchor_hi = junction.saturating_sub(k).min(clamp_hi).max(anchor_lo);
+    let jitter = |rng: &mut R, span: usize| if span > 0 { rng.random_range(0..=span) } else { 0 };
+    let start = anchor_hi.saturating_sub(jitter(rng, (anchor_hi - anchor_lo).min(k / 8)));
+    reads.push(read_at(genome, start, profile, rng));
+    let mut prev_start = start;
+    let mut chain_done = false;
+
+    for _ in 1..n {
+        let s = if chain_done {
+            // Extra coverage: uniform over the already-covered window.
+            let lo = anchor_lo;
+            let hi = clamp_hi.max(lo);
+            if hi > lo {
+                rng.random_range(lo..=hi)
+            } else {
+                lo
+            }
+        } else {
+            // Chain: start at the previous read's last k-mer (overlap ≥ k
+            // keeps the vote chain unbroken), minus a little jitter.
+            let next = prev_start + (len - k) - jitter(rng, k / 4);
+            if next >= clamp_hi {
+                chain_done = true;
+                clamp_hi.max(anchor_lo)
+            } else {
+                next
+            }
+        };
+        reads.push(read_at(genome, s, profile, rng));
+        prev_start = s;
+    }
+    reads
+}
+
+/// Sample `n` reads covering the *left* junction (mirror of
+/// [`sample_right_junction`] via reverse complement), returned in forward
+/// orientation.
+pub fn sample_left_junction<R: Rng>(
+    genome: &[u8],
+    junction: usize,
+    ext_target: usize,
+    k: usize,
+    n: usize,
+    profile: &ReadProfile,
+    rng: &mut R,
+) -> Vec<Read> {
+    let rc = locassm_core::dna::revcomp(genome);
+    let mirrored_junction = genome.len() - junction;
+    let reads = sample_right_junction(&rc, mirrored_junction, ext_target, k, n, profile, rng);
+    reads.into_iter().map(|r| r.revcomp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::random_genome;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Vec<u8>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let g = random_genome(600, &mut rng);
+        (g, rng)
+    }
+
+    #[test]
+    fn error_free_read_matches_genome() {
+        let (g, mut rng) = setup();
+        let p = ReadProfile { error_rate: 0.0, ..ReadProfile::illumina_like(100) };
+        let r = read_at(&g, 50, &p, &mut rng);
+        assert_eq!(r.seq, &g[50..150]);
+        assert!(r.qual.iter().all(|&q| locassm_core::quality::is_hi_qual(q)));
+    }
+
+    #[test]
+    fn error_model_mutates_and_lowers_quality() {
+        let (g, mut rng) = setup();
+        let p = ReadProfile {
+            error_rate: 0.5,
+            loud_error_frac: 0.0,
+            ..ReadProfile::illumina_like(200)
+        };
+        let r = read_at(&g, 0, &p, &mut rng);
+        let diffs = r.seq.iter().zip(&g[..200]).filter(|(a, b)| a != b).count();
+        assert!(diffs > 50, "expected many substitutions, got {diffs}");
+        // Every substituted base carries low quality (loud_error_frac = 0).
+        for (i, (a, b)) in r.seq.iter().zip(&g[..200]).enumerate() {
+            if a != b {
+                assert!(!locassm_core::quality::is_hi_qual(r.qual[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn right_junction_reads_stay_in_bounds_and_anchor() {
+        let (g, mut rng) = setup();
+        let p = ReadProfile { error_rate: 0.0, ..ReadProfile::illumina_like(100) };
+        let junction = 400;
+        let ext = 60;
+        let k = 21;
+        let reads = sample_right_junction(&g, junction, ext, k, 5, &p, &mut rng);
+        assert_eq!(reads.len(), 5);
+        // Anchored read contains the terminal k-mer.
+        let terminal = &g[junction - k..junction];
+        assert!(
+            reads[0].seq.windows(k).any(|w| w == terminal),
+            "first read must anchor the walk"
+        );
+        // No read reaches past junction + ext (error-free reads are genome
+        // slices, so containment in the window implies the bound).
+        for r in &reads {
+            let pos = g.windows(p.read_len).position(|w| w == &r.seq[..]).unwrap();
+            assert!(pos + p.read_len <= junction + ext);
+        }
+    }
+
+    #[test]
+    fn left_junction_mirrors_right() {
+        let (g, mut rng) = setup();
+        let p = ReadProfile { error_rate: 0.0, ..ReadProfile::illumina_like(100) };
+        let junction = 200;
+        let reads = sample_left_junction(&g, junction, 60, 21, 4, &p, &mut rng);
+        assert_eq!(reads.len(), 4);
+        for r in &reads {
+            // Forward-oriented reads must be genome slices ending after
+            // junction − ext and overlapping the left region.
+            let pos = g
+                .windows(p.read_len)
+                .position(|w| w == &r.seq[..])
+                .expect("error-free left read must be a forward genome slice");
+            assert!(pos >= junction - 60, "read starts before the allowed window: {pos}");
+        }
+        // Anchored read contains the contig's *first* k-mer.
+        let first_kmer = &g[junction..junction + 21];
+        assert!(reads[0].seq.windows(21).any(|w| w == first_kmer));
+    }
+
+    #[test]
+    fn zero_reads_requested() {
+        let (g, mut rng) = setup();
+        let p = ReadProfile::illumina_like(100);
+        assert!(sample_right_junction(&g, 300, 50, 21, 0, &p, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds genome")]
+    fn oversized_extension_rejected() {
+        let (g, mut rng) = setup();
+        let p = ReadProfile::illumina_like(100);
+        sample_right_junction(&g, 590, 50, 21, 1, &p, &mut rng);
+    }
+}

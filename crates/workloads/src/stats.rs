@@ -1,0 +1,111 @@
+//! Dataset and extension statistics (the paper's Table II).
+
+use locassm_core::assemble::ExtensionResult;
+use locassm_core::io::Dataset;
+
+/// Static dataset characteristics (left half of Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    pub k: usize,
+    pub total_contigs: usize,
+    pub total_reads: usize,
+    pub avg_read_length: f64,
+    pub total_hash_insertions: usize,
+}
+
+impl DatasetStats {
+    pub fn compute(ds: &Dataset) -> Self {
+        let total_reads = ds.total_reads();
+        let read_bases: usize = ds
+            .jobs
+            .iter()
+            .flat_map(|j| j.right_reads.iter().chain(&j.left_reads))
+            .map(|r| r.len())
+            .sum();
+        DatasetStats {
+            k: ds.k,
+            total_contigs: ds.jobs.len(),
+            total_reads,
+            avg_read_length: if total_reads == 0 {
+                0.0
+            } else {
+                read_bases as f64 / total_reads as f64
+            },
+            total_hash_insertions: ds.total_insertions(),
+        }
+    }
+}
+
+/// Extension outcome statistics (right half of Table II), computed from a
+/// run's results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtensionStats {
+    /// Mean extension bases per contig (left + right).
+    pub avg_extension_length: f64,
+    /// Total extension bases.
+    pub total_extensions: usize,
+    /// Contigs that gained at least one base.
+    pub contigs_extended: usize,
+}
+
+impl ExtensionStats {
+    pub fn compute(results: &[ExtensionResult]) -> Self {
+        let total: usize = results.iter().map(|r| r.total_len()).sum();
+        let extended = results.iter().filter(|r| r.total_len() > 0).count();
+        ExtensionStats {
+            avg_extension_length: if results.is_empty() {
+                0.0
+            } else {
+                total as f64 / results.len() as f64
+            },
+            total_extensions: total,
+            contigs_extended: extended,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::paper_dataset;
+    use locassm_core::walk::WalkState;
+    use locassm_core::{assemble_all, AssemblyConfig};
+
+    #[test]
+    fn dataset_stats_match_spec() {
+        let ds = paper_dataset(21, 0.005, 42);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.k, 21);
+        assert_eq!(s.total_contigs, ds.jobs.len());
+        assert!((s.avg_read_length - 155.0).abs() < 1e-9, "fixed-length reads");
+        assert_eq!(s.total_hash_insertions, s.total_reads * (155 - 21 + 1));
+    }
+
+    #[test]
+    fn extensions_land_near_target() {
+        // Generate a small k=21 dataset and verify the CPU reference
+        // produces extensions in the right regime (positive, bounded by
+        // the per-side target).
+        let ds = paper_dataset(21, 0.01, 1);
+        let cfg = AssemblyConfig::new(21);
+        let results = assemble_all(&ds.jobs, &cfg, true);
+        let s = ExtensionStats::compute(&results);
+        assert!(s.contigs_extended > ds.jobs.len() / 2, "most contigs should extend");
+        assert!(s.avg_extension_length > 10.0, "got {}", s.avg_extension_length);
+        // Per-side cap is 48; both sides ⇒ ≤ 96 plus walk-config slack.
+        assert!(s.avg_extension_length < 110.0, "got {}", s.avg_extension_length);
+        // No pathological states dominate.
+        let loops = results
+            .iter()
+            .filter(|r| r.right_state == WalkState::Loop || r.left_state == WalkState::Loop)
+            .count();
+        assert!(loops < results.len() / 4);
+    }
+
+    #[test]
+    fn empty_results() {
+        let s = ExtensionStats::compute(&[]);
+        assert_eq!(s.total_extensions, 0);
+        assert_eq!(s.avg_extension_length, 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: extend a handful of contigs with the local assembly kernel
+//! on a simulated NVIDIA A100, and compare against the CPU reference.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use locassm::core::{assemble_all, AssemblyConfig};
+use locassm::kernels::{run_local_assembly, GpuConfig};
+use locassm::specs::DeviceId;
+use locassm::workloads::paper_dataset;
+
+fn main() {
+    // A small slice of the paper's k=21 dataset (1% of Table II's counts).
+    let ds = paper_dataset(21, 0.01, 42);
+    println!(
+        "dataset: k={}, {} contigs, {} reads, {} hash insertions",
+        ds.k,
+        ds.jobs.len(),
+        ds.total_reads(),
+        ds.total_insertions()
+    );
+
+    // Run the CUDA-dialect kernel on the simulated A100.
+    let cfg = GpuConfig::for_device(DeviceId::A100);
+    let run = run_local_assembly(&ds, &cfg);
+
+    // The CPU reference is the correctness oracle.
+    let cpu = assemble_all(&ds.jobs, &AssemblyConfig { k: ds.k, walk: cfg.walk, retry: cfg.retry.clone() }, true);
+    assert_eq!(run.extensions, cpu, "GPU kernel must match the CPU reference");
+
+    let extended = run.extensions.iter().filter(|e| e.total_len() > 0).count();
+    let gained: usize = run.extensions.iter().map(|e| e.total_len()).sum();
+    println!("extended {extended}/{} contigs by {gained} bases total", ds.jobs.len());
+
+    // Show one concrete extension.
+    if let Some(e) = run.extensions.iter().max_by_key(|e| e.total_len()) {
+        let job = &ds.jobs[e.id as usize];
+        println!(
+            "contig {}: {} + {} bases (left/right), states {:?}/{:?}",
+            e.id,
+            e.left.len(),
+            e.right.len(),
+            e.left_state,
+            e.right_state
+        );
+        let new = e.apply(&job.contig);
+        println!("  before: …{}", String::from_utf8_lossy(&job.contig[job.contig.len().saturating_sub(40)..]));
+        println!("  after:  …{}", String::from_utf8_lossy(&new[new.len().saturating_sub(40)..]));
+    }
+
+    // And the profile the paper's analysis is built on.
+    let p = &run.profile;
+    println!(
+        "\nprofile on {}: {:.2} G INTOPs, {:.1} MB HBM traffic, II = {:.2} INTOP/byte, \
+         simulated time {:.3} ms ({:?}-bound)",
+        cfg.device,
+        p.intops() as f64 / 1e9,
+        p.hbm_bytes() as f64 / 1e6,
+        p.intop_intensity(),
+        p.seconds() * 1e3,
+        p.bound()
+    );
+}

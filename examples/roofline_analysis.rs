@@ -1,0 +1,80 @@
+//! Roofline + portability analysis of a workload: where the kernel sits on
+//! each device's instruction roofline, its Pennycook portability, and its
+//! potential speed-up decomposition (the paper's §V analysis toolchain).
+//!
+//! ```sh
+//! cargo run --release --example roofline_analysis
+//! ```
+
+use locassm::kernels::{run_local_assembly, GpuConfig};
+use locassm::perfmodel::table::{f, pct, Table};
+use locassm::perfmodel::{
+    algorithm_efficiency, performance_portability, theoretical_ii, RooflinePoint, SpeedupPoint,
+    TheoreticalModel,
+};
+use locassm::specs::DeviceId;
+use locassm::workloads::paper_dataset;
+
+fn main() {
+    let k = 55;
+    let ds = paper_dataset(k, 0.05, 3);
+
+    // The analytic model (no simulation needed).
+    let model = TheoreticalModel::for_k(k);
+    println!(
+        "theoretical model for k={k}: {} INTOPs / {} bytes per loop cycle → II = {:.3}\n",
+        model.intops_per_cycle(),
+        model.bytes_per_cycle(),
+        model.ii()
+    );
+
+    let mut table = Table::new(format!("Roofline & efficiency (k = {k})")).header([
+        "device",
+        "II",
+        "GINTOP/s",
+        "bound",
+        "arch eff",
+        "alg eff",
+        "speed-up potential",
+    ]);
+    let mut arch_effs = Vec::new();
+    let mut alg_effs = Vec::new();
+    for dev in DeviceId::ALL {
+        let cfg = GpuConfig::for_device(dev);
+        let p = run_local_assembly(&ds, &cfg).profile;
+        let spec = dev.spec();
+        let rp = RooflinePoint::new(p.intops(), p.hbm_bytes(), p.seconds());
+        let arch = rp.fraction_of_roofline(spec).min(1.0);
+        let alg = algorithm_efficiency(rp.ii, k);
+        let alg_plot = alg.min(1.0);
+        arch_effs.push(arch);
+        alg_effs.push(alg_plot);
+        let sp = SpeedupPoint::new(alg_plot, arch);
+        table.row([
+            spec.short_name.to_string(),
+            f(rp.ii, 2),
+            f(rp.intops_per_sec / 1e9, 1),
+            format!("{:?}", rp.bound(spec)),
+            pct(arch),
+            pct(alg),
+            format!("{:.0}x", sp.combined_speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "Pennycook P (architectural efficiency): {}",
+        pct(performance_portability(&arch_effs))
+    );
+    println!(
+        "Pennycook P (algorithm efficiency):     {}",
+        pct(performance_portability(&alg_effs))
+    );
+    println!(
+        "\n(theoretical II for k = 21..77: {:.3}, {:.3}, {:.3}, {:.3} — Table VI)",
+        theoretical_ii(21),
+        theoretical_ii(33),
+        theoretical_ii(55),
+        theoretical_ii(77)
+    );
+}

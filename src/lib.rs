@@ -1,0 +1,19 @@
+//! # locassm — umbrella crate
+//!
+//! Re-exports the full workspace: the de Bruijn graph local assembly kernel
+//! (CPU reference and three GPU-dialect variants), the SIMT and
+//! memory-hierarchy simulators they execute on, device models for NVIDIA
+//! A100 / AMD MI250X / Intel Max 1550, workload synthesis, and the
+//! performance-modeling layer (instruction roofline, Pennycook portability,
+//! potential speed-up analysis).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use adept;
+pub use gpu_specs as specs;
+pub use locassm_core as core;
+pub use locassm_kernels as kernels;
+pub use memhier;
+pub use perfmodel;
+pub use simt;
+pub use workloads;

@@ -1,0 +1,109 @@
+//! Invariants of the simulated profiles that the paper's analysis relies
+//! on being internally consistent.
+
+use locassm::kernels::{run_local_assembly, GpuConfig};
+use locassm::specs::{effective_hierarchy, DeviceId};
+use locassm::workloads::paper_dataset;
+
+#[test]
+fn phases_sum_to_total() {
+    let ds = paper_dataset(21, 0.003, 31);
+    let p = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::A100)).profile;
+    let c = &p.phases.construct;
+    let w = &p.phases.walk;
+    assert_eq!(c.int_instructions + w.int_instructions, p.total.int_instructions);
+    assert_eq!(c.warp_instructions + w.warp_instructions, p.total.warp_instructions);
+    assert_eq!(
+        c.mem.hbm_bytes() + w.mem.hbm_bytes(),
+        p.total.mem.hbm_bytes(),
+        "phase traffic must partition total traffic"
+    );
+    assert!(c.int_instructions > 0 && w.int_instructions > 0);
+}
+
+#[test]
+fn construction_dominates_lane_work_at_small_k() {
+    // k=21 has 10M insertions vs ~0.7M walk steps. Per *warp instruction*
+    // the single-lane walk is disproportionately expensive (predication),
+    // but the useful lane-ops are dominated by the warp-parallel
+    // construction phase.
+    let ds = paper_dataset(21, 0.003, 32);
+    let p = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::A100)).profile;
+    assert!(p.phases.construct.lane_int_ops > p.phases.walk.lane_int_ops);
+}
+
+#[test]
+fn walk_share_grows_with_k() {
+    // Larger k: fewer insertions, longer extensions — the walk's share of
+    // integer work must grow (the paper's predication discussion).
+    let share = |k: usize| {
+        let ds = paper_dataset(k, 0.01, 33);
+        let p = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::A100)).profile;
+        p.phases.walk.int_instructions as f64 / p.total.int_instructions as f64
+    };
+    assert!(share(77) > share(21));
+}
+
+#[test]
+fn profile_is_deterministic() {
+    let ds = paper_dataset(33, 0.002, 34);
+    let cfg = GpuConfig::for_device(DeviceId::Mi250x);
+    let a = run_local_assembly(&ds, &cfg).profile;
+    let b = run_local_assembly(&ds, &cfg).profile;
+    assert_eq!(a.total, b.total);
+    assert_eq!(a.seconds(), b.seconds());
+}
+
+#[test]
+fn intops_equal_instructions_times_width() {
+    let ds = paper_dataset(33, 0.002, 35);
+    for dev in DeviceId::ALL {
+        let p = run_local_assembly(&ds, &GpuConfig::for_device(dev)).profile;
+        assert_eq!(
+            p.intops(),
+            p.total.int_instructions * dev.spec().warp_width as u64,
+            "{dev}"
+        );
+    }
+}
+
+#[test]
+fn effective_hierarchy_shrinks_with_occupancy() {
+    for dev in DeviceId::ALL {
+        let spec = dev.spec();
+        let small = effective_hierarchy(spec, 4);
+        let large = effective_hierarchy(spec, 1 << 20);
+        assert!(small.l2.capacity_bytes >= large.l2.capacity_bytes, "{dev}");
+        assert!(small.l1.capacity_bytes >= large.l1.capacity_bytes, "{dev}");
+    }
+}
+
+#[test]
+fn amd_l2_is_non_sectored_others_sectored() {
+    assert!(!effective_hierarchy(DeviceId::Mi250x.spec(), 1000).l2.sectored);
+    assert!(effective_hierarchy(DeviceId::A100.spec(), 1000).l2.sectored);
+    assert!(effective_hierarchy(DeviceId::Max1550.spec(), 1000).l2.sectored);
+}
+
+#[test]
+fn batch_times_are_positive_and_sum() {
+    let ds = paper_dataset(55, 0.005, 36);
+    let p = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::Max1550)).profile;
+    let sum: f64 = p.batches.iter().map(|b| b.time.seconds).sum();
+    assert!(sum > 0.0);
+    assert!((p.seconds() - sum).abs() < 1e-12);
+    for b in &p.batches {
+        assert!(b.warps > 0);
+        assert!(b.time.seconds > 0.0);
+    }
+}
+
+#[test]
+fn lane_utilization_in_unit_interval() {
+    let ds = paper_dataset(21, 0.002, 37);
+    for dev in DeviceId::ALL {
+        let p = run_local_assembly(&ds, &GpuConfig::for_device(dev)).profile;
+        let u = p.total.lane_utilization();
+        assert!(u > 0.0 && u <= 1.0, "{dev}: {u}");
+    }
+}
