@@ -42,7 +42,7 @@ pub fn run_alignment_batch(
     parallel: bool,
 ) -> AlignmentBatchResult {
     let hierarchy = effective_hierarchy(spec, pairs.len() as u64);
-    let cfg = LaunchConfig { width: spec.warp_width, hierarchy, parallel };
+    let cfg = LaunchConfig { width: spec.warp_width, hierarchy, parallel, trace: false };
     let out = launch_warps(cfg, pairs, |warp, p: &Pair| {
         sw_kernel(warp, &p.query, &p.reference, scoring)
     });

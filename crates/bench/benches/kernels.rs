@@ -42,5 +42,33 @@ fn bench_construct_vs_walk_split(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_devices, bench_construct_vs_walk_split);
+fn bench_tracing_overhead(c: &mut Criterion) {
+    // The tracing acceptance bar: with tracing *disabled* the simulator
+    // must run at its untraced speed (the sink is an `Option` checked only
+    // at phase boundaries and event call sites). Compare `trace_off`
+    // against `baseline` — they should agree within noise (±2 %); the
+    // `trace_on` row shows the real cost of recording.
+    let ds = paper_dataset(21, 0.005, 17);
+    let mut g = c.benchmark_group("tracing_overhead");
+    g.sample_size(10);
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = false;
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.intops())
+    });
+    g.bench_function("trace_off", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.intops())
+    });
+    let mut traced = cfg.clone();
+    traced.trace = true;
+    g.bench_function("trace_on", |b| {
+        b.iter(|| {
+            let r = run_local_assembly(black_box(&ds), &traced);
+            (r.profile.intops(), r.traces.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_devices, bench_construct_vs_walk_split, bench_tracing_overhead);
 criterion_main!(benches);

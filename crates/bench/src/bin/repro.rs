@@ -29,6 +29,7 @@ struct Args {
     seed: u64,
     parallel: bool,
     csv_dir: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
     artifacts: Vec<String>,
 }
 
@@ -38,6 +39,7 @@ fn parse_args() -> Args {
         seed: 20240913,
         parallel: true,
         csv_dir: None,
+        trace: None,
         artifacts: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -57,9 +59,14 @@ fn parse_args() -> Args {
             "--csv" => {
                 args.csv_dir = Some(std::path::PathBuf::from(it.next().expect("--csv <dir>")));
             }
+            "--trace" => {
+                args.trace =
+                    Some(std::path::PathBuf::from(it.next().expect("--trace <path.json>")));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale S] [--seed N] [--serial] [--csv DIR] \
+                     [--trace PATH.json] \
                      <table1..table7|fig5..fig9|ablation|whatif|divergence|scaling|adept|packed|all>..."
                 );
                 std::process::exit(0);
@@ -67,7 +74,7 @@ fn parse_args() -> Args {
             other => args.artifacts.push(other.to_string()),
         }
     }
-    if args.artifacts.is_empty() {
+    if args.artifacts.is_empty() && args.trace.is_none() {
         args.artifacts.push("all".to_string());
     }
     const KNOWN: [&str; 16] = [
@@ -642,6 +649,55 @@ fn whatif(args: &Args) {
     println!("{}", t.render());
 }
 
+/// A traced run of the k=21 dataset on the A100 model: writes a Chrome
+/// `trace_event` JSON timeline (load in chrome://tracing or Perfetto) and
+/// a flat per-span CSV next to it, and prints the per-phase profile the
+/// traces imply. See EXPERIMENTS.md § "Tracing a run".
+fn trace_run(args: &Args, path: &std::path::Path) {
+    // Per-warp traces are large; cap the dataset so the JSON stays
+    // viewer-friendly (a few MB, not GB).
+    let scale = args.scale.min(0.01);
+    if scale < args.scale {
+        eprintln!(
+            "[repro] tracing caps the dataset at scale {scale} \
+             (full-scale timelines would be GB-sized)"
+        );
+    }
+    let ds = paper_dataset(21, scale, args.seed);
+    eprintln!("[repro] traced run: k=21, {} contigs, A100 model…", ds.jobs.len());
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = args.parallel;
+    cfg.trace = true;
+    let run = run_local_assembly(&ds, &cfg);
+
+    let json = perfmodel::chrome_trace(&run.traces);
+    std::fs::write(path, &json).expect("write trace JSON");
+    let csv_path = path.with_extension("phases.csv");
+    std::fs::write(&csv_path, perfmodel::phase_csv(&run.traces).render())
+        .expect("write phase CSV");
+    eprintln!(
+        "[repro] {} warp traces -> {} (per-span CSV: {})",
+        run.traces.len(),
+        path.display(),
+        csv_path.display()
+    );
+
+    let tp = locassm_kernels::TraceProfile::from_traces(&run.traces);
+    let mut t = Table::new("Per-phase profile derived from the warp traces")
+        .header(["phase", "spans", "warp instr", "INTOPs", "II", "lane util"]);
+    for p in &tp.phases {
+        t.row([
+            p.name.clone(),
+            p.spans.to_string(),
+            p.warp_instructions.to_string(),
+            p.intops.to_string(),
+            f(p.intop_intensity(), 2),
+            pct(p.lane_utilization()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
 /// Dump the underlying per-run data as CSV files for external plotting.
 fn write_csvs(dir: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -731,6 +787,9 @@ fn main() {
     }
 
     println!("# locassm repro — scale {}, seed {}\n", args.scale, args.seed);
+    if let Some(path) = args.trace.clone() {
+        trace_run(&args, &path);
+    }
     if wants("table1") {
         table1();
     }

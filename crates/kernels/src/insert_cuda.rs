@@ -70,6 +70,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         // hash_val = (hash_val + 1) % max_size for the lanes that continue.
         advance(warp, job, searching, &mut slot);
     }
+    warp.trace_event(simt::EventKind::ProbeChain { rounds });
     slot
 }
 

@@ -26,6 +26,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         // if (__all(done)) return …
         let done_preds = LaneVec::from_fn(warp.width(), |l| done[l]);
         if warp.all(warp.full_mask(), &done_preds) {
+            warp.trace_event(simt::EventKind::ProbeChain { rounds });
             return slot;
         }
 
@@ -73,6 +74,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         // Second __all(done) check of the listing.
         let done_preds = LaneVec::from_fn(warp.width(), |l| done[l]);
         if warp.all(warp.full_mask(), &done_preds) {
+            warp.trace_event(simt::EventKind::ProbeChain { rounds });
             return slot;
         }
 

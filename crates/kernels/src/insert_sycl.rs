@@ -58,6 +58,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         searching = still;
         advance(warp, job, searching, &mut slot);
     }
+    warp.trace_event(simt::EventKind::ProbeChain { rounds });
     slot
 }
 

@@ -92,10 +92,16 @@ pub fn extension_kernel(warp: &mut Warp, job: &KernelJob) -> KernelOut {
         if job.contig.len() < k {
             continue;
         }
+        warp.phase_enter("stage");
         let dev = DeviceJob::stage(warp, &job.contig, &job.reads, k, job.walk);
+        warp.phase_exit("stage");
+        warp.phase_enter("construct");
         construct_hash_table(warp, &dev, job.dialect);
+        warp.phase_exit("construct");
         construct = warp.snapshot();
+        warp.phase_enter("walk");
         let walk = mer_walk_kernel(warp, &dev);
+        warp.phase_exit("walk");
         let accepted = job.retry.accepts(&walk);
         let longer = best.as_ref().is_none_or(|b| walk.extension.len() >= b.extension.len());
         if longer {

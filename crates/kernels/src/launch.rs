@@ -29,6 +29,10 @@ pub struct GpuConfig {
     /// projections, e.g. "MI250X with a 40 MB L2"). `None` uses the
     /// published spec for `device`.
     pub custom_spec: Option<DeviceSpec>,
+    /// Attach a trace sink to every warp and collect per-warp
+    /// [`simt::WarpTrace`]s in [`GpuRunResult::traces`] (run-global warp
+    /// ids, in launch order: batches × {right, left} × job order).
+    pub trace: bool,
 }
 
 impl GpuConfig {
@@ -44,6 +48,7 @@ impl GpuConfig {
             retry: RetryPolicy::none(),
             parallel: true,
             custom_spec: None,
+            trace: false,
         }
     }
 
@@ -65,6 +70,9 @@ pub struct GpuRunResult {
     /// Per-contig extensions, in dataset order.
     pub extensions: Vec<ExtensionResult>,
     pub profile: KernelProfile,
+    /// Per-warp traces (empty unless [`GpuConfig::trace`] was set).
+    /// `warp_id` is re-numbered to be unique across the whole run.
+    pub traces: Vec<simt::WarpTrace>,
 }
 
 /// Run the full local assembly pipeline for a dataset on a simulated GPU.
@@ -77,6 +85,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
     let mut total = AggCounters::default();
     let mut phases = PhaseCounters::default();
     let mut batch_profiles = Vec::new();
+    let mut traces: Vec<simt::WarpTrace> = Vec::new();
 
     // Results indexed by job position.
     let mut right: Vec<(Vec<u8>, locassm_core::WalkState)> =
@@ -124,12 +133,21 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
 
             let (indices, kernel_jobs): (Vec<usize>, Vec<KernelJob>) = jobs.into_iter().unzip();
             let hierarchy = effective_hierarchy(spec, kernel_jobs.len() as u64);
-            let launch_cfg =
-                LaunchConfig { width: cfg.width, hierarchy, parallel: cfg.parallel };
+            let launch_cfg = LaunchConfig {
+                width: cfg.width,
+                hierarchy,
+                parallel: cfg.parallel,
+                trace: cfg.trace,
+            };
             let out = launch_warps(launch_cfg, &kernel_jobs, |warp, job: &KernelJob| {
                 let r: KernelOut = extension_kernel(warp, job);
                 r
             });
+            // Re-number warp ids to be unique across batches and sides.
+            for mut t in out.traces {
+                t.warp_id = traces.len() as u64;
+                traces.push(t);
+            }
 
             // Phase split: construct snapshots summed; walk = total − construct.
             let mut construct = AggCounters::default();
@@ -203,6 +221,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             phases,
             batches: batch_profiles,
         },
+        traces,
     }
 }
 
@@ -290,6 +309,29 @@ mod tests {
         let ser = run_local_assembly(&ds, &cfg);
         assert_eq!(par.extensions, ser.extensions);
         assert_eq!(par.profile.total, ser.profile.total);
+    }
+
+    #[test]
+    fn traced_run_collects_run_global_traces() {
+        let ds = small_ds();
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.trace = true;
+        let traced = run_local_assembly(&ds, &cfg);
+        assert!(!traced.traces.is_empty());
+        for (i, t) in traced.traces.iter().enumerate() {
+            assert_eq!(t.warp_id, i as u64, "run-global warp ids");
+            assert!(
+                t.phase_names().len() >= 3,
+                "warp {i} has phases {:?}",
+                t.phase_names()
+            );
+        }
+        // Observing the run must not change it.
+        cfg.trace = false;
+        let plain = run_local_assembly(&ds, &cfg);
+        assert_eq!(traced.extensions, plain.extensions);
+        assert_eq!(traced.profile.total, plain.profile.total);
+        assert!(plain.traces.is_empty());
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub use kernel::Dialect;
 pub use launch::{run_local_assembly, GpuConfig, GpuRunResult};
 pub use multi_gpu::{run_multi_gpu, MultiGpuResult, Partition};
 pub use pipeline::{run_pipeline_gpu, GpuPipelineResult, GpuRoundReport};
-pub use profile::{KernelProfile, PhaseCounters};
+pub use profile::{KernelProfile, PhaseCounters, PhaseStats, TraceProfile};

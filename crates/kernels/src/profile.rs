@@ -3,7 +3,7 @@
 
 use gpu_specs::{Bound, DeviceId, ModelParams, TimeEstimate};
 use crate::kernel::Dialect;
-use simt::AggCounters;
+use simt::{AggCounters, WarpTrace};
 
 /// Counters split at the construct/walk phase boundary.
 #[derive(Debug, Clone, Copy, Default)]
@@ -85,6 +85,182 @@ impl KernelProfile {
     /// e.g. in what-if analyses).
     pub fn model_params(&self) -> ModelParams {
         ModelParams::from_counters(&self.total)
+    }
+}
+
+/// Aggregated statistics for one named phase, derived from warp traces.
+///
+/// Span deltas are *inclusive* of nested phases, so a parent phase counts
+/// its children's work too; the kernel's top-level phases (`stage`,
+/// `construct`, `walk`) do not nest each other and therefore partition the
+/// traced work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Phase (span) name.
+    pub name: String,
+    /// Number of spans with this name across all traced warps.
+    pub spans: u64,
+    /// Warp instructions attributed to the phase.
+    pub warp_instructions: u64,
+    /// Warp-level integer instructions attributed to the phase.
+    pub int_instructions: u64,
+    /// Warp-level INTOPs (integer instructions × warp width) — the
+    /// paper's `smsp__inst_executed`-derived metric.
+    pub intops: u64,
+    /// Lane-level integer operations actually performed (active lanes).
+    pub lane_int_ops: u64,
+    /// HBM bytes moved during the phase.
+    pub hbm_bytes: u64,
+    /// Integer instructions per active-lane occupancy quartile
+    /// (0–25 %, 25–50 %, 50–75 %, 75–100 %].
+    pub occupancy_quartiles: [u64; 4],
+}
+
+impl PhaseStats {
+    fn zero(name: &str) -> Self {
+        PhaseStats {
+            name: name.to_string(),
+            spans: 0,
+            warp_instructions: 0,
+            int_instructions: 0,
+            intops: 0,
+            lane_int_ops: 0,
+            hbm_bytes: 0,
+            occupancy_quartiles: [0; 4],
+        }
+    }
+
+    /// INTOP intensity (integer ops per HBM byte) of this phase — the
+    /// roofline x-axis, resolved per pipeline stage.
+    pub fn intop_intensity(&self) -> f64 {
+        if self.hbm_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.intops as f64 / self.hbm_bytes as f64
+    }
+
+    /// Mean active-lane fraction over the phase's integer instructions
+    /// (1.0 = no divergence; the serial mer-walk sits near 1/width).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.intops == 0 {
+            return 1.0;
+        }
+        self.lane_int_ops as f64 / self.intops as f64
+    }
+
+    /// Fraction of integer instructions per occupancy quartile — the
+    /// phase-resolved divergence profile.
+    pub fn divergence_profile(&self) -> [f64; 4] {
+        let total: u64 = self.occupancy_quartiles.iter().sum();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        self.occupancy_quartiles.map(|q| q as f64 / total as f64)
+    }
+}
+
+/// Per-phase profile derived from the warp traces of a run — what the
+/// vendor profilers' range-replay / kernel-phase views report, rebuilt
+/// from the simulator's own spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Per-phase aggregates, sorted by phase name.
+    pub phases: Vec<PhaseStats>,
+    /// Number of traced warps that contributed.
+    pub warps: u64,
+}
+
+impl TraceProfile {
+    /// Aggregate span deltas by phase name over all traces.
+    pub fn from_traces(traces: &[WarpTrace]) -> Self {
+        let mut phases: Vec<PhaseStats> = Vec::new();
+        for t in traces {
+            for s in &t.spans {
+                let idx = match phases.iter().position(|p| p.name == s.name) {
+                    Some(i) => i,
+                    None => {
+                        phases.push(PhaseStats::zero(s.name));
+                        phases.len() - 1
+                    }
+                };
+                let p = &mut phases[idx];
+                p.spans += 1;
+                p.warp_instructions += s.delta.warp_instructions;
+                p.int_instructions += s.delta.int_instructions;
+                p.intops += s.delta.intops();
+                p.lane_int_ops += s.delta.lane_int_ops;
+                p.hbm_bytes += s.delta.mem.hbm_bytes();
+                for q in 0..4 {
+                    p.occupancy_quartiles[q] += s.delta.occupancy_quartiles[q];
+                }
+            }
+        }
+        phases.sort_by(|a, b| a.name.cmp(&b.name));
+        TraceProfile { phases, warps: traces.len() as u64 }
+    }
+
+    /// Look up a phase by name.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod trace_profile_tests {
+    use super::*;
+    use crate::kernel::{extension_kernel, Dialect, KernelJob};
+    use locassm_core::walk::WalkConfig;
+    use locassm_core::{Read, RetryPolicy};
+    use memhier::HierarchyConfig;
+    use simt::Warp;
+
+    fn traced_kernel_run() -> Vec<WarpTrace> {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        warp.enable_trace(0);
+        let job = KernelJob {
+            contig: b"GGGGACGTACG".to_vec(),
+            reads: vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')],
+            k: 4,
+            walk: WalkConfig { min_votes: 1, ..WalkConfig::default() },
+            retry: RetryPolicy::none(),
+            dialect: Dialect::Cuda,
+        };
+        let _ = extension_kernel(&mut warp, &job);
+        vec![warp.take_trace().unwrap()]
+    }
+
+    #[test]
+    fn kernel_phases_show_up_with_distinct_cost_structure() {
+        let traces = traced_kernel_run();
+        assert_eq!(traces[0].phase_names(), vec!["construct", "stage", "walk"]);
+        let p = TraceProfile::from_traces(&traces);
+        assert_eq!(p.warps, 1);
+        let construct = p.phase("construct").unwrap();
+        let walk = p.phase("walk").unwrap();
+        assert!(construct.intops > 0);
+        assert!(walk.intops > 0);
+        // The mer-walk is single-lane; construction is warp-parallel.
+        assert!(walk.lane_utilization() < 0.1);
+        assert!(construct.lane_utilization() > walk.lane_utilization());
+        // Walk divergence lives in the bottom occupancy quartile.
+        assert!(walk.divergence_profile()[0] > 0.9);
+    }
+
+    #[test]
+    fn phase_totals_cover_the_whole_kernel() {
+        let traces = traced_kernel_run();
+        let p = TraceProfile::from_traces(&traces);
+        let sum: u64 = p.phases.iter().map(|ph| ph.warp_instructions).sum();
+        assert!(sum > 0);
+        // Top-level phases partition the kernel body (no nesting).
+        assert!(sum <= traces[0].end_clock());
+    }
+
+    #[test]
+    fn empty_traces_yield_empty_profile() {
+        let p = TraceProfile::from_traces(&[]);
+        assert!(p.phases.is_empty());
+        assert_eq!(p.warps, 0);
     }
 }
 

@@ -68,7 +68,9 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Walk {
         let mut slot = fp % job.slots;
         warp.iop(lm, 2);
         let mut found = None;
+        let mut probes = 0u32;
         for _probe in 0..job.slots {
+            probes += 1;
             let len_v = warp.load_u32_scalar(lane, job.entry_field(slot, OFF_KEY_LEN));
             warp.iop(lm, 1);
             if len_v == EMPTY {
@@ -87,6 +89,7 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Walk {
             slot = (slot + 1) % job.slots;
             warp.iop(lm, 2);
         }
+        warp.trace_event(simt::EventKind::WalkStep { probes });
         let Some(s) = found else {
             break WalkState::End;
         };

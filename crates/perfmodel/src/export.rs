@@ -1,10 +1,13 @@
-//! CSV export of analysis data.
+//! CSV and trace export of analysis data.
 //!
 //! The repro harness prints ASCII tables/plots; for external plotting
 //! (matplotlib, gnuplot, …) it can also emit the underlying data as CSV
-//! via `repro --csv <dir>`. The writer is deliberately minimal: RFC-4180
-//! quoting, no dependencies.
+//! via `repro --csv <dir>`, and warp traces as Chrome `trace_event` JSON
+//! via `repro --trace <path>` (load in `chrome://tracing` or Perfetto).
+//! The writers are deliberately minimal: RFC-4180 quoting / hand-rolled
+//! JSON, no dependencies.
 
+use simt::{EventKind, WarpTrace};
 use std::fmt::Write as _;
 
 /// A CSV document under construction.
@@ -64,6 +67,128 @@ pub fn num(v: f64) -> String {
     format!("{v}")
 }
 
+/// Escape a string for a JSON string literal (without the quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The JSON `args` object for an instant event.
+fn event_args(kind: &EventKind) -> String {
+    match kind {
+        EventKind::ProbeChain { rounds } => format!("{{\"rounds\":{rounds}}}"),
+        EventKind::WalkStep { probes } => format!("{{\"probes\":{probes}}}"),
+        EventKind::HbmTx { read, write } => {
+            format!("{{\"read_tx\":{read},\"write_tx\":{write}}}")
+        }
+        EventKind::Collective { .. } | EventKind::Sync => "{}".to_string(),
+    }
+}
+
+/// Render warp traces as Chrome `trace_event` JSON.
+///
+/// Load the output in `chrome://tracing` or <https://ui.perfetto.dev>.
+/// One timeline thread per warp (`tid` = `warp_id`); the time axis is the
+/// warp's deterministic instruction clock, reported as microseconds so
+/// the viewers render it (1 "µs" = 1 warp instruction). Phase spans
+/// become `"X"` complete events carrying their counter deltas in `args`;
+/// probe chains, collectives, syncs, walk steps and HBM transactions
+/// become `"i"` instant events.
+pub fn chrome_trace(traces: &[WarpTrace]) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    for t in traces {
+        let tid = t.warp_id;
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"warp {tid} (width {w})\"}}}}",
+            w = t.width
+        ));
+        for s in &t.spans {
+            let d = &s.delta;
+            ev.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\
+                 \"ts\":{ts},\"dur\":{dur},\"args\":{{\
+                 \"warp_instructions\":{wi},\"intops\":{intops},\
+                 \"lane_utilization\":{util},\"hbm_bytes\":{hbm},\
+                 \"collectives\":{coll},\"atomics\":{atomics}}}}}",
+                name = json_escape(s.name),
+                ts = s.start,
+                dur = s.end - s.start,
+                wi = d.warp_instructions,
+                intops = d.intops(),
+                util = d.lane_utilization(),
+                hbm = d.mem.hbm_bytes(),
+                coll = d.collective_instructions,
+                atomics = d.atomic_instructions,
+            ));
+        }
+        for e in &t.events {
+            ev.push(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\
+                 \"ts\":{ts},\"s\":\"t\",\"args\":{args}}}",
+                name = json_escape(e.kind.name()),
+                ts = e.at,
+                args = event_args(&e.kind),
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+}
+
+/// Flatten warp traces into a per-span CSV (one row per phase span).
+///
+/// Columns mirror the `args` of [`chrome_trace`] so the two exports can
+/// be cross-checked; aggregate with your plotting tool of choice.
+pub fn phase_csv(traces: &[WarpTrace]) -> Csv {
+    let mut csv = Csv::new([
+        "warp_id",
+        "phase",
+        "depth",
+        "start",
+        "end",
+        "warp_instructions",
+        "int_instructions",
+        "intops",
+        "lane_utilization",
+        "hbm_bytes",
+        "collectives",
+        "atomics",
+    ]);
+    for t in traces {
+        for s in &t.spans {
+            let d = &s.delta;
+            csv.row([
+                t.warp_id.to_string(),
+                s.name.to_string(),
+                s.depth.to_string(),
+                s.start.to_string(),
+                s.end.to_string(),
+                d.warp_instructions.to_string(),
+                d.int_instructions.to_string(),
+                d.intops().to_string(),
+                num(d.lane_utilization()),
+                d.mem.hbm_bytes().to_string(),
+                d.collective_instructions.to_string(),
+                d.atomic_instructions.to_string(),
+            ]);
+        }
+    }
+    csv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,4 +228,98 @@ mod tests {
         let parts: Vec<f64> = line.split(',').map(|p| p.parse().unwrap()).collect();
         assert_eq!(parts, vec![1.5, 2.25]);
     }
+}
+
+#[cfg(test)]
+mod trace_export_tests {
+    use super::*;
+    use simt::{Event, Span, WarpCounters, WarpTrace};
+
+    /// A small hand-built two-phase trace (shared with the golden-file
+    /// integration test via `perfmodel::export::test_fixture`).
+    pub fn fixture() -> Vec<WarpTrace> {
+        super::test_fixture()
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_and_instants() {
+        let s = chrome_trace(&fixture());
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"M\"")); // thread_name metadata
+        assert!(s.contains("\"name\":\"construct\",\"ph\":\"X\""));
+        assert!(s.contains("\"name\":\"walk\",\"ph\":\"X\""));
+        assert!(s.contains("\"name\":\"probe_chain\",\"ph\":\"i\""));
+        assert!(s.contains("\"rounds\":2"));
+        assert!(s.contains("\"read_tx\":4,\"write_tx\":1"));
+        assert!(s.contains("\"dur\":40"));
+    }
+
+    #[test]
+    fn phase_csv_one_row_per_span() {
+        let csv = phase_csv(&fixture());
+        assert_eq!(csv.len(), 2);
+        let s = csv.render();
+        let mut lines = s.lines();
+        assert!(lines.next().unwrap().starts_with("warp_id,phase,"));
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(row[0], "0");
+        assert_eq!(row[1], "construct");
+        assert_eq!(row[5], "40"); // warp_instructions
+        assert_eq!(row[7], "800"); // intops = 25 × 32
+    }
+
+    #[test]
+    fn empty_trace_list_is_valid() {
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[\n\n]}\n");
+        assert!(phase_csv(&[]).is_empty());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn fixture_is_well_formed() {
+        let t = &fixture()[0];
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.events.len(), 4);
+        let _ = (Span { ..t.spans[0] }, Event { ..t.events[0] });
+        assert_eq!(t.spans[0].delta.width, 32);
+        let fresh = WarpCounters::new(32);
+        assert_eq!(fresh.warp_instructions, 0);
+    }
+}
+
+/// A deterministic hand-built trace used by the exporter tests and the
+/// golden-file integration test (`tests/chrome_trace_golden.rs`).
+#[doc(hidden)]
+pub fn test_fixture() -> Vec<simt::WarpTrace> {
+    use simt::{Event, EventKind, Span, WarpCounters, WarpTrace};
+    let mut construct = WarpCounters::new(32);
+    construct.warp_instructions = 40;
+    construct.int_instructions = 25;
+    construct.lane_int_ops = 25 * 32;
+    construct.collective_instructions = 2;
+    construct.atomic_instructions = 1;
+    let mut walk = WarpCounters::new(32);
+    walk.warp_instructions = 17;
+    walk.int_instructions = 16;
+    walk.lane_int_ops = 16;
+    vec![WarpTrace {
+        warp_id: 0,
+        width: 32,
+        spans: vec![
+            Span { name: "construct", start: 0, end: 40, depth: 0, delta: construct },
+            Span { name: "walk", start: 40, end: 57, depth: 0, delta: walk },
+        ],
+        events: vec![
+            Event { at: 12, kind: EventKind::ProbeChain { rounds: 2 } },
+            Event { at: 20, kind: EventKind::Collective { name: "ballot" } },
+            Event { at: 45, kind: EventKind::WalkStep { probes: 3 } },
+            Event { at: 50, kind: EventKind::HbmTx { read: 4, write: 1 } },
+        ],
+    }]
 }

@@ -1,0 +1,157 @@
+//! Golden-file test for the Chrome `trace_event` exporter.
+//!
+//! The exporter's output is consumed by external tools (chrome://tracing,
+//! Perfetto), so its exact shape is a compatibility surface: any change
+//! must be deliberate. Regenerate the golden file after an intentional
+//! format change with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p perfmodel --test chrome_trace_golden
+//! ```
+
+use perfmodel::export::{chrome_trace, test_fixture};
+
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/chrome_trace.json");
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let actual = chrome_trace(&test_fixture());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        actual, expected,
+        "exporter output drifted from tests/golden/chrome_trace.json; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_trace_is_valid_json() {
+    let s = chrome_trace(&test_fixture());
+    let mut p = Json { b: s.as_bytes(), i: 0 };
+    p.skip_ws();
+    p.value();
+    p.skip_ws();
+    assert_eq!(p.i, p.b.len(), "trailing garbage after JSON document");
+}
+
+/// Minimal recursive-descent JSON validator (no external deps); panics on
+/// malformed input.
+struct Json<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Json<'_> {
+    fn peek(&self) -> u8 {
+        *self.b.get(self.i).expect("unexpected end of JSON")
+    }
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.i += 1;
+        c
+    }
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+    fn expect(&mut self, c: u8) {
+        assert_eq!(self.bump(), c, "at byte {}", self.i - 1);
+    }
+    fn value(&mut self) {
+        self.skip_ws();
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.literal(b"true"),
+            b'f' => self.literal(b"false"),
+            b'n' => self.literal(b"null"),
+            _ => self.number(),
+        }
+    }
+    fn object(&mut self) {
+        self.expect(b'{');
+        self.skip_ws();
+        if self.peek() == b'}' {
+            self.bump();
+            return;
+        }
+        loop {
+            self.skip_ws();
+            self.string();
+            self.skip_ws();
+            self.expect(b':');
+            self.value();
+            self.skip_ws();
+            match self.bump() {
+                b',' => continue,
+                b'}' => return,
+                c => panic!("expected ',' or '}}', got {:?}", c as char),
+            }
+        }
+    }
+    fn array(&mut self) {
+        self.expect(b'[');
+        self.skip_ws();
+        if self.peek() == b']' {
+            self.bump();
+            return;
+        }
+        loop {
+            self.value();
+            self.skip_ws();
+            match self.bump() {
+                b',' => continue,
+                b']' => return,
+                c => panic!("expected ',' or ']', got {:?}", c as char),
+            }
+        }
+    }
+    fn string(&mut self) {
+        self.expect(b'"');
+        loop {
+            match self.bump() {
+                b'"' => return,
+                b'\\' => {
+                    let e = self.bump();
+                    assert!(
+                        matches!(e, b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' | b'u'),
+                        "bad escape \\{}",
+                        e as char
+                    );
+                    if e == b'u' {
+                        for _ in 0..4 {
+                            assert!(self.bump().is_ascii_hexdigit());
+                        }
+                    }
+                }
+                c => assert!(c >= 0x20, "raw control char in string"),
+            }
+        }
+    }
+    fn number(&mut self) {
+        let start = self.i;
+        if self.peek() == b'-' {
+            self.bump();
+        }
+        while self.i < self.b.len()
+            && matches!(self.b[self.i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        {
+            self.i += 1;
+        }
+        assert!(self.i > start, "expected a number at byte {start}");
+        let text = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        text.parse::<f64>().unwrap_or_else(|_| panic!("bad number {text:?}"));
+    }
+    fn literal(&mut self, lit: &[u8]) {
+        for &c in lit {
+            self.expect(c);
+        }
+    }
+}

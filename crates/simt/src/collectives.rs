@@ -12,12 +12,13 @@
 
 use crate::lanevec::LaneVec;
 use crate::mask::Mask;
+use crate::trace::EventKind;
 use crate::warp::Warp;
 
 impl Warp {
     /// `__shfl_sync`: every active lane receives lane `src`'s value.
     pub fn shfl_u32(&mut self, mask: Mask, vals: &LaneVec<u32>, src: u32) -> LaneVec<u32> {
-        self.count_collective(1);
+        self.count_collective(1, "shfl");
         let v = vals[src];
         let mut out = LaneVec::splat(0u32);
         out.set_masked(mask, v);
@@ -26,7 +27,7 @@ impl Warp {
 
     /// 64-bit shuffle (two 32-bit shuffles on hardware → 2 instructions).
     pub fn shfl_u64(&mut self, mask: Mask, vals: &LaneVec<u64>, src: u32) -> LaneVec<u64> {
-        self.count_collective(2);
+        self.count_collective(2, "shfl");
         let v = vals[src];
         let mut out = LaneVec::splat(0u64);
         out.set_masked(mask, v);
@@ -35,7 +36,7 @@ impl Warp {
 
     /// `__ballot_sync`: mask of active lanes whose predicate is true.
     pub fn ballot(&mut self, mask: Mask, preds: &LaneVec<bool>) -> Mask {
-        self.count_collective(1);
+        self.count_collective(1, "ballot");
         let mut out = Mask::NONE;
         for (l, p) in preds.iter_masked(mask) {
             if p {
@@ -49,7 +50,7 @@ impl Warp {
     /// holding an equal key. Used by the CUDA dialect to detect thread
     /// collisions on identical k-mers (§III-A, Appendix A).
     pub fn match_any(&mut self, mask: Mask, keys: &LaneVec<u64>) -> LaneVec<Mask> {
-        self.count_collective(1);
+        self.count_collective(1, "match_any");
         let mut out = LaneVec::splat(Mask::NONE);
         for (l, k) in keys.iter_masked(mask) {
             let mut m = Mask::NONE;
@@ -66,13 +67,13 @@ impl Warp {
     /// `__all`: true iff every active lane's predicate is true. (HIP dialect
     /// termination test for the done-flag insertion loop.)
     pub fn all(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {
-        self.count_collective(1);
+        self.count_collective(1, "all");
         preds.iter_masked(mask).all(|(_, p)| p)
     }
 
     /// `__any`: true iff at least one active lane's predicate is true.
     pub fn any(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {
-        self.count_collective(1);
+        self.count_collective(1, "any");
         preds.iter_masked(mask).any(|(_, p)| p)
     }
 
@@ -81,17 +82,20 @@ impl Warp {
     pub fn syncwarp(&mut self, _mask: Mask) {
         self.counters.sync_instructions += 1;
         self.counters.warp_instructions += 1;
+        self.trace_event(EventKind::Sync);
     }
 
     /// SYCL `sg.barrier()`: synchronize the whole sub-group.
     pub fn subgroup_barrier(&mut self) {
         self.counters.sync_instructions += 1;
         self.counters.warp_instructions += 1;
+        self.trace_event(EventKind::Sync);
     }
 
-    fn count_collective(&mut self, n: u64) {
+    fn count_collective(&mut self, n: u64, name: &'static str) {
         self.counters.collective_instructions += n;
         self.counters.warp_instructions += n;
+        self.trace_event(EventKind::Collective { name });
     }
 }
 

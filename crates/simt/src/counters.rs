@@ -46,6 +46,7 @@ pub struct WarpCounters {
 }
 
 impl WarpCounters {
+    /// Zeroed counters for a warp of the given width.
     pub fn new(width: u32) -> Self {
         WarpCounters { width, ..Default::default() }
     }
@@ -113,24 +114,37 @@ impl WarpCounters {
 /// Aggregated counters across all warps of a launch.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AggCounters {
+    /// Warp width of the launch (all warps of a launch share one width).
     pub width: u32,
+    /// Number of warps absorbed into this aggregate.
     pub warps: u64,
+    /// Total warp instructions across all warps.
     pub warp_instructions: u64,
+    /// Total integer-arithmetic warp instructions.
     pub int_instructions: u64,
+    /// Total collective (shuffle/ballot/match/vote) instructions.
     pub collective_instructions: u64,
+    /// Total warp/sub-group synchronization instructions.
     pub sync_instructions: u64,
+    /// Total atomic instructions (before conflict replays).
     pub atomic_instructions: u64,
+    /// Total serialized replays caused by atomic address conflicts.
     pub atomic_replays: u64,
+    /// Total active-lane integer ops (see [`WarpCounters::lane_int_ops`]).
     pub lane_int_ops: u64,
+    /// Summed divergence profile (see
+    /// [`WarpCounters::occupancy_quartiles`]).
     pub occupancy_quartiles: [u64; 4],
     /// Longest single-warp instruction stream — the critical path within a
     /// batch when all its warps run concurrently (used by the timing model
     /// and by the binning ablation).
     pub max_warp_instructions: u64,
+    /// Memory traffic summed over all warps.
     pub mem: MemStats,
 }
 
 impl AggCounters {
+    /// Fold one warp's final counters into the aggregate.
     pub fn absorb(&mut self, w: &WarpCounters) {
         debug_assert!(self.width == 0 || self.width == w.width);
         self.width = w.width;
@@ -149,6 +163,7 @@ impl AggCounters {
         self.mem.merge(&w.mem);
     }
 
+    /// Combine with another aggregate (e.g. per-batch partial sums).
     pub fn merge(&mut self, o: &AggCounters) {
         debug_assert!(self.width == 0 || o.width == 0 || self.width == o.width);
         self.width = self.width.max(o.width);

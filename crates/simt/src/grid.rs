@@ -6,6 +6,7 @@
 //! and counters are commutatively merged).
 
 use crate::counters::AggCounters;
+use crate::trace::WarpTrace;
 use crate::warp::Warp;
 use memhier::HierarchyConfig;
 use rayon::prelude::*;
@@ -22,11 +23,17 @@ pub struct LaunchConfig {
     /// single-threaded runs (e.g. inside criterion benchmarks measuring
     /// simulator throughput).
     pub parallel: bool,
+    /// Attach a [`crate::TraceSink`] to every warp and collect
+    /// [`WarpTrace`]s in [`LaunchOutput::traces`]. Off by default; the
+    /// launch stays deterministic either way (traces are merged in job
+    /// order regardless of rayon scheduling).
+    pub trace: bool,
 }
 
 impl LaunchConfig {
+    /// A parallel, untraced launch at the given width and hierarchy.
     pub fn new(width: u32, hierarchy: HierarchyConfig) -> Self {
-        LaunchConfig { width, hierarchy, parallel: true }
+        LaunchConfig { width, hierarchy, parallel: true, trace: false }
     }
 }
 
@@ -37,6 +44,9 @@ pub struct LaunchOutput<R> {
     pub results: Vec<R>,
     /// Counters aggregated over all warps.
     pub counters: AggCounters,
+    /// Per-warp traces in job order (`warp_id` = job index); empty unless
+    /// [`LaunchConfig::trace`] was set.
+    pub traces: Vec<WarpTrace>,
 }
 
 /// Launch `kernel` once per job, each on a fresh warp.
@@ -50,26 +60,33 @@ where
     R: Send,
     F: Fn(&mut Warp, &J) -> R + Sync,
 {
-    let run_one = |job: &J| -> (R, crate::WarpCounters) {
+    let run_one = |&(idx, job): &(usize, &J)| -> (R, crate::WarpCounters, Option<WarpTrace>) {
         let mut warp = Warp::new(cfg.width, cfg.hierarchy);
+        if cfg.trace {
+            warp.enable_trace(idx as u64);
+        }
         let r = kernel(&mut warp, job);
         let counters = warp.finish();
-        (r, counters)
+        let trace = warp.take_trace();
+        (r, counters, trace)
     };
 
-    let per_warp: Vec<(R, crate::WarpCounters)> = if cfg.parallel {
-        jobs.par_iter().map(run_one).collect()
+    let indexed: Vec<(usize, &J)> = jobs.iter().enumerate().collect();
+    let per_warp: Vec<(R, crate::WarpCounters, Option<WarpTrace>)> = if cfg.parallel {
+        indexed.par_iter().map(run_one).collect()
     } else {
-        jobs.iter().map(run_one).collect()
+        indexed.iter().map(run_one).collect()
     };
 
     let mut agg = AggCounters::default();
     let mut results = Vec::with_capacity(per_warp.len());
-    for (r, c) in per_warp {
+    let mut traces = Vec::new();
+    for (r, c, t) in per_warp {
         agg.absorb(&c);
         results.push(r);
+        traces.extend(t);
     }
-    LaunchOutput { results, counters: agg }
+    LaunchOutput { results, counters: agg, traces }
 }
 
 #[cfg(test)]
@@ -78,7 +95,7 @@ mod tests {
     use crate::lanevec::LaneVec;
 
     fn cfg(parallel: bool) -> LaunchConfig {
-        LaunchConfig { width: 32, hierarchy: HierarchyConfig::tiny(), parallel }
+        LaunchConfig { width: 32, hierarchy: HierarchyConfig::tiny(), parallel, trace: false }
     }
 
     #[test]
@@ -122,5 +139,70 @@ mod tests {
         let out = launch_warps(cfg(true), &Vec::<u32>::new(), |_, _| 0u32);
         assert!(out.results.is_empty());
         assert_eq!(out.counters.warps, 0);
+        assert!(out.traces.is_empty());
+    }
+
+    #[test]
+    fn untraced_launch_collects_no_traces() {
+        let jobs: Vec<u32> = (0..8).collect();
+        let out = launch_warps(cfg(true), &jobs, |w, _| w.iop(w.full_mask(), 1));
+        assert!(out.traces.is_empty());
+    }
+
+    /// A kernel with uneven per-job work, phases and events — enough to
+    /// expose any scheduling-dependent trace ordering.
+    fn traced_body(w: &mut Warp, j: &u32) {
+        w.phase_enter("outer");
+        w.phase_enter("compute");
+        w.iop(w.full_mask(), *j as u64 % 17 + 1);
+        w.phase_exit("compute");
+        let preds = LaneVec::splat(true);
+        let _ = w.ballot(w.full_mask(), &preds);
+        w.syncwarp(w.full_mask());
+        w.phase_exit("outer");
+    }
+
+    #[test]
+    fn traces_merge_deterministically_parallel_vs_serial() {
+        let jobs: Vec<u32> = (0..200).collect();
+        let mut par = cfg(true);
+        par.trace = true;
+        let mut ser = cfg(false);
+        ser.trace = true;
+        let a = launch_warps(par, &jobs, traced_body);
+        let b = launch_warps(ser, &jobs, traced_body);
+        assert_eq!(a.traces.len(), 200);
+        assert_eq!(a.traces, b.traces, "rayon scheduling must not leak into traces");
+        for (i, t) in a.traces.iter().enumerate() {
+            assert_eq!(t.warp_id, i as u64, "traces arrive in job order");
+        }
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn traced_launch_records_phases_and_events() {
+        let jobs: Vec<u32> = vec![3, 5];
+        let mut c = cfg(true);
+        c.trace = true;
+        let out = launch_warps(c, &jobs, traced_body);
+        let t = &out.traces[0];
+        assert_eq!(t.phase_names(), vec!["compute", "outer"]);
+        // Inner span closed first; outer delta is inclusive.
+        assert_eq!(t.spans[0].name, "compute");
+        assert_eq!(t.spans[1].name, "outer");
+        assert!(t.spans[1].delta.warp_instructions >= t.spans[0].delta.warp_instructions);
+        let names: Vec<&str> = t.events.iter().map(|e| e.kind.name()).collect();
+        assert!(names.contains(&"ballot"));
+        assert!(names.contains(&"sync"));
+    }
+
+    #[test]
+    fn tracing_does_not_change_counters() {
+        let jobs: Vec<u32> = (0..32).collect();
+        let mut traced = cfg(true);
+        traced.trace = true;
+        let a = launch_warps(traced, &jobs, traced_body);
+        let b = launch_warps(cfg(true), &jobs, traced_body);
+        assert_eq!(a.counters, b.counters, "observing a warp must not perturb it");
     }
 }

@@ -19,6 +19,13 @@
 //!
 //! Warp widths are configurable (32 = CUDA warp, 64 = CDNA wavefront,
 //! 16 = SYCL sub-group on Xe), up to [`MAX_LANES`].
+//!
+//! An optional warp-level tracing layer ([`trace`]) records phase spans and
+//! instantaneous events (probe chains, collectives, HBM transactions) on a
+//! deterministic warp-instruction clock — the simulator's analogue of the
+//! vendor profiler timelines the paper's analysis is built on.
+
+#![warn(missing_docs)]
 
 pub mod collectives;
 pub mod counters;
@@ -26,6 +33,7 @@ pub mod grid;
 pub mod lanevec;
 pub mod mask;
 pub mod mem;
+pub mod trace;
 pub mod warp;
 
 pub use counters::{AggCounters, WarpCounters};
@@ -33,6 +41,7 @@ pub use grid::{launch_warps, LaunchConfig, LaunchOutput};
 pub use lanevec::LaneVec;
 pub use mask::Mask;
 pub use mem::GlobalMem;
+pub use trace::{Event, EventKind, Span, TraceSink, WarpTrace};
 pub use warp::Warp;
 
 /// Maximum number of lanes in a warp the simulator supports.

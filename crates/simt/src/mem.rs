@@ -72,45 +72,53 @@ impl GlobalMem {
         );
     }
 
+    /// Read one byte at `addr`.
     pub fn read_u8(&self, addr: Addr) -> u8 {
         self.check(addr, 1);
         self.data[addr as usize]
     }
 
+    /// Write one byte at `addr`.
     pub fn write_u8(&mut self, addr: Addr, v: u8) {
         self.check(addr, 1);
         self.data[addr as usize] = v;
     }
 
+    /// Read a little-endian `u32` at `addr`.
     pub fn read_u32(&self, addr: Addr) -> u32 {
         self.check(addr, 4);
         let i = addr as usize;
         u32::from_le_bytes(self.data[i..i + 4].try_into().unwrap())
     }
 
+    /// Write a little-endian `u32` at `addr`.
     pub fn write_u32(&mut self, addr: Addr, v: u32) {
         self.check(addr, 4);
         let i = addr as usize;
         self.data[i..i + 4].copy_from_slice(&v.to_le_bytes());
     }
 
+    /// Read a little-endian `u64` at `addr`.
     pub fn read_u64(&self, addr: Addr) -> u64 {
         self.check(addr, 8);
         let i = addr as usize;
         u64::from_le_bytes(self.data[i..i + 8].try_into().unwrap())
     }
 
+    /// Write a little-endian `u64` at `addr`.
     pub fn write_u64(&mut self, addr: Addr, v: u64) {
         self.check(addr, 8);
         let i = addr as usize;
         self.data[i..i + 8].copy_from_slice(&v.to_le_bytes());
     }
 
+    /// Borrow `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: Addr, len: u64) -> &[u8] {
         self.check(addr, len);
         &self.data[addr as usize..(addr + len) as usize]
     }
 
+    /// Copy `bytes` into memory starting at `addr`.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
         self.check(addr, bytes.len() as u64);
         let i = addr as usize;

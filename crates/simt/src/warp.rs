@@ -15,15 +15,21 @@ use crate::counters::WarpCounters;
 use crate::lanevec::LaneVec;
 use crate::mask::Mask;
 use crate::mem::GlobalMem;
+use crate::trace::{EventKind, TraceSink, WarpTrace};
 use memhier::{coalesce_sectors, AccessKind, Addr, HierarchyConfig, MemHierarchy};
 
 /// Execution context for a single warp.
 #[derive(Debug)]
 pub struct Warp {
     width: u32,
+    /// The warp's slice of simulated device memory.
     pub mem: GlobalMem,
     hier: MemHierarchy,
+    /// Instruction/divergence counters, updated by every issued instruction.
     pub counters: WarpCounters,
+    /// Optional trace sink; `None` (the default) costs one branch per
+    /// *traced call site*, never per `iop`.
+    trace: Option<Box<TraceSink>>,
 }
 
 impl Warp {
@@ -38,6 +44,76 @@ impl Warp {
             mem: GlobalMem::new(),
             hier: MemHierarchy::new(hier_cfg),
             counters: WarpCounters::new(width),
+            trace: None,
+        }
+    }
+
+    /// Attach a [`TraceSink`], enabling span/event recording for this warp.
+    pub fn enable_trace(&mut self, warp_id: u64) {
+        self.trace = Some(Box::new(TraceSink::new(warp_id)));
+    }
+
+    /// Whether a trace sink is attached. Call sites that must *compute*
+    /// an event payload (e.g. count probe rounds into a local) can skip
+    /// that work when this is false.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Enter a named phase (no-op without a sink). Phases nest; every
+    /// enter must be matched by a [`Warp::phase_exit`] with the same name.
+    pub fn phase_enter(&mut self, name: &'static str) {
+        if self.trace.is_some() {
+            let now = self.counters.warp_instructions;
+            let snap = self.snapshot();
+            self.trace.as_mut().unwrap().enter(name, now, snap);
+        }
+    }
+
+    /// Exit the innermost phase, which must be named `name` (no-op
+    /// without a sink).
+    pub fn phase_exit(&mut self, name: &'static str) {
+        if self.trace.is_some() {
+            let now = self.counters.warp_instructions;
+            let snap = self.snapshot();
+            self.trace.as_mut().unwrap().exit(name, now, snap);
+        }
+    }
+
+    /// Record an instantaneous event (no-op without a sink).
+    pub fn trace_event(&mut self, kind: EventKind) {
+        let now = self.counters.warp_instructions;
+        if let Some(t) = self.trace.as_mut() {
+            t.event(kind, now);
+        }
+    }
+
+    /// Detach and seal the trace, if one was enabled. Call after
+    /// [`Warp::finish`]; panics if a phase is still open.
+    pub fn take_trace(&mut self) -> Option<WarpTrace> {
+        let width = self.width;
+        self.trace.take().map(|t| t.finish(width))
+    }
+
+    /// HBM transaction counts before a traced memory access
+    /// (`None` when tracing is off — the common, free path).
+    #[inline]
+    fn hbm_pre(&self) -> Option<(u64, u64)> {
+        self.trace.as_ref().map(|_| {
+            let s = self.hier.stats();
+            (s.hbm_read_transactions, s.hbm_write_transactions)
+        })
+    }
+
+    /// Emit an [`EventKind::HbmTx`] if the access since `pre` reached HBM.
+    #[inline]
+    fn hbm_post(&mut self, pre: Option<(u64, u64)>) {
+        if let Some((r0, w0)) = pre {
+            let s = self.hier.stats();
+            let (read, write) = (s.hbm_read_transactions - r0, s.hbm_write_transactions - w0);
+            if read + write > 0 {
+                self.trace_event(EventKind::HbmTx { read, write });
+            }
         }
     }
 
@@ -68,9 +144,11 @@ impl Warp {
     }
 
     fn mem_access(&mut self, mask: Mask, addrs: &LaneVec<Addr>, size: u32, kind: AccessKind) {
+        let pre = self.hbm_pre();
         let co = coalesce_sectors(addrs.iter_masked(mask).map(|(_, a)| (a, size)));
         self.hier.access(&co, kind);
         self.counters.warp_instructions += 1;
+        self.hbm_post(pre);
     }
 
     /// Warp-wide 32-bit load. Inactive lanes read as 0.
@@ -145,18 +223,22 @@ impl Warp {
 
     /// Single-lane 64-bit load (one instruction, 8-byte access).
     pub fn load_u64_scalar(&mut self, lane: u32, addr: Addr) -> u64 {
+        let pre = self.hbm_pre();
         let co = memhier::coalesce_sectors([(addr, 8u32)]);
         self.hier.access(&co, AccessKind::Read);
         self.counters.warp_instructions += 1;
+        self.hbm_post(pre);
         let _ = lane;
         self.mem.read_u64(addr)
     }
 
     /// Single-lane 64-bit store (one instruction, 8-byte access).
     pub fn store_u64_scalar(&mut self, lane: u32, addr: Addr, v: u64) {
+        let pre = self.hbm_pre();
         let co = memhier::coalesce_sectors([(addr, 8u32)]);
         self.hier.access(&co, AccessKind::Write);
         self.counters.warp_instructions += 1;
+        self.hbm_post(pre);
         let _ = lane;
         self.mem.write_u64(addr, v);
     }
@@ -217,6 +299,7 @@ impl Warp {
     }
 
     fn atomic_traffic(&mut self, mask: Mask, addrs: &LaneVec<Addr>) {
+        let pre = self.hbm_pre();
         let co = coalesce_sectors(addrs.iter_masked(mask).map(|(_, a)| (a, 4)));
         let unique_sectors = co.transactions();
         self.hier.access_atomic(&co);
@@ -227,6 +310,7 @@ impl Warp {
             self.counters.atomic_replays += replays;
             self.counters.warp_instructions += replays;
         }
+        self.hbm_post(pre);
     }
 
     /// A mid-kernel counter snapshot (memory stats included, without
@@ -440,6 +524,83 @@ mod proptests {
                 prop_assert_eq!(got[l], seed.wrapping_mul(l + 1));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    #[test]
+    fn untraced_warp_yields_no_trace() {
+        let mut w = Warp::new(32, HierarchyConfig::tiny());
+        w.phase_enter("a");
+        w.iop(w.full_mask(), 3);
+        w.phase_exit("a");
+        w.finish();
+        assert!(!w.tracing());
+        assert!(w.take_trace().is_none(), "phase markers are free no-ops when disabled");
+    }
+
+    #[test]
+    fn spans_attribute_per_phase_counters() {
+        let mut w = Warp::new(32, HierarchyConfig::tiny());
+        w.enable_trace(42);
+        assert!(w.tracing());
+        w.phase_enter("construct");
+        w.iop(w.full_mask(), 10);
+        w.phase_exit("construct");
+        w.phase_enter("walk");
+        w.iop(Mask::lane(0), 7);
+        w.phase_exit("walk");
+        w.finish();
+        let t = w.take_trace().unwrap();
+        assert_eq!(t.warp_id, 42);
+        assert_eq!(t.width, 32);
+        assert_eq!(t.phase_names(), vec!["construct", "walk"]);
+        assert_eq!(t.spans[0].delta.int_instructions, 10);
+        assert_eq!(t.spans[1].delta.int_instructions, 7);
+        // The walk phase ran single-lane: all its work in the first quartile.
+        assert_eq!(t.spans[1].delta.occupancy_quartiles, [7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn memory_misses_emit_hbm_events() {
+        let mut w = Warp::new(32, HierarchyConfig::tiny());
+        w.enable_trace(0);
+        let base = w.mem.alloc(4 * 32);
+        let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+        let _ = w.load_u32(w.full_mask(), &addrs); // cold: misses to HBM
+        let _ = w.load_u32(w.full_mask(), &addrs); // warm: cache hit
+        w.finish();
+        let t = w.take_trace().unwrap();
+        let hbm: Vec<_> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::HbmTx { read, write } => Some((read, write)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(hbm.len(), 1, "only the cold access reaches HBM");
+        assert!(hbm[0].0 >= 1, "cold load reads at least one sector");
+    }
+
+    #[test]
+    fn trace_spans_cover_phase_memory_traffic() {
+        let mut w = Warp::new(32, HierarchyConfig::tiny());
+        w.enable_trace(0);
+        let base = w.mem.alloc(4 * 32);
+        let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+        w.phase_enter("io");
+        let _ = w.load_u32(w.full_mask(), &addrs);
+        w.phase_exit("io");
+        w.finish();
+        let t = w.take_trace().unwrap();
+        let io = &t.spans[0];
+        assert_eq!(io.delta.mem.mem_instructions, 1);
+        assert!(io.delta.mem.hbm_read_transactions >= 1);
     }
 }
 

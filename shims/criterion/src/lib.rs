@@ -1,0 +1,214 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the `bench` crate uses — `Criterion`,
+//! `benchmark_group` with `sample_size`/`throughput`/`bench_function`/
+//! `bench_with_input`/`finish`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput` and the `criterion_group!`/`criterion_main!` macros — with
+//! a simple adaptive-iteration timer instead of criterion's statistical
+//! machinery. Results are printed as `ns/iter` (plus derived throughput
+//! when declared); there are no saved baselines or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall time per benchmark before reporting.
+const TARGET: Duration = Duration::from_millis(40);
+
+/// Declared per-iteration work, used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, optionally `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timer handed to benchmark closures; call [`Bencher::iter`].
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, growing the iteration count until the batch runs for
+    /// at least the target measurement window (~40 ms).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= TARGET || iters >= 1 << 24 {
+                self.ns_per_iter = dt.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { ns_per_iter: f64::NAN };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / b.ns_per_iter * 1e9 / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.1} Melem/s", n as f64 / b.ns_per_iter * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("{label:<56} {:>14.1} ns/iter{rate}", b.ns_per_iter);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, None, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: f64::NAN };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.ns_per_iter.is_finite());
+        assert!(b.ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("insert", 32).id, "insert/32");
+        assert_eq!(BenchmarkId::from_parameter("k21").id, "k21");
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! small slice of `rand` it relies on is vendored here (see
+//! `shims/README.md`). Only what the workspace actually calls is
+//! implemented: [`rngs::StdRng`] seeded with [`SeedableRng::seed_from_u64`],
+//! [`RngExt::random_range`] / [`RngExt::random_bool`], and
+//! [`seq::SliceRandom::shuffle`]. Determinism for a given seed is the only
+//! quality guarantee; this is a SplitMix64 generator, not a CSPRNG.
+
+/// A source of random `u64`s.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (high half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an [`Rng`] from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The standard deterministic generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// A range that can be sampled uniformly; implemented for the integer
+/// `Range`/`RangeInclusive` types the workspace uses.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i64, isize);
+
+// An unsuffixed literal range (`0..4`) falls back to `i32`; call sites use
+// those as slice indices, so i32 ranges sample to `usize` (and must be
+// non-negative). Suffix the bounds (`0..4i64`) for signed sampling.
+impl SampleRange<usize> for core::ops::Range<i32> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(0 <= self.start && self.start < self.end, "bad index range");
+        let span = (self.end - self.start) as u64;
+        (self.start as u64 + rng.next_u64() % span) as usize
+    }
+}
+
+impl SampleRange<usize> for core::ops::RangeInclusive<i32> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(0 <= lo && lo <= hi, "bad index range");
+        let span = (hi - lo) as u64 + 1;
+        (lo as u64 + rng.next_u64() % span) as usize
+    }
+}
+
+/// Convenience sampling methods on any [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (which must lie in `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 high-quality bits -> uniform f64 in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use crate::{Rng, RngExt};
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(-3..=3i64);
+            assert!((-3..=3).contains(&w));
+            let i = rng.random_range(0..4);
+            assert!(i < 4usize, "unsuffixed ranges sample as indices");
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

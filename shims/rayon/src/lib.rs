@@ -1,0 +1,190 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! Implements the one pattern the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `map(..).collect::<Vec<_>>()` — with real
+//! data parallelism on scoped OS threads. Results are always collected in
+//! input order, matching rayon's indexed-collect semantics, which is what
+//! `simt::launch_warps` relies on for deterministic counter/trace merges.
+
+/// Parallel iterator traits, mirroring `rayon::iter`.
+pub mod iter {
+    /// A finite, indexed parallel iterator.
+    ///
+    /// `drive` materialises the items; `map` is lazy and applies its
+    /// function in parallel when the chain is finally driven by `collect`.
+    pub trait ParallelIterator: Sized {
+        /// Element type produced by the iterator.
+        type Item: Send;
+
+        /// Materialise all items, in order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        /// Apply `f` to every item in parallel, preserving order.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Execute the chain and collect the results in input order.
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+    }
+
+    /// Lazy `map` adaptor returned by [`ParallelIterator::map`].
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    impl<I, R, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        R: Send,
+        F: Fn(I::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            par_map(self.base.drive(), &self.f)
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec`.
+    pub struct VecIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for VecIter<T> {
+        type Item = T;
+
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// Parallel iterator over borrowed slice elements.
+    pub struct SliceIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+        type Item = &'a T;
+
+        fn drive(self) -> Vec<&'a T> {
+            self.items.iter().collect()
+        }
+    }
+
+    /// Conversion into an owning parallel iterator (`into_par_iter`).
+    pub trait IntoParallelIterator {
+        /// Element type of the resulting iterator.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Consume `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecIter<T>;
+
+        fn into_par_iter(self) -> VecIter<T> {
+            VecIter { items: self }
+        }
+    }
+
+    /// Conversion into a borrowing parallel iterator (`par_iter`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type of the resulting iterator (a reference).
+        type Item: Send + 'data;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        /// Borrow `self` as a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = SliceIter<'data, T>;
+
+        fn par_iter(&'data self) -> SliceIter<'data, T> {
+            SliceIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = SliceIter<'data, T>;
+
+        fn par_iter(&'data self) -> SliceIter<'data, T> {
+            SliceIter { items: self }
+        }
+    }
+
+    /// Order-preserving parallel map over `items`, fanned out across up to
+    /// `available_parallelism` scoped threads in contiguous chunks.
+    fn par_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+        let n = items.len();
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let threads = threads.min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut input: Vec<Option<T>> = items.into_iter().map(Some).collect();
+        let mut output: Vec<Option<R>> = Vec::new();
+        output.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in input.chunks_mut(chunk).zip(output.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *out = Some(f(slot.take().expect("input slot taken twice")));
+                    }
+                });
+            }
+        });
+        output.into_iter().map(|o| o.expect("chunk did not produce output")).collect()
+    }
+}
+
+/// The glob-import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

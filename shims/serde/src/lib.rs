@@ -1,0 +1,17 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` to document serializability — nothing serializes through
+//! serde at runtime (CSV/JSON emission is hand-rolled in
+//! `perfmodel::export`). The traits here are therefore empty markers and
+//! the derive macros (enabled by the `derive` feature, from the
+//! `serde_derive` shim) expand to nothing.
+
+/// Marker for types that would be serializable with real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with real serde.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline vendored stand-in for `serde_derive`: the derives accept the
+//! same attribute grammar (including `#[serde(...)]` helpers) but expand
+//! to nothing, because the workspace never serializes through serde at
+//! runtime. See `shims/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

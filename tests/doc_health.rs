@@ -1,0 +1,31 @@
+//! CI-style documentation health check.
+//!
+//! `crates/simt` opts into `#![warn(missing_docs)]` and the crates
+//! cross-link their rustdoc; this test keeps that from rotting by
+//! rebuilding the workspace docs with warnings denied as part of the
+//! ordinary `cargo test` run. If it fails, run
+//!
+//! ```text
+//! RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+//! ```
+//!
+//! and fix what it reports (missing docs, broken intra-doc links, …).
+
+use std::process::Command;
+
+#[test]
+fn workspace_docs_build_without_warnings() {
+    let cargo = std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["doc", "--no-deps", "--workspace", "--offline"])
+        .env("RUSTDOCFLAGS", "-D warnings")
+        .output()
+        .expect("failed to spawn cargo doc");
+    assert!(
+        out.status.success(),
+        "`cargo doc --no-deps --workspace` emitted warnings/errors:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
