@@ -42,7 +42,27 @@ pub fn run_alignment_batch(
     parallel: bool,
 ) -> AlignmentBatchResult {
     let hierarchy = effective_hierarchy(spec, pairs.len() as u64);
-    let cfg = LaunchConfig { width: spec.warp_width, hierarchy, parallel, trace: false };
+    // Host-side size estimation mirroring `SwJob::stage`: query + reference
+    // (each padded up to the default alignment) plus three rotating
+    // (m + 1) × u32 diagonal buffers, so pooled warp arenas never regrow.
+    let arena_hint = pairs
+        .iter()
+        .map(|p| {
+            let pad = simt::mem::DEFAULT_ALIGN - 1;
+            (p.query.len() as u64 + pad)
+                + (p.reference.len() as u64 + pad)
+                + 3 * ((p.query.len() as u64 + 1) * 4 + pad)
+        })
+        .max()
+        .unwrap_or(0);
+    let cfg = LaunchConfig {
+        width: spec.warp_width,
+        hierarchy,
+        parallel,
+        trace: false,
+        pool: true,
+        arena_hint,
+    };
     let out = launch_warps(cfg, pairs, |warp, p: &Pair| {
         sw_kernel(warp, &p.query, &p.reference, scoring)
     });

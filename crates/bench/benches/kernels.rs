@@ -3,7 +3,7 @@
 //! *simulator's* wall time; the simulated kernel seconds are what `repro
 //! fig5` reports.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_specs::DeviceId;
 use locassm_kernels::{run_local_assembly, GpuConfig};
 use std::hint::black_box;
@@ -70,5 +70,36 @@ fn bench_tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_devices, bench_construct_vs_walk_split, bench_tracing_overhead);
+fn bench_launch_pooling(c: &mut Criterion) {
+    // The pooled launch engine's throughput bar: `pooled` must stay within
+    // noise of `fresh` on wall clock (kernel simulation dominates at this
+    // scale; the engine's win is allocator traffic — ~46% fewer heap
+    // allocations and ~83% fewer bytes per warp, measured with the
+    // counting global allocator by the `bench-kernels` binary into
+    // BENCH_kernels.json). Results are bit-identical either way — see the
+    // equivalence tests in locassm-kernels.
+    let ds = paper_dataset(21, 0.005, 11);
+    let mut g = c.benchmark_group("launch_pooling");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ds.jobs.len() as u64));
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = false;
+    cfg.pool = false;
+    g.bench_function("fresh", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.total.warps)
+    });
+    cfg.pool = true;
+    g.bench_function("pooled", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.total.warps)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_devices,
+    bench_construct_vs_walk_split,
+    bench_tracing_overhead,
+    bench_launch_pooling
+);
 criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the checked-in `BENCH_kernels.json`: pooled-vs-fresh launch
+//! engine throughput and allocator metrics on the paper's k = 21 dataset.
+//!
+//! ```text
+//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH]
+//! ```
+//!
+//! `OUT_PATH` defaults to `BENCH_kernels.json` in the current directory
+//! (run from the repo root to refresh the checked-in copy).
+
+use gpu_specs::DeviceId;
+use locassm_bench::poolbench::pool_bench;
+
+fn main() {
+    let path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3);
+    let json = r.to_json();
+    std::fs::write(&path, &json).expect("write report");
+
+    eprintln!(
+        "pooled launch engine, {} k={} ({} contigs, {} iterations):",
+        r.device, r.k, r.contigs, r.iterations
+    );
+    eprintln!(
+        "  fresh : {:>9.1} warps/s  {:>8.1} allocs/warp  {:>12.0} bytes/warp",
+        r.fresh.warps_per_sec, r.fresh.allocs_per_warp, r.fresh.bytes_per_warp
+    );
+    eprintln!(
+        "  pooled: {:>9.1} warps/s  {:>8.1} allocs/warp  {:>12.0} bytes/warp",
+        r.pooled.warps_per_sec, r.pooled.allocs_per_warp, r.pooled.bytes_per_warp
+    );
+    eprintln!(
+        "  delta : {:.1}% fewer allocs, {:.1}% fewer bytes, {:.2}x wall clock",
+        r.alloc_reduction_pct(),
+        r.bytes_reduction_pct(),
+        r.speedup()
+    );
+    eprintln!("  wrote {path}");
+}

@@ -8,6 +8,7 @@ use gpu_specs::{DeviceId, ProgrammingModel};
 use locassm_core::walk::{WalkConfig, WalkState};
 use locassm_core::{Read, RetryPolicy};
 use simt::{Warp, WarpCounters};
+use std::borrow::Cow;
 
 /// The three kernel dialects of the paper (Appendix A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -55,14 +56,82 @@ impl std::fmt::Display for Dialect {
 }
 
 /// One warp's work item.
+///
+/// The sequence data and retry policy are [`Cow`]s so the batch-assembly
+/// hot path stays zero-copy: right-extension jobs *borrow* their contig
+/// and reads straight from the `Dataset` (the host never duplicates
+/// sequence bytes, mirroring how the real pipeline hands the kernel
+/// pointers into pinned host buffers), while left-extension jobs own the
+/// reverse-complemented transform that genuinely requires new storage.
 #[derive(Debug, Clone)]
-pub struct KernelJob {
-    pub contig: Vec<u8>,
-    pub reads: Vec<Read>,
+pub struct KernelJob<'a> {
+    pub contig: Cow<'a, [u8]>,
+    pub reads: Cow<'a, [Read]>,
     pub k: usize,
     pub walk: WalkConfig,
-    pub retry: RetryPolicy,
+    pub retry: Cow<'a, RetryPolicy>,
     pub dialect: Dialect,
+}
+
+impl<'a> KernelJob<'a> {
+    /// A zero-copy job borrowing its inputs (the right-extension path).
+    pub fn borrowed(
+        contig: &'a [u8],
+        reads: &'a [Read],
+        k: usize,
+        walk: WalkConfig,
+        retry: &'a RetryPolicy,
+        dialect: Dialect,
+    ) -> Self {
+        KernelJob {
+            contig: Cow::Borrowed(contig),
+            reads: Cow::Borrowed(reads),
+            k,
+            walk,
+            retry: Cow::Borrowed(retry),
+            dialect,
+        }
+    }
+
+    /// A job owning transformed inputs (the left-extension path, which
+    /// reverse-complements contig and reads), still borrowing the retry
+    /// policy.
+    pub fn transformed(
+        contig: Vec<u8>,
+        reads: Vec<Read>,
+        k: usize,
+        walk: WalkConfig,
+        retry: &'a RetryPolicy,
+        dialect: Dialect,
+    ) -> Self {
+        KernelJob {
+            contig: Cow::Owned(contig),
+            reads: Cow::Owned(reads),
+            k,
+            walk,
+            retry: Cow::Borrowed(retry),
+            dialect,
+        }
+    }
+
+    /// A fully owned job with no outside borrows (tests, single-shot runs).
+    pub fn owned(
+        contig: Vec<u8>,
+        reads: Vec<Read>,
+        k: usize,
+        walk: WalkConfig,
+        retry: RetryPolicy,
+        dialect: Dialect,
+    ) -> KernelJob<'static> {
+        KernelJob {
+            contig: Cow::Owned(contig),
+            reads: Cow::Owned(reads),
+            k,
+            walk,
+            retry: Cow::Owned(retry),
+            dialect,
+        }
+    }
 }
 
 /// What one warp returns to the host.
@@ -78,7 +147,7 @@ pub struct KernelOut {
 /// repeated down the retry ladder while the walk is not accepted (Fig. 4's
 /// "repeat with different k-mer size" loop — each retry rebuilds the hash
 /// table at the smaller k, exactly as the diagram shows).
-pub fn extension_kernel(warp: &mut Warp, job: &KernelJob) -> KernelOut {
+pub fn extension_kernel(warp: &mut Warp, job: &KernelJob<'_>) -> KernelOut {
     if job.reads.is_empty() {
         return KernelOut {
             extension: Vec::new(),
@@ -137,14 +206,14 @@ mod tests {
     #[test]
     fn degenerate_jobs_return_empty() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = KernelJob {
-            contig: b"ACG".to_vec(),
-            reads: vec![Read::with_uniform_qual(b"ACGTACGT", b'I')],
-            k: 5,
-            walk: WalkConfig::default(),
-            retry: RetryPolicy::none(),
-            dialect: Dialect::Cuda,
-        };
+        let job = KernelJob::owned(
+            b"ACG".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGT", b'I')],
+            5,
+            WalkConfig::default(),
+            RetryPolicy::none(),
+            Dialect::Cuda,
+        );
         let out = extension_kernel(&mut warp, &job);
         assert!(out.extension.is_empty());
         assert_eq!(out.state, WalkState::End);
@@ -153,14 +222,14 @@ mod tests {
     #[test]
     fn kernel_extends_and_counts_phases() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = KernelJob {
-            contig: b"GGGGACGTACG".to_vec(),
-            reads: vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')],
-            k: 4,
-            walk: WalkConfig { min_votes: 1, ..WalkConfig::default() },
-            retry: RetryPolicy::none(),
-            dialect: Dialect::Cuda,
-        };
+        let job = KernelJob::owned(
+            b"GGGGACGTACG".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')],
+            4,
+            WalkConfig { min_votes: 1, ..WalkConfig::default() },
+            RetryPolicy::none(),
+            Dialect::Cuda,
+        );
         let out = extension_kernel(&mut warp, &job);
         assert!(!out.extension.is_empty());
         let total = warp.finish();

@@ -1,8 +1,17 @@
 //! The host-side pipeline (Fig. 3): contig binning → hash-table size
 //! estimation → batch creation → GPU initialize → right extension kernel →
 //! left extension kernel → append extensions.
+//!
+//! The batch assembly is zero-copy: right-extension [`KernelJob`]s borrow
+//! contig and read slices straight out of the `Dataset`, left-extension
+//! jobs own only the reverse-complement transform, and every launch goes
+//! through the pooled warp engine in `simt::grid` with an arena pre-size
+//! hint derived from the host-side footprint estimate
+//! ([`crate::layout::arena_footprint`]) — so the steady-state hot path
+//! performs no sequence copies and no per-warp arena growth.
 
 use crate::kernel::{extension_kernel, Dialect, KernelJob, KernelOut};
+use crate::layout::arena_footprint;
 use crate::profile::{BatchProfile, KernelProfile, PhaseCounters};
 use gpu_specs::{effective_hierarchy, DeviceId, DeviceSpec, ModelParams, TimeEstimate};
 use locassm_core::io::Dataset;
@@ -25,6 +34,11 @@ pub struct GpuConfig {
     pub retry: RetryPolicy,
     /// Simulate warps in parallel (rayon).
     pub parallel: bool,
+    /// Draw warps (arena + cache model) from the process-wide pool instead
+    /// of constructing one per job. On by default; results are
+    /// bit-identical either way — pooling only removes allocator traffic
+    /// (see the pooled-vs-fresh equivalence tests).
+    pub pool: bool,
     /// Override the device's architectural parameters (what-if hardware
     /// projections, e.g. "MI250X with a 40 MB L2"). `None` uses the
     /// published spec for `device`.
@@ -47,6 +61,7 @@ impl GpuConfig {
             walk: WalkConfig::default(),
             retry: RetryPolicy::none(),
             parallel: true,
+            pool: true,
             custom_spec: None,
             trace: false,
         }
@@ -92,55 +107,82 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
         vec![(Vec::new(), locassm_core::WalkState::End); ds.jobs.len()];
     let mut left = right.clone();
 
+    // Retry schedule and side-skip threshold are launch-invariant: hoist
+    // them out of the per-job loop (the schedule allocates a Vec).
+    let schedule = cfg.retry.schedule(k);
+    let min_k = schedule.iter().copied().min().unwrap_or(k);
+
     for batch in &batches {
         // Right extension kernel, then left extension kernel (Fig. 3).
         for side in [Side::Right, Side::Left] {
-            let jobs: Vec<(usize, KernelJob)> = batch
-                .jobs
-                .iter()
-                .filter_map(|&idx| {
-                    let j = &ds.jobs[idx];
-                    let job = match side {
-                        Side::Right => KernelJob {
-                            contig: j.contig.clone(),
-                            reads: j.right_reads.clone(),
-                            k,
-                            walk: cfg.walk,
-                            retry: cfg.retry.clone(),
-                            dialect: cfg.dialect,
-                        },
-                        Side::Left => {
-                            let t = j.left_as_right();
-                            KernelJob {
-                                contig: t.contig,
-                                reads: t.right_reads,
-                                k,
-                                walk: cfg.walk,
-                                retry: cfg.retry.clone(),
-                                dialect: cfg.dialect,
-                            }
+            let mut indices: Vec<usize> = Vec::with_capacity(batch.jobs.len());
+            let mut kernel_jobs: Vec<KernelJob<'_>> = Vec::with_capacity(batch.jobs.len());
+            for &idx in &batch.jobs {
+                let j = &ds.jobs[idx];
+                // The host skips contigs with no work for this side under
+                // any k in the retry schedule.
+                let job = match side {
+                    Side::Right => {
+                        if j.contig.len() < min_k || j.right_reads.is_empty() {
+                            continue;
                         }
-                    };
-                    // The host skips contigs with no work for this side
-                    // under any k in the retry schedule.
-                    let min_k = job.retry.schedule(k).into_iter().min().unwrap_or(k);
-                    (job.contig.len() >= min_k && !job.reads.is_empty()).then_some((idx, job))
-                })
-                .collect();
-            if jobs.is_empty() {
+                        // Zero-copy: borrow sequence data from the dataset.
+                        KernelJob::borrowed(
+                            &j.contig,
+                            &j.right_reads,
+                            k,
+                            cfg.walk,
+                            &cfg.retry,
+                            cfg.dialect,
+                        )
+                    }
+                    Side::Left => {
+                        if j.contig.len() < min_k || j.left_reads.is_empty() {
+                            continue;
+                        }
+                        // Left walks run on the reverse complement: the
+                        // transform owns its (genuinely new) storage.
+                        let t = j.left_as_right();
+                        KernelJob::transformed(
+                            t.contig,
+                            t.right_reads,
+                            k,
+                            cfg.walk,
+                            &cfg.retry,
+                            cfg.dialect,
+                        )
+                    }
+                };
+                indices.push(idx);
+                kernel_jobs.push(job);
+            }
+            if kernel_jobs.is_empty() {
                 continue;
             }
 
-            let (indices, kernel_jobs): (Vec<usize>, Vec<KernelJob>) = jobs.into_iter().unzip();
+            // Host-side size estimation (Fig. 3): pre-size pooled arenas to
+            // the largest per-warp slab so staging never regrows them.
+            let arena_hint = kernel_jobs
+                .iter()
+                .map(|j| arena_footprint(j.contig.len(), &j.reads, &schedule, j.walk))
+                .max()
+                .unwrap_or(0);
             let hierarchy = effective_hierarchy(spec, kernel_jobs.len() as u64);
             let launch_cfg = LaunchConfig {
                 width: cfg.width,
                 hierarchy,
                 parallel: cfg.parallel,
                 trace: cfg.trace,
+                pool: cfg.pool,
+                arena_hint,
             };
-            let out = launch_warps(launch_cfg, &kernel_jobs, |warp, job: &KernelJob| {
+            let out = launch_warps(launch_cfg, &kernel_jobs, |warp, job: &KernelJob<'_>| {
                 let r: KernelOut = extension_kernel(warp, job);
+                debug_assert_eq!(
+                    warp.mem.regrowths(),
+                    0,
+                    "host size estimation must upper-bound in-kernel staging"
+                );
                 r
             });
             // Re-number warp ids to be unique across batches and sides.
@@ -150,12 +192,22 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             }
 
             // Phase split: construct snapshots summed; walk = total − construct.
+            // The walk phase's critical path (max_warp_instructions) is
+            // attributed per warp: each warp's walk segment is its total
+            // instruction stream minus its construct-boundary snapshot.
             let mut construct = AggCounters::default();
-            for o in &out.results {
+            let mut max_walk = 0u64;
+            for (o, &total_instr) in out.results.iter().zip(&out.warp_instruction_counts) {
                 construct.absorb(&o.construct);
+                debug_assert!(
+                    total_instr >= o.construct.warp_instructions,
+                    "phase snapshot exceeds the warp's final instruction count"
+                );
+                max_walk =
+                    max_walk.max(total_instr.saturating_sub(o.construct.warp_instructions));
             }
             phases.construct.merge(&construct);
-            let walk_agg = diff_agg(&out.counters, &construct);
+            let walk_agg = diff_agg(&out.counters, &construct, max_walk);
             phases.walk.merge(&walk_agg);
 
             // Per-phase timing: construction overlaps memory at the
@@ -232,24 +284,45 @@ enum Side {
 }
 
 /// Aggregate difference (total − construct) for phase attribution.
-fn diff_agg(total: &AggCounters, part: &AggCounters) -> AggCounters {
+///
+/// Every phase snapshot must be a prefix of its warp's final counters, so
+/// `total ≥ part` field-by-field; that invariant is `debug_assert!`ed and
+/// the subtraction saturates rather than wrapping in release builds (a
+/// wrapped counter would silently corrupt the roofline inputs downstream).
+/// `max_walk_instructions` is the caller-computed longest single-warp walk
+/// segment — the phase's critical path cannot be derived from two
+/// aggregates alone (see [`PhaseCounters`] for the semantics).
+fn diff_agg(total: &AggCounters, part: &AggCounters, max_walk_instructions: u64) -> AggCounters {
+    debug_assert!(
+        total.warp_instructions >= part.warp_instructions
+            && total.int_instructions >= part.int_instructions
+            && total.collective_instructions >= part.collective_instructions
+            && total.sync_instructions >= part.sync_instructions
+            && total.atomic_instructions >= part.atomic_instructions
+            && total.atomic_replays >= part.atomic_replays
+            && total.lane_int_ops >= part.lane_int_ops
+            && (0..4).all(|q| total.occupancy_quartiles[q] >= part.occupancy_quartiles[q]),
+        "phase snapshot exceeds launch totals: total={total:?} part={part:?}"
+    );
     AggCounters {
         width: total.width,
         warps: total.warps,
-        warp_instructions: total.warp_instructions - part.warp_instructions,
-        int_instructions: total.int_instructions - part.int_instructions,
-        collective_instructions: total.collective_instructions - part.collective_instructions,
-        sync_instructions: total.sync_instructions - part.sync_instructions,
-        atomic_instructions: total.atomic_instructions - part.atomic_instructions,
-        atomic_replays: total.atomic_replays - part.atomic_replays,
-        lane_int_ops: total.lane_int_ops - part.lane_int_ops,
+        warp_instructions: total.warp_instructions.saturating_sub(part.warp_instructions),
+        int_instructions: total.int_instructions.saturating_sub(part.int_instructions),
+        collective_instructions: total
+            .collective_instructions
+            .saturating_sub(part.collective_instructions),
+        sync_instructions: total.sync_instructions.saturating_sub(part.sync_instructions),
+        atomic_instructions: total.atomic_instructions.saturating_sub(part.atomic_instructions),
+        atomic_replays: total.atomic_replays.saturating_sub(part.atomic_replays),
+        lane_int_ops: total.lane_int_ops.saturating_sub(part.lane_int_ops),
         occupancy_quartiles: [
-            total.occupancy_quartiles[0] - part.occupancy_quartiles[0],
-            total.occupancy_quartiles[1] - part.occupancy_quartiles[1],
-            total.occupancy_quartiles[2] - part.occupancy_quartiles[2],
-            total.occupancy_quartiles[3] - part.occupancy_quartiles[3],
+            total.occupancy_quartiles[0].saturating_sub(part.occupancy_quartiles[0]),
+            total.occupancy_quartiles[1].saturating_sub(part.occupancy_quartiles[1]),
+            total.occupancy_quartiles[2].saturating_sub(part.occupancy_quartiles[2]),
+            total.occupancy_quartiles[3].saturating_sub(part.occupancy_quartiles[3]),
         ],
-        max_warp_instructions: total.max_warp_instructions,
+        max_warp_instructions: max_walk_instructions,
         mem: total.mem.since(&part.mem),
     }
 }
@@ -332,6 +405,79 @@ mod tests {
         assert_eq!(traced.extensions, plain.extensions);
         assert_eq!(traced.profile.total, plain.profile.total);
         assert!(plain.traces.is_empty());
+    }
+
+    /// Satellite equivalence suite: a pooled run must be *bit-identical*
+    /// to a fresh-warp run — extensions, every aggregate counter, and the
+    /// full warp traces — in both parallel and serial modes, on all three
+    /// devices. Pooling is a pure allocator optimisation; any observable
+    /// difference is a reset bug.
+    #[test]
+    fn pooled_and_fresh_runs_are_bit_identical() {
+        let ds = small_ds();
+        for device in [DeviceId::A100, DeviceId::Mi250x, DeviceId::Max1550] {
+            for parallel in [true, false] {
+                let mut cfg = GpuConfig::for_device(device);
+                cfg.parallel = parallel;
+                cfg.trace = true;
+                cfg.pool = true;
+                let pooled = run_local_assembly(&ds, &cfg);
+                cfg.pool = false;
+                let fresh = run_local_assembly(&ds, &cfg);
+
+                let tag = format!("{device} parallel={parallel}");
+                assert_eq!(pooled.extensions, fresh.extensions, "{tag}: extensions");
+                assert_eq!(pooled.profile.total, fresh.profile.total, "{tag}: totals");
+                assert_eq!(
+                    pooled.profile.phases.construct, fresh.profile.phases.construct,
+                    "{tag}: construct phase"
+                );
+                assert_eq!(
+                    pooled.profile.phases.walk, fresh.profile.phases.walk,
+                    "{tag}: walk phase"
+                );
+                assert_eq!(pooled.traces, fresh.traces, "{tag}: warp traces");
+            }
+        }
+    }
+
+    /// The pooled run's phase timing inputs (and thus the modeled seconds)
+    /// must match the fresh run's too — the batch profiles feed the
+    /// roofline model directly.
+    #[test]
+    fn pooled_and_fresh_runs_agree_on_modeled_time() {
+        let ds = small_ds();
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.pool = true;
+        let pooled = run_local_assembly(&ds, &cfg);
+        cfg.pool = false;
+        let fresh = run_local_assembly(&ds, &cfg);
+        assert_eq!(pooled.profile.batches.len(), fresh.profile.batches.len());
+        assert_eq!(pooled.profile.seconds(), fresh.profile.seconds());
+    }
+
+    /// The walk phase's critical path is attributed per warp, not copied
+    /// from the launch total: each warp's walk segment is its own total
+    /// minus its own construct snapshot, and the construct + walk maxima
+    /// must each stay below the overall critical path while covering it.
+    #[test]
+    fn walk_critical_path_is_attributed_not_copied() {
+        let ds = small_ds();
+        let r = run_local_assembly(&ds, &GpuConfig::for_device(DeviceId::A100));
+        let p = &r.profile;
+        let construct_max = p.phases.construct.max_warp_instructions;
+        let walk_max = p.phases.walk.max_warp_instructions;
+        let total_max = p.total.max_warp_instructions;
+        assert!(walk_max > 0);
+        assert!(
+            walk_max < total_max,
+            "walk critical path {walk_max} must exclude construction (total {total_max})"
+        );
+        assert!(
+            construct_max + walk_max >= total_max,
+            "phase maxima {construct_max}+{walk_max} must cover the total {total_max} \
+             (both bound the same slowest warp from its two segments)"
+        );
     }
 
     #[test]

@@ -113,6 +113,39 @@ impl DeviceJob {
     }
 }
 
+/// Upper bound on the arena bytes one [`DeviceJob::stage`] pass allocates
+/// (alignment padding included) — the host-side size estimation of Fig. 3,
+/// reused by the pooled launch engine to pre-size warp arenas so staging
+/// never regrows them.
+pub fn stage_footprint(contig_len: usize, reads: &[Read], k: usize, walk: WalkConfig) -> u64 {
+    const A: u64 = simt::mem::DEFAULT_ALIGN - 1; // worst-case pad per default alloc
+    let total: u64 = reads.iter().map(|r| r.len() as u64).sum();
+    let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
+    let slots = estimate_slots(insertions) as u64;
+    (contig_len as u64 + A)               // contig
+        + 2 * (total + A)                 // read sequences + qualities
+        + (slots * ENTRY_STRIDE + 31)     // hash-table slab (32-aligned)
+        + (walk.max_walk_len as u64 * 4 + A) // visited fingerprints
+        + (walk.max_walk_len as u64 + A)  // output extension buffer
+}
+
+/// Upper bound on the arena bytes one warp's whole job allocates: each
+/// retry in the ladder re-stages at its own k without rewinding the bump
+/// allocator, so per-stage footprints sum over the schedule (skipping ks
+/// the kernel itself skips because the contig is too short).
+pub fn arena_footprint(
+    contig_len: usize,
+    reads: &[Read],
+    schedule: &[usize],
+    walk: WalkConfig,
+) -> u64 {
+    schedule
+        .iter()
+        .filter(|&&k| contig_len >= k)
+        .map(|&k| stage_footprint(contig_len, reads, k, walk))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +187,30 @@ mod tests {
         let c = warp.finish();
         assert_eq!(c.mem.hbm_bytes(), 0, "host staging must not count as kernel traffic");
         assert_eq!(c.warp_instructions, 0);
+    }
+
+    #[test]
+    fn stage_footprint_bounds_actual_allocation() {
+        for (contig, k) in [(&b"ACGTACGT"[..], 4), (&b"ACGTACGTACGTACGTACGT"[..], 7)] {
+            let mut warp = Warp::new(32, HierarchyConfig::tiny());
+            let walk = WalkConfig::default();
+            let before = warp.mem.allocated();
+            let _ = DeviceJob::stage(&mut warp, contig, &reads(), k, walk);
+            let actual = warp.mem.allocated() - before;
+            let bound = stage_footprint(contig.len(), &reads(), k, walk);
+            assert!(actual <= bound, "actual {actual} > bound {bound} (k={k})");
+            assert!(bound <= actual + 256, "bound {bound} is not tight around {actual}");
+        }
+    }
+
+    #[test]
+    fn arena_footprint_sums_over_the_viable_schedule() {
+        let walk = WalkConfig::default();
+        let contig_len = 8;
+        let single = stage_footprint(contig_len, &reads(), 4, walk);
+        // k = 9 exceeds the contig and is skipped, just as the kernel skips it.
+        let laddered = arena_footprint(contig_len, &reads(), &[4, 9, 4], walk);
+        assert_eq!(laddered, 2 * single);
     }
 
     #[test]

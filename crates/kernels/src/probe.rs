@@ -63,9 +63,10 @@ pub fn compare_stored_keys(
     }
     warp.iop(mask, 2); // tail handling / result reduction
 
-    // Semantic truth from memory contents.
+    // Semantic truth from memory contents (two shared borrows of the
+    // arena — no copying in the probe loop).
     for l in mask.lanes() {
-        let a = warp.mem.read_bytes(job.reads + stored_off[l] as u64, k as u64).to_vec();
+        let a = warp.mem.read_bytes(job.reads + stored_off[l] as u64, k as u64);
         let b = warp.mem.read_bytes(job.reads + args.key_off[l] as u64, k as u64);
         eq[l] = a == b;
     }

@@ -6,6 +6,17 @@ use crate::kernel::Dialect;
 use simt::{AggCounters, WarpTrace};
 
 /// Counters split at the construct/walk phase boundary.
+///
+/// `construct` merges each warp's counter snapshot taken when its last
+/// hash-table build finished; `walk` is the launch total minus that
+/// snapshot. Most fields of the difference are additive, but
+/// `max_warp_instructions` is not: the critical path of the walk phase is
+/// `max over warps of (total_i − construct_i)`, computed from the per-warp
+/// instruction counts, **not** the difference of the two aggregates' maxima
+/// (warp A can dominate construction while warp B dominates the walk).
+/// `walk.max_warp_instructions` therefore holds the longest single-warp
+/// walk segment, and may legitimately exceed
+/// `total.max_warp_instructions − construct.max_warp_instructions`.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseCounters {
     /// Algorithm 1: hash-table construction.
@@ -217,14 +228,14 @@ mod trace_profile_tests {
     fn traced_kernel_run() -> Vec<WarpTrace> {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
         warp.enable_trace(0);
-        let job = KernelJob {
-            contig: b"GGGGACGTACG".to_vec(),
-            reads: vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')],
-            k: 4,
-            walk: WalkConfig { min_votes: 1, ..WalkConfig::default() },
-            retry: RetryPolicy::none(),
-            dialect: Dialect::Cuda,
-        };
+        let job = KernelJob::owned(
+            b"GGGGACGTACG".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')],
+            4,
+            WalkConfig { min_votes: 1, ..WalkConfig::default() },
+            RetryPolicy::none(),
+            Dialect::Cuda,
+        );
         let _ = extension_kernel(&mut warp, &job);
         vec![warp.take_trace().unwrap()]
     }

@@ -39,7 +39,23 @@ pub fn coalesce_sectors<I>(accesses: I) -> CoalesceResult
 where
     I: IntoIterator<Item = (Addr, u32)>,
 {
-    let mut sectors: Vec<u64> = Vec::with_capacity(8);
+    let mut out = CoalesceResult::default();
+    coalesce_sectors_into(&mut out, accesses);
+    out
+}
+
+/// [`coalesce_sectors`] into a caller-owned result, reusing its buffer.
+///
+/// This is the simulator's hot path: a warp issues one coalesced access
+/// per memory instruction, so an allocating coalescer pays one heap
+/// allocation per simulated load/store. Reusing a scratch
+/// [`CoalesceResult`] (e.g. one owned by the warp) reaches a steady state
+/// after the first few accesses and allocates nothing thereafter.
+pub fn coalesce_sectors_into<I>(out: &mut CoalesceResult, accesses: I)
+where
+    I: IntoIterator<Item = (Addr, u32)>,
+{
+    out.sectors.clear();
     let mut lanes = 0u32;
     for (addr, len) in accesses {
         lanes += 1;
@@ -49,17 +65,31 @@ where
         let first = addr / SECTOR_BYTES;
         let last = (addr + len as u64 - 1) / SECTOR_BYTES;
         for s in first..=last {
-            sectors.push(s);
+            out.sectors.push(s);
         }
     }
-    sectors.sort_unstable();
-    sectors.dedup();
-    CoalesceResult { sectors, lane_accesses: lanes }
+    out.sectors.sort_unstable();
+    out.sectors.dedup();
+    out.lane_accesses = lanes;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn into_variant_reuses_the_buffer_and_matches() {
+        let mut scratch = CoalesceResult::default();
+        coalesce_sectors_into(&mut scratch, (0..32u64).map(|l| (l * 4, 4u32)));
+        assert_eq!(scratch, coalesce_sectors((0..32u64).map(|l| (l * 4, 4u32))));
+        let cap = scratch.sectors.capacity();
+        let ptr = scratch.sectors.as_ptr();
+        // A smaller access must reuse the grown buffer in place.
+        coalesce_sectors_into(&mut scratch, [(0u64, 4u32)]);
+        assert_eq!(scratch, coalesce_sectors([(0u64, 4u32)]));
+        assert_eq!(scratch.sectors.capacity(), cap);
+        assert_eq!(scratch.sectors.as_ptr(), ptr);
+    }
 
     #[test]
     fn perfectly_coalesced_warp_is_few_transactions() {

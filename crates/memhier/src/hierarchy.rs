@@ -58,6 +58,28 @@ impl MemHierarchy {
         self.synced_writebacks = 0;
     }
 
+    /// Reset for reuse under a (possibly different) configuration.
+    ///
+    /// When the geometry is unchanged this is a plain [`MemHierarchy::reset`]
+    /// and the line buffers are kept (the pooled-launch fast path); a changed
+    /// geometry rebuilds the affected cache level. Either way the resulting
+    /// state is indistinguishable from `MemHierarchy::new(cfg)`.
+    pub fn reconfigure(&mut self, cfg: crate::config::HierarchyConfig) {
+        if *self.l1.config() == cfg.l1 {
+            self.l1.reset();
+        } else {
+            self.l1 = Cache::new(cfg.l1);
+        }
+        if *self.l2.config() == cfg.l2 {
+            self.l2.reset();
+        } else {
+            self.l2 = Cache::new(cfg.l2);
+        }
+        self.stats = MemStats::default();
+        self.synced_extra_fills = 0;
+        self.synced_writebacks = 0;
+    }
+
     /// Route one warp-wide coalesced access through the hierarchy.
     ///
     /// Counts one memory instruction and walks every unique sector. Reads go
@@ -193,6 +215,44 @@ mod tests {
         assert_eq!(s.l1.hits, 1);
         assert_eq!(s.hbm_read_transactions, 1, "second access must not re-fetch");
         assert_eq!(s.mem_instructions, 2);
+    }
+
+    #[test]
+    fn reconfigure_matches_fresh_hierarchy() {
+        let cfg = HierarchyConfig::tiny();
+        let mut reused = MemHierarchy::new(cfg);
+        // Dirty the caches and counters with a first "job".
+        for line in 0..32u64 {
+            let acc = coalesce_sectors([(line * 128, 4u32)]);
+            reused.access(&acc, AccessKind::Write);
+        }
+        reused.flush();
+        reused.reconfigure(cfg);
+
+        let mut fresh = MemHierarchy::new(cfg);
+        for h in [&mut reused, &mut fresh] {
+            for line in 0..16u64 {
+                let acc = coalesce_sectors([(line * 128, 4u32)]);
+                h.access(&acc, AccessKind::Read);
+            }
+            h.flush();
+        }
+        assert_eq!(reused.stats(), fresh.stats(), "reconfigured state must be cold");
+    }
+
+    #[test]
+    fn reconfigure_to_new_geometry_rebuilds() {
+        let mut h = MemHierarchy::new(HierarchyConfig::tiny());
+        let acc = coalesce_sectors([(0u64, 4u32)]);
+        h.access(&acc, AccessKind::Read);
+        let big = HierarchyConfig::new(
+            CacheConfig::new(2 * 1024, 128, 4),
+            CacheConfig::new(64 * 1024, 128, 8),
+        );
+        h.reconfigure(big);
+        assert_eq!(h.stats(), &MemStats::default());
+        h.access(&acc, AccessKind::Read);
+        assert_eq!(h.stats().hbm_read_transactions, 1, "cache is cold after reconfigure");
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod mrc;
 pub mod stats;
 
 pub use cache::Cache;
-pub use coalesce::{coalesce_sectors, CoalesceResult};
+pub use coalesce::{coalesce_sectors, coalesce_sectors_into, CoalesceResult};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::{AccessKind, MemHierarchy};
 pub use mrc::SectorTrace;

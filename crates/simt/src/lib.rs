@@ -37,7 +37,7 @@ pub mod trace;
 pub mod warp;
 
 pub use counters::{AggCounters, WarpCounters};
-pub use grid::{launch_warps, LaunchConfig, LaunchOutput};
+pub use grid::{launch_warps, pool_stats, LaunchConfig, LaunchOutput, PoolStats};
 pub use lanevec::LaneVec;
 pub use mask::Mask;
 pub use mem::GlobalMem;

@@ -8,38 +8,89 @@
 //!
 //! Addresses are plain `u64` byte offsets. Offset 0 is reserved so that `0`
 //! can serve as a null/empty sentinel, like a null device pointer.
+//!
+//! Arenas are designed to be **reused**: [`GlobalMem::reset`] rewinds the
+//! bump pointer and re-zeroes the used region while keeping the backing
+//! buffer, so a pooled warp (see `crate::grid`) pays for its slab once and
+//! then serves many jobs without touching the host allocator — the same
+//! reserve-and-reuse discipline the paper's host pipeline applies to the
+//! real device slabs.
 
 use memhier::Addr;
 
 /// Alignment used by [`GlobalMem::alloc`] by default.
 pub const DEFAULT_ALIGN: u64 = 8;
 
+/// Size of the reserved null page at the bottom of every arena.
+pub const NULL_PAGE: u64 = 64;
+
 /// A bump-allocated, bounds-checked arena of simulated device memory.
 #[derive(Debug, Clone)]
 pub struct GlobalMem {
     data: Vec<u8>,
+    /// Bump pointer: all addresses below `next` are allocated.
     next: u64,
+    /// Times an allocation had to grow the backing buffer past its
+    /// reserved size (0 for a correctly pre-sized arena).
+    regrowths: u64,
 }
 
 impl GlobalMem {
-    /// An arena with a reserved null page (first 64 bytes unused).
+    /// An arena with a reserved null page (first [`NULL_PAGE`] bytes unused).
     pub fn new() -> Self {
-        GlobalMem { data: vec![0; 64], next: 64 }
+        GlobalMem { data: vec![0; NULL_PAGE as usize], next: NULL_PAGE, regrowths: 0 }
     }
 
     /// Preallocate capacity for `bytes` of upcoming allocations.
+    ///
+    /// The backing buffer is fully sized (and zeroed) up front, so as long
+    /// as total allocations stay within the hint the arena never goes back
+    /// to the host allocator — [`GlobalMem::regrowths`] stays 0.
     pub fn with_capacity(bytes: usize) -> Self {
         let mut m = GlobalMem::new();
-        m.data.reserve(bytes);
+        m.ensure_capacity(NULL_PAGE + bytes as u64);
         m
     }
 
+    /// Grow the zeroed backing buffer to at least `bytes` total (null page
+    /// included). Does not count as a regrowth: this is the host-side
+    /// reservation step, not an in-kernel allocation.
+    pub fn ensure_capacity(&mut self, bytes: u64) {
+        if bytes as usize > self.data.len() {
+            self.data.resize(bytes as usize, 0);
+        }
+    }
+
+    /// Rewind the arena for reuse: re-zero the used region, reset the bump
+    /// pointer to the top of the null page, keep the backing buffer.
+    ///
+    /// After `reset` the arena is observationally identical to a fresh
+    /// [`GlobalMem::new`] (all-zero contents, same allocation behaviour) —
+    /// this is what makes pooled and fresh launches bit-identical.
+    pub fn reset(&mut self) {
+        let used = (self.next as usize).min(self.data.len());
+        self.data[..used].fill(0);
+        self.next = NULL_PAGE;
+        self.regrowths = 0;
+    }
+
     /// Allocate `len` bytes with `align` alignment; returns the base address.
+    ///
+    /// Panics with "allocation overflow" when the aligned end of the region
+    /// would exceed `u64::MAX` — unchecked arithmetic here would wrap in
+    /// release builds, pass the bounds check and alias live allocations.
     pub fn alloc_aligned(&mut self, len: u64, align: u64) -> Addr {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let base = (self.next + align - 1) & !(align - 1);
-        let end = base + len;
+        let base = self
+            .next
+            .checked_add(align - 1)
+            .map(|b| b & !(align - 1))
+            .unwrap_or_else(|| panic!("allocation overflow: align {align} past next {}", self.next));
+        let end = base.checked_add(len).unwrap_or_else(|| {
+            panic!("allocation overflow: len {len} at base {base} exceeds the address space")
+        });
         if end as usize > self.data.len() {
+            self.regrowths += 1;
             self.data.resize(end as usize, 0);
         }
         self.next = end;
@@ -63,12 +114,28 @@ impl GlobalMem {
         self.next
     }
 
+    /// Size of the backing buffer in bytes (≥ [`GlobalMem::allocated`]).
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Times an allocation grew the backing buffer since construction or
+    /// the last [`GlobalMem::reset`]. A pre-sized arena stays at 0.
+    pub fn regrowths(&self) -> u64 {
+        self.regrowths
+    }
+
     #[inline]
     fn check(&self, addr: Addr, len: u64) {
+        // Bounds-check against the bump pointer (the allocated watermark),
+        // not the backing-buffer size: a pooled arena's buffer may be much
+        // larger than what the current job has allocated. `checked_add`
+        // keeps a huge `len` from wrapping past the check in release builds.
+        let end = addr.checked_add(len);
         assert!(
-            addr >= 64 && addr + len <= self.data.len() as u64,
-            "device memory access out of bounds: addr={addr} len={len} size={}",
-            self.data.len()
+            addr >= NULL_PAGE && end.is_some_and(|e| e <= self.next),
+            "device memory access out of bounds: addr={addr} len={len} allocated={}",
+            self.next
         );
     }
 
@@ -186,5 +253,90 @@ mod tests {
     fn null_deref_panics() {
         let m = GlobalMem::new();
         m.read_u8(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation overflow")]
+    fn huge_alloc_len_panics_instead_of_wrapping() {
+        // Before the checked-add fix, `base + len` wrapped in release
+        // builds, the resize was skipped and the returned region aliased
+        // the live allocations below it.
+        let mut m = GlobalMem::new();
+        let _live = m.alloc_bytes(b"ACGTACGT");
+        m.alloc(u64::MAX - 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "allocation overflow")]
+    fn alignment_overflow_panics() {
+        let mut m = GlobalMem::new();
+        // Push the bump pointer to the very top of the address space, then
+        // ask for an alignment whose round-up wraps.
+        m.next = u64::MAX - 3;
+        m.alloc_aligned(1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn near_max_address_read_panics_instead_of_wrapping() {
+        // `addr + len` on a near-u64::MAX address wraps to a small value
+        // that passes an unchecked bounds test; checked_add rejects it.
+        let mut m = GlobalMem::new();
+        let _a = m.alloc(128);
+        m.read_bytes(u64::MAX - 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn near_max_len_read_panics_instead_of_wrapping() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(128);
+        m.read_bytes(a, u64::MAX - 64);
+    }
+
+    #[test]
+    fn with_capacity_never_regrows_within_hint() {
+        let mut m = GlobalMem::with_capacity(4096);
+        let cap = m.capacity();
+        for _ in 0..16 {
+            let a = m.alloc_aligned(200, 32);
+            m.fill(a, 200, 7);
+        }
+        assert_eq!(m.regrowths(), 0, "pre-sized arena must not reallocate");
+        assert_eq!(m.capacity(), cap);
+    }
+
+    #[test]
+    fn regrowth_is_counted_past_the_hint() {
+        let mut m = GlobalMem::with_capacity(64);
+        let _ = m.alloc(1 << 12);
+        assert!(m.regrowths() > 0);
+    }
+
+    #[test]
+    fn reset_restores_fresh_semantics() {
+        let mut m = GlobalMem::with_capacity(1024);
+        let a = m.alloc_bytes(b"ACGTACGT");
+        let cap = m.capacity();
+        m.reset();
+        assert_eq!(m.allocated(), NULL_PAGE);
+        assert_eq!(m.capacity(), cap, "reset keeps the backing buffer");
+        assert_eq!(m.regrowths(), 0);
+        // The next job sees exactly what a fresh arena would: the same
+        // addresses, zeroed memory.
+        let b = m.alloc(8);
+        assert_eq!(a, b, "bump pointer rewound");
+        assert_eq!(m.read_bytes(b, 8), &[0u8; 8], "stale contents re-zeroed");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn reset_rewinds_the_bounds_check() {
+        let mut m = GlobalMem::new();
+        let a = m.alloc(64);
+        m.reset();
+        // `a` is no longer allocated even though the backing buffer still
+        // covers it.
+        m.read_u8(a);
     }
 }

@@ -16,7 +16,9 @@ use crate::lanevec::LaneVec;
 use crate::mask::Mask;
 use crate::mem::GlobalMem;
 use crate::trace::{EventKind, TraceSink, WarpTrace};
-use memhier::{coalesce_sectors, AccessKind, Addr, HierarchyConfig, MemHierarchy};
+use memhier::{
+    coalesce_sectors_into, AccessKind, Addr, CoalesceResult, HierarchyConfig, MemHierarchy,
+};
 
 /// Execution context for a single warp.
 #[derive(Debug)]
@@ -30,6 +32,10 @@ pub struct Warp {
     /// Optional trace sink; `None` (the default) costs one branch per
     /// *traced call site*, never per `iop`.
     trace: Option<Box<TraceSink>>,
+    /// Scratch buffer for warp-wide coalescing: one memory instruction =
+    /// one coalesce pass, so reusing this buffer keeps the access hot path
+    /// allocation-free at steady state (its capacity survives pool reuse).
+    co_scratch: CoalesceResult,
 }
 
 impl Warp {
@@ -45,7 +51,26 @@ impl Warp {
             hier: MemHierarchy::new(hier_cfg),
             counters: WarpCounters::new(width),
             trace: None,
+            co_scratch: CoalesceResult::default(),
         }
+    }
+
+    /// Rewind this warp for reuse by another job (the pooled launch path in
+    /// [`crate::grid`]): counters re-zeroed, the memory arena reset (its
+    /// backing buffer kept), caches made cold under `hier_cfg`, any trace
+    /// sink detached. The resulting state is observationally identical to
+    /// `Warp::new(width, hier_cfg)` — pooled launches must stay
+    /// bit-identical to fresh ones.
+    pub fn reset(&mut self, width: u32, hier_cfg: HierarchyConfig) {
+        assert!(
+            (1..=crate::MAX_LANES as u32).contains(&width),
+            "warp width {width} out of range"
+        );
+        self.width = width;
+        self.mem.reset();
+        self.hier.reconfigure(hier_cfg);
+        self.counters = WarpCounters::new(width);
+        self.trace = None;
     }
 
     /// Attach a [`TraceSink`], enabling span/event recording for this warp.
@@ -145,8 +170,8 @@ impl Warp {
 
     fn mem_access(&mut self, mask: Mask, addrs: &LaneVec<Addr>, size: u32, kind: AccessKind) {
         let pre = self.hbm_pre();
-        let co = coalesce_sectors(addrs.iter_masked(mask).map(|(_, a)| (a, size)));
-        self.hier.access(&co, kind);
+        coalesce_sectors_into(&mut self.co_scratch, addrs.iter_masked(mask).map(|(_, a)| (a, size)));
+        self.hier.access(&self.co_scratch, kind);
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
     }
@@ -224,8 +249,8 @@ impl Warp {
     /// Single-lane 64-bit load (one instruction, 8-byte access).
     pub fn load_u64_scalar(&mut self, lane: u32, addr: Addr) -> u64 {
         let pre = self.hbm_pre();
-        let co = memhier::coalesce_sectors([(addr, 8u32)]);
-        self.hier.access(&co, AccessKind::Read);
+        coalesce_sectors_into(&mut self.co_scratch, [(addr, 8u32)]);
+        self.hier.access(&self.co_scratch, AccessKind::Read);
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
         let _ = lane;
@@ -235,8 +260,8 @@ impl Warp {
     /// Single-lane 64-bit store (one instruction, 8-byte access).
     pub fn store_u64_scalar(&mut self, lane: u32, addr: Addr, v: u64) {
         let pre = self.hbm_pre();
-        let co = memhier::coalesce_sectors([(addr, 8u32)]);
-        self.hier.access(&co, AccessKind::Write);
+        coalesce_sectors_into(&mut self.co_scratch, [(addr, 8u32)]);
+        self.hier.access(&self.co_scratch, AccessKind::Write);
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
         let _ = lane;
@@ -300,9 +325,9 @@ impl Warp {
 
     fn atomic_traffic(&mut self, mask: Mask, addrs: &LaneVec<Addr>) {
         let pre = self.hbm_pre();
-        let co = coalesce_sectors(addrs.iter_masked(mask).map(|(_, a)| (a, 4)));
-        let unique_sectors = co.transactions();
-        self.hier.access_atomic(&co);
+        coalesce_sectors_into(&mut self.co_scratch, addrs.iter_masked(mask).map(|(_, a)| (a, 4)));
+        let unique_sectors = self.co_scratch.transactions();
+        self.hier.access_atomic(&self.co_scratch);
         self.counters.atomic_instructions += 1;
         self.counters.warp_instructions += 1;
         if unique_sectors > 1 {

@@ -28,9 +28,33 @@ pub mod iter {
             Map { base: self, f }
         }
 
+        /// Pair every item with its input-order index (rayon's
+        /// `IndexedParallelIterator::enumerate`). Lazy like `map`: the
+        /// indices are attached when the chain is driven, so no separate
+        /// `(index, item)` vector has to be materialised by the caller.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
         /// Execute the chain and collect the results in input order.
         fn collect<C: FromIterator<Self::Item>>(self) -> C {
             self.drive().into_iter().collect()
+        }
+    }
+
+    /// Lazy `enumerate` adaptor returned by [`ParallelIterator::enumerate`].
+    pub struct Enumerate<I> {
+        base: I,
+    }
+
+    impl<I> ParallelIterator for Enumerate<I>
+    where
+        I: ParallelIterator,
+    {
+        type Item = (usize, I::Item);
+
+        fn drive(self) -> Vec<(usize, I::Item)> {
+            self.base.drive().into_iter().enumerate().collect()
         }
     }
 
@@ -177,6 +201,17 @@ mod tests {
         assert_eq!(lens.len(), 100);
         assert_eq!(lens[0], 1);
         assert_eq!(lens[99], 2);
+    }
+
+    #[test]
+    fn enumerate_pairs_items_with_input_order_indices() {
+        let v: Vec<u64> = (100..200).collect();
+        let out: Vec<(usize, u64)> = v.par_iter().enumerate().map(|(i, x)| (i, *x * 2)).collect();
+        assert_eq!(out.len(), 100);
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, (100 + i as u64) * 2);
+        }
     }
 
     #[test]
