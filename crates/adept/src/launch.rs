@@ -62,6 +62,8 @@ pub fn run_alignment_batch(
         trace: false,
         pool: true,
         arena_hint,
+        fault: None,
+        fault_base: 0,
     };
     let out = launch_warps(cfg, pairs, |warp, p: &Pair| {
         sw_kernel(warp, &p.query, &p.reference, scoring)

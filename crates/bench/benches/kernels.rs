@@ -95,11 +95,45 @@ fn bench_launch_pooling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fault_injection(c: &mut Criterion) {
+    // The fault model's acceptance bar: threading `Result` plumbing and
+    // the watchdog check through the kernel hot path must cost < 2 % on a
+    // fault-free run (compare `fault_free` against the pre-fault-model
+    // `launch_pooling/pooled` numbers in BENCH_kernels.json). The
+    // `plan_unarmed` row carries a fault plan targeting a job id past the
+    // end of the run — every per-job arming check executes, nothing
+    // fires — and must match `fault_free` within noise; `plan_armed`
+    // shows the real cost of one injected fault plus its escalation
+    // retry.
+    let ds = paper_dataset(21, 0.005, 11);
+    let mut g = c.benchmark_group("fault_injection");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ds.jobs.len() as u64));
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = false;
+    g.bench_function("fault_free", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.total.warps)
+    });
+    cfg.fault = Some(simt::FaultPlan::table_full(u64::MAX));
+    g.bench_function("plan_unarmed", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.total.warps)
+    });
+    cfg.fault = Some(simt::FaultPlan::table_full(0));
+    g.bench_function("plan_armed", |b| {
+        b.iter(|| {
+            let r = run_local_assembly(black_box(&ds), &cfg);
+            (r.profile.total.warps, r.outcomes.iter().filter(|o| o.succeeded()).count())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_devices,
     bench_construct_vs_walk_split,
     bench_tracing_overhead,
-    bench_launch_pooling
+    bench_launch_pooling,
+    bench_fault_injection
 );
 criterion_main!(benches);

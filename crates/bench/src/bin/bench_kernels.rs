@@ -9,6 +9,7 @@
 //! (run from the repo root to refresh the checked-in copy).
 
 use gpu_specs::DeviceId;
+use locassm_bench::cli::require_ok;
 use locassm_bench::poolbench::pool_bench;
 
 fn main() {
@@ -17,7 +18,7 @@ fn main() {
 
     let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3);
     let json = r.to_json();
-    std::fs::write(&path, &json).expect("write report");
+    require_ok(std::fs::write(&path, &json), &format!("write report {path}"));
 
     eprintln!(
         "pooled launch engine, {} k={} ({} contigs, {} iterations):",

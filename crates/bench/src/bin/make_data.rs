@@ -6,6 +6,7 @@
 //! make-data [--scale S] [--seed N] [--out DIR]
 //! ```
 
+use locassm_bench::cli::{require_arg, require_ok};
 use locassm_core::io::write_dataset;
 use std::fs;
 use std::path::PathBuf;
@@ -18,9 +19,9 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).expect("--scale <f>"),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed <n>"),
-            "--out" => out = PathBuf::from(it.next().expect("--out <dir>")),
+            "--scale" => scale = require_arg(it.next().and_then(|v| v.parse().ok()), "--scale <f>"),
+            "--seed" => seed = require_arg(it.next().and_then(|v| v.parse().ok()), "--seed <n>"),
+            "--out" => out = PathBuf::from(require_arg(it.next(), "--out <dir>")),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -28,12 +29,15 @@ fn main() {
         }
     }
 
-    fs::create_dir_all(&out).expect("create output directory");
+    require_ok(fs::create_dir_all(&out), &format!("create output directory {}", out.display()));
     for k in [21usize, 33, 55, 77] {
         let ds = paper_dataset(k, scale, seed);
         let stats = DatasetStats::compute(&ds);
         let path = out.join(format!("localassm_extend_{k}.dat"));
-        fs::write(&path, write_dataset(&ds)).expect("write dataset");
+        require_ok(
+            fs::write(&path, write_dataset(&ds)),
+            &format!("write dataset {}", path.display()),
+        );
         println!(
             "{}: {} contigs, {} reads, {} insertions",
             path.display(),

@@ -11,6 +11,7 @@
 //! reproduces Table II's counts exactly.
 
 use gpu_specs::DeviceId;
+use locassm_bench::cli::{require_arg, require_ok};
 use locassm_core::io::Dataset;
 use locassm_kernels::{run_local_assembly, GpuConfig, KernelProfile};
 use perfmodel::plot::{BarChart, LogLogScatter, Series};
@@ -46,22 +47,25 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                args.scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a positive float");
+                args.scale = require_arg(
+                    it.next().and_then(|v| v.parse().ok()),
+                    "--scale <positive float>",
+                );
             }
             "--seed" => {
                 args.seed =
-                    it.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
+                    require_arg(it.next().and_then(|v| v.parse().ok()), "--seed <integer>");
             }
             "--serial" => args.parallel = false,
             "--csv" => {
-                args.csv_dir = Some(std::path::PathBuf::from(it.next().expect("--csv <dir>")));
+                args.csv_dir =
+                    Some(std::path::PathBuf::from(require_arg(it.next(), "--csv <dir>")));
             }
             "--trace" => {
-                args.trace =
-                    Some(std::path::PathBuf::from(it.next().expect("--trace <path.json>")));
+                args.trace = Some(std::path::PathBuf::from(require_arg(
+                    it.next(),
+                    "--trace <path.json>",
+                )));
             }
             "--help" | "-h" => {
                 eprintln!(
@@ -671,10 +675,15 @@ fn trace_run(args: &Args, path: &std::path::Path) {
     let run = run_local_assembly(&ds, &cfg);
 
     let json = perfmodel::chrome_trace(&run.traces);
-    std::fs::write(path, &json).expect("write trace JSON");
+    require_ok(
+        std::fs::write(path, &json),
+        &format!("write trace JSON {}", path.display()),
+    );
     let csv_path = path.with_extension("phases.csv");
-    std::fs::write(&csv_path, perfmodel::phase_csv(&run.traces).render())
-        .expect("write phase CSV");
+    require_ok(
+        std::fs::write(&csv_path, perfmodel::phase_csv(&run.traces).render()),
+        &format!("write phase CSV {}", csv_path.display()),
+    );
     eprintln!(
         "[repro] {} warp traces -> {} (per-span CSV: {})",
         run.traces.len(),
@@ -782,7 +791,7 @@ fn main() {
         .any(|a| wants(a));
     let matrix = needs_matrix.then(|| build_matrix(&args));
     if let (Some(dir), Some(m)) = (&args.csv_dir, &matrix) {
-        write_csvs(dir, m).expect("write CSV files");
+        require_ok(write_csvs(dir, m), &format!("write CSV files to {}", dir.display()));
         eprintln!("[repro] CSV data written to {}", dir.display());
     }
 

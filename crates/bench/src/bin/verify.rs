@@ -10,6 +10,7 @@
 //! exit code 1 on any mismatch.
 
 use gpu_specs::DeviceId;
+use locassm_bench::cli::require_arg;
 use locassm_core::{assemble_all, AssemblyConfig};
 use locassm_kernels::{run_local_assembly, GpuConfig};
 use workloads::paper_dataset;
@@ -21,9 +22,9 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).expect("--scale <f>"),
-            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).expect("--seed <n>"),
-            "--k" => ks = vec![it.next().and_then(|v| v.parse().ok()).expect("--k <n>")],
+            "--scale" => scale = require_arg(it.next().and_then(|v| v.parse().ok()), "--scale <f>"),
+            "--seed" => seed = require_arg(it.next().and_then(|v| v.parse().ok()), "--seed <n>"),
+            "--k" => ks = vec![require_arg(it.next().and_then(|v| v.parse().ok()), "--k <n>")],
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);

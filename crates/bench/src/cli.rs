@@ -1,0 +1,55 @@
+//! Shared command-line error handling for the reproduction binaries.
+//!
+//! The `repro`/`verify`/`make-data` binaries are driven from shell
+//! scripts and CI, so they must fail *loudly but cleanly*: a missing
+//! flag value or an unwritable output directory exits nonzero with a
+//! one-line contextual message instead of a panic backtrace. Exit code
+//! 2 marks a usage error (bad arguments), exit code 1 an I/O or parse
+//! failure at run time — the same convention `verify` already uses for
+//! result mismatches.
+
+use std::fmt::Display;
+use std::process::exit;
+
+/// Exit code for usage errors (bad or missing command-line arguments).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code for runtime failures (I/O, parse, verification).
+pub const EXIT_FAILURE: i32 = 1;
+
+/// Unwrap a parsed argument or exit with a usage message.
+///
+/// `usage` describes the expected form, e.g. `"--scale <f>"`.
+pub fn require_arg<T>(value: Option<T>, usage: &str) -> T {
+    match value {
+        Some(v) => v,
+        None => {
+            eprintln!("error: expected {usage}");
+            exit(EXIT_USAGE);
+        }
+    }
+}
+
+/// Unwrap a runtime result or exit with a contextual message.
+///
+/// `context` names the operation, e.g. `"write dataset data/foo.dat"`.
+pub fn require_ok<T, E: Display>(value: Result<T, E>, context: &str) -> T {
+    match value {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {context}: {e}");
+            exit(EXIT_FAILURE);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn present_values_pass_through() {
+        assert_eq!(require_arg(Some(3u32), "--n <n>"), 3);
+        let r: Result<u32, std::num::ParseIntError> = "7".parse();
+        assert_eq!(require_ok(r, "parse"), 7);
+    }
+}

@@ -6,6 +6,7 @@
 //! finds the entry through the dialect's `ht_get_atomic`, and atomically
 //! bumps the occurrence count and the quality-stratified extension vote.
 
+use crate::fault::KernelFault;
 use crate::kernel::Dialect;
 use crate::layout::{DeviceJob, OFF_COUNT, OFF_HI_Q, OFF_LOW_Q};
 use crate::probe::InsertArgs;
@@ -14,7 +15,15 @@ use locassm_core::quality::is_hi_qual;
 use simt::{LaneVec, Mask, Warp};
 
 /// Build the de Bruijn hash table for a staged job.
-pub fn construct_hash_table(warp: &mut Warp, job: &DeviceJob, dialect: Dialect) {
+///
+/// Propagates the dialect's `HashTableFull` fault (or any injected
+/// fault) instead of panicking, leaving the launch layer to retry with
+/// a grown table or a smaller k.
+pub fn construct_hash_table(
+    warp: &mut Warp,
+    job: &DeviceJob,
+    dialect: Dialect,
+) -> Result<(), KernelFault> {
     let width = warp.width();
     let k = job.k as u32;
     let chunks = job.k.div_ceil(4) as u64;
@@ -55,7 +64,7 @@ pub fn construct_hash_table(warp: &mut Warp, job: &DeviceJob, dialect: Dialect) 
 
             // Find-or-claim the entry (dialect-specific, Appendix A).
             let args = InsertArgs { mask, key_off, hash };
-            let slots = dialect.insert(warp, job, &args);
+            let slots = dialect.insert(warp, job, &args)?;
 
             // count += 1 (atomic; identical k-mers serialize here).
             let ones = LaneVec::splat(1u32);
@@ -94,6 +103,7 @@ pub fn construct_hash_table(warp: &mut Warp, job: &DeviceJob, dialect: Dialect) 
             warp.atomic_add_u32(vote_mask, &vote_addrs, &ones);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -155,8 +165,9 @@ mod tests {
             let reads = reads_mixed();
             let mut warp = Warp::new(width, HierarchyConfig::tiny());
             let job =
-                DeviceJob::stage(&mut warp, b"AACCGGTTAACC", &reads, 5, WalkConfig::default());
-            construct_hash_table(&mut warp, &job, dialect);
+                DeviceJob::stage(&mut warp, b"AACCGGTTAACC", &reads, 5, WalkConfig::default(), 1)
+                    .unwrap();
+            construct_hash_table(&mut warp, &job, dialect).unwrap();
             assert_eq!(dump(&warp, &job), cpu_dump(&reads, 5), "{dialect:?}");
         }
     }
@@ -165,8 +176,9 @@ mod tests {
     fn short_reads_skipped() {
         let reads = vec![Read::with_uniform_qual(b"ACG", b'I')];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default());
-        construct_hash_table(&mut warp, &job, Dialect::Cuda);
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default(), 1)
+            .unwrap();
+        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
         assert!(dump(&warp, &job).is_empty());
         assert_eq!(warp.counters.atomic_instructions, 0);
     }
@@ -179,8 +191,9 @@ mod tests {
             Read::with_uniform_qual(b"ACGTAG", b'I'),
         ];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default());
-        construct_hash_table(&mut warp, &job, Dialect::Cuda);
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default(), 1)
+            .unwrap();
+        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
         let entries = dump(&warp, &job);
         let acgta = entries.iter().find(|(k, ..)| k == b"ACGTA").unwrap();
         assert_eq!(acgta.3, 2);
@@ -195,8 +208,9 @@ mod tests {
         let reads = vec![Read::with_uniform_qual(&[b'A'; 24][..], b'I')];
         let util = |width: u32, dialect: Dialect| {
             let mut warp = Warp::new(width, HierarchyConfig::tiny());
-            let job = DeviceJob::stage(&mut warp, b"AAAAAAAA", &reads, 5, WalkConfig::default());
-            construct_hash_table(&mut warp, &job, dialect);
+            let job = DeviceJob::stage(&mut warp, b"AAAAAAAA", &reads, 5, WalkConfig::default(), 1)
+                .unwrap();
+            construct_hash_table(&mut warp, &job, dialect).unwrap();
             warp.counters.lane_utilization()
         };
         let u32w = util(32, Dialect::Cuda);

@@ -8,23 +8,45 @@
 //! warp keeps issuing until the *longest* probe chain finishes — the cost
 //! structure this transcription reproduces.
 
-use crate::layout::{DeviceJob, EMPTY};
+use crate::fault::KernelFault;
+use crate::layout::{table_occupancy, DeviceJob, EMPTY};
 use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
 use simt::{LaneVec, Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
-/// index per lane.
-pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+/// index per lane, or `HashTableFull` if a probe chain wraps the table.
+///
+/// The wrap guard is uniform across the three dialects: a chain may probe
+/// at most `job.slots` rounds (one full wrap, the listings'
+/// `hash_val == orig_hash` condition); the round that would revisit its
+/// origin faults instead. A successful insert never needs more than
+/// `slots` rounds, so fault-free runs are unaffected.
+pub fn ht_get_atomic(
+    warp: &mut Warp,
+    job: &DeviceJob,
+    args: &InsertArgs,
+) -> Result<SlotVec, KernelFault> {
+    if warp.injected_faults().table_full {
+        return Err(KernelFault::HashTableFull {
+            capacity: job.slots,
+            occupancy: table_occupancy(warp, job),
+        });
+    }
     let mut slot = args.hash;
     let mut searching = args.mask;
 
     // The CUDA listing detects `hash_val == orig_hash` after wrapping and
-    // prints "*hashtable full*"; with host-side size estimation this is
-    // unreachable, so the simulator makes it a hard error.
+    // prints "*hashtable full*"; the simulator reports it as a structured
+    // fault the launch layer can escalate on.
     let mut rounds = 0u32;
     while !searching.is_empty() {
         rounds += 1;
-        assert!(rounds <= job.slots + 1, "*hashtable full* (capacity {})", job.slots);
+        if rounds > job.slots {
+            return Err(KernelFault::HashTableFull {
+                capacity: job.slots,
+                occupancy: table_occupancy(warp, job),
+            });
+        }
         // prev = atomicCAS(&ht[hash].key.length, EMPTY, len)
         let prev = cas_claim(warp, job, searching, &slot);
 
@@ -71,7 +93,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         advance(warp, job, searching, &mut slot);
     }
     warp.trace_event(simt::EventKind::ProbeChain { rounds });
-    slot
+    Ok(slot)
 }
 
 #[cfg(test)]
@@ -85,7 +107,9 @@ mod tests {
     fn setup(read: &[u8], k: usize) -> (Warp, DeviceJob) {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
         let reads = vec![Read::with_uniform_qual(read, b'I')];
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, k, WalkConfig::default());
+        let job =
+            DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, k, WalkConfig::default(), 1)
+                .unwrap();
         (warp, job)
     }
 
@@ -105,7 +129,7 @@ mod tests {
             key_off: LaneVec::from_fn(32, |l| l),
             hash: LaneVec::from_fn(32, |l| hash_of(&job, &warp, l)),
         };
-        let slots = ht_get_atomic(&mut warp, &job, &args);
+        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
         // All four k-mers are distinct → four distinct slots, all claimed.
         let mut seen: Vec<u32> = (0..4).map(|l| slots[l]).collect();
         seen.sort_unstable();
@@ -128,7 +152,7 @@ mod tests {
         key_off[1] = 4;
         let h = hash_of(&job, &warp, 0);
         let args = InsertArgs { mask, key_off, hash: LaneVec::splat(h) };
-        let slots = ht_get_atomic(&mut warp, &job, &args);
+        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
         assert_eq!(slots[0], slots[1], "identical k-mers must resolve to one entry");
     }
 
@@ -140,7 +164,7 @@ mod tests {
         let mut key_off = LaneVec::splat(0u32);
         key_off[1] = 1; // "CGTA" ≠ "ACGT"
         let args = InsertArgs { mask, key_off, hash: LaneVec::splat(7) };
-        let slots = ht_get_atomic(&mut warp, &job, &args);
+        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
         assert_ne!(slots[0], slots[1]);
         assert_eq!(slots[0], 7);
         assert_eq!(slots[1], (7 + 1) % job.slots, "linear probe to the next slot");
@@ -155,8 +179,8 @@ mod tests {
             key_off: LaneVec::splat(2u32),
             hash: LaneVec::splat(h),
         };
-        let first = ht_get_atomic(&mut warp, &job, &args);
-        let second = ht_get_atomic(&mut warp, &job, &args);
+        let first = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let second = ht_get_atomic(&mut warp, &job, &args).unwrap();
         assert_eq!(first[0], second[0]);
     }
 
@@ -186,10 +210,10 @@ mod full_table_tests {
     use simt::{LaneVec, Mask, Warp};
 
     /// Fill every slot with distinct keys, then insert one more distinct
-    /// key: the wrap guard must fire instead of spinning forever.
+    /// key: the wrap guard must report `HashTableFull` instead of spinning
+    /// forever (or panicking, as the pre-fault-model code did).
     #[test]
-    #[should_panic(expected = "hashtable full")]
-    fn full_table_panics_not_spins() {
+    fn full_table_faults_not_spins() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
         // A long homopolymer-free read gives plenty of distinct 8-mers.
         let seq: Vec<u8> = (0..160).map(|i| b"ACGT"[(i * 7 + i / 4) % 4]).collect();
@@ -200,17 +224,30 @@ mod full_table_tests {
             &reads,
             8,
             WalkConfig::default(),
-        );
+            1,
+        )
+        .unwrap();
         // Lie about the capacity: pretend the table has only 4 slots so a
         // handful of distinct keys overflows it.
         job.slots = 4;
+        let mut fault = None;
         for off in 0..8u32 {
             let args = InsertArgs {
                 mask: Mask::lane(0),
                 key_off: LaneVec::splat(off),
                 hash: LaneVec::splat(off % 4),
             };
-            let _ = ht_get_atomic(&mut warp, &job, &args);
+            if let Err(f) = ht_get_atomic(&mut warp, &job, &args) {
+                fault = Some(f);
+                break;
+            }
+        }
+        match fault.expect("the 5th distinct key must overflow the 4-slot table") {
+            KernelFault::HashTableFull { capacity, occupancy } => {
+                assert_eq!(capacity, 4);
+                assert_eq!(occupancy, 4, "every slot was claimed when the probe wrapped");
+            }
+            other => panic!("wrong fault: {other:?}"),
         }
     }
 }

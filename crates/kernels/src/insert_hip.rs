@@ -7,13 +7,30 @@
 //! and every round pays the extra vote collectives: this is the modeled
 //! productivity/performance cost of the missing intrinsics (§III-B).
 
-use crate::layout::{DeviceJob, EMPTY};
+use crate::fault::KernelFault;
+use crate::layout::{table_occupancy, DeviceJob, EMPTY};
 use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
 use simt::{LaneVec, Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
-/// index per lane.
-pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+/// index per lane, or `HashTableFull` if a probe chain wraps the table.
+///
+/// The wrap guard counts *probing* rounds, exactly like the CUDA and SYCL
+/// dialects: a loop-top `__all(done)` that terminates the warp is not a
+/// probe, so `rounds` only advances once lanes actually claim/compare.
+/// All three dialects fault on the round that would revisit the probe's
+/// origin (`rounds > job.slots`).
+pub fn ht_get_atomic(
+    warp: &mut Warp,
+    job: &DeviceJob,
+    args: &InsertArgs,
+) -> Result<SlotVec, KernelFault> {
+    if warp.injected_faults().table_full {
+        return Err(KernelFault::HashTableFull {
+            capacity: job.slots,
+            occupancy: table_occupancy(warp, job),
+        });
+    }
     let mut slot = args.hash;
     let mut done = LaneVec::from_fn(warp.width(), |l| !args.mask.contains(l));
 
@@ -21,13 +38,18 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
     // estimate was violated ("*hashtable full*" in the listings).
     let mut rounds = 0u32;
     loop {
-        rounds += 1;
-        assert!(rounds <= job.slots + 2, "*hashtable full* (capacity {})", job.slots);
         // if (__all(done)) return …
         let done_preds = LaneVec::from_fn(warp.width(), |l| done[l]);
         if warp.all(warp.full_mask(), &done_preds) {
             warp.trace_event(simt::EventKind::ProbeChain { rounds });
-            return slot;
+            return Ok(slot);
+        }
+        rounds += 1;
+        if rounds > job.slots {
+            return Err(KernelFault::HashTableFull {
+                capacity: job.slots,
+                occupancy: table_occupancy(warp, job),
+            });
         }
 
         let not_done = {
@@ -75,7 +97,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         let done_preds = LaneVec::from_fn(warp.width(), |l| done[l]);
         if warp.all(warp.full_mask(), &done_preds) {
             warp.trace_event(simt::EventKind::ProbeChain { rounds });
-            return slot;
+            return Ok(slot);
         }
 
         // if (!done) hash_val = (hash_val + 1) % max_size
@@ -103,7 +125,9 @@ mod tests {
     fn setup(width: u32) -> (Warp, DeviceJob) {
         let mut warp = Warp::new(width, HierarchyConfig::tiny());
         let reads = vec![Read::with_uniform_qual(b"ACGTACGTACGT", b'I')];
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, 4, WalkConfig::default());
+        let job =
+            DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, 4, WalkConfig::default(), 1)
+                .unwrap();
         (warp, job)
     }
 
@@ -122,7 +146,7 @@ mod tests {
                 (l % 9 * 3) % job.slots
             }),
         };
-        let slots = ht_get_atomic(&mut warp, &job, &args);
+        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
         // Lanes with the same key_off must land on the same slot.
         for l in 0..64u32 {
             assert_eq!(slots[l], slots[l % 9], "lane {l}");
@@ -144,7 +168,8 @@ mod tests {
                 crate::insert_cuda::ht_get_atomic(&mut warp, &job, &args)
             } else {
                 ht_get_atomic(&mut warp, &job, &args)
-            };
+            }
+            .unwrap();
             (0..3).map(|l| slots[l]).collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));

@@ -7,13 +7,26 @@
 //! optimal" on the Max 1550 (§III-C) — which also reduces predication
 //! waste for ragged work.
 
-use crate::layout::{DeviceJob, EMPTY};
+use crate::fault::KernelFault;
+use crate::layout::{table_occupancy, DeviceJob, EMPTY};
 use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
 use simt::{Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
-/// index per lane.
-pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+/// index per lane, or `HashTableFull` if a probe chain wraps the table
+/// (the guard is uniform across the three dialects: at most `job.slots`
+/// probing rounds).
+pub fn ht_get_atomic(
+    warp: &mut Warp,
+    job: &DeviceJob,
+    args: &InsertArgs,
+) -> Result<SlotVec, KernelFault> {
+    if warp.injected_faults().table_full {
+        return Err(KernelFault::HashTableFull {
+            capacity: job.slots,
+            occupancy: table_occupancy(warp, job),
+        });
+    }
     let mut slot = args.hash;
     let mut searching = args.mask;
 
@@ -21,7 +34,12 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
     let mut rounds = 0u32;
     while !searching.is_empty() {
         rounds += 1;
-        assert!(rounds <= job.slots + 1, "*hashtable full* (capacity {})", job.slots);
+        if rounds > job.slots {
+            return Err(KernelFault::HashTableFull {
+                capacity: job.slots,
+                occupancy: table_occupancy(warp, job),
+            });
+        }
         // prev = dpct::atomic_compare_exchange_strong(...)
         let prev = cas_claim(warp, job, searching, &slot);
 
@@ -59,7 +77,7 @@ pub fn ht_get_atomic(warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> Slo
         advance(warp, job, searching, &mut slot);
     }
     warp.trace_event(simt::EventKind::ProbeChain { rounds });
-    slot
+    Ok(slot)
 }
 
 #[cfg(test)]
@@ -73,7 +91,9 @@ mod tests {
     fn setup(width: u32) -> (Warp, DeviceJob) {
         let mut warp = Warp::new(width, HierarchyConfig::tiny());
         let reads = vec![Read::with_uniform_qual(b"ACGTACGTACGT", b'I')];
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, 4, WalkConfig::default());
+        let job =
+            DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, 4, WalkConfig::default(), 1)
+                .unwrap();
         (warp, job)
     }
 
@@ -85,7 +105,7 @@ mod tests {
             key_off: LaneVec::from_fn(16, |l| l % 9),
             hash: LaneVec::from_fn(16, |l| (l % 9 * 5) % job.slots),
         };
-        let slots = ht_get_atomic(&mut warp, &job, &args);
+        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
         for l in 0..16u32 {
             assert_eq!(slots[l], slots[l % 9]);
         }
@@ -104,7 +124,8 @@ mod tests {
                 ht_get_atomic(&mut warp, &job, &args)
             } else {
                 crate::insert_cuda::ht_get_atomic(&mut warp, &job, &args)
-            };
+            }
+            .unwrap();
             (0..3).map(|l| slots[l]).collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));

@@ -1,6 +1,7 @@
 //! The extension kernel: dialect dispatch + construct-then-walk per warp.
 
 use crate::construct::construct_hash_table;
+use crate::fault::KernelFault;
 use crate::layout::DeviceJob;
 use crate::probe::{InsertArgs, SlotVec};
 use crate::walk::mer_walk_kernel;
@@ -35,7 +36,12 @@ impl Dialect {
     }
 
     /// Dispatch `ht_get_atomic`.
-    pub fn insert(self, warp: &mut Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+    pub fn insert(
+        self,
+        warp: &mut Warp,
+        job: &DeviceJob,
+        args: &InsertArgs,
+    ) -> Result<SlotVec, KernelFault> {
         match self {
             Dialect::Cuda => crate::insert_cuda::ht_get_atomic(warp, job, args),
             Dialect::Hip => crate::insert_hip::ht_get_atomic(warp, job, args),
@@ -71,6 +77,10 @@ pub struct KernelJob<'a> {
     pub walk: WalkConfig,
     pub retry: Cow<'a, RetryPolicy>,
     pub dialect: Dialect,
+    /// Multiplier on the host-side hash-table slot estimate. 1 for first
+    /// attempts; the launch layer raises it when escalating a
+    /// `HashTableFull` fault (grown-table retry).
+    pub slot_reserve: u32,
 }
 
 impl<'a> KernelJob<'a> {
@@ -90,6 +100,7 @@ impl<'a> KernelJob<'a> {
             walk,
             retry: Cow::Borrowed(retry),
             dialect,
+            slot_reserve: 1,
         }
     }
 
@@ -111,6 +122,7 @@ impl<'a> KernelJob<'a> {
             walk,
             retry: Cow::Borrowed(retry),
             dialect,
+            slot_reserve: 1,
         }
     }
 
@@ -130,6 +142,7 @@ impl<'a> KernelJob<'a> {
             walk,
             retry: Cow::Owned(retry),
             dialect,
+            slot_reserve: 1,
         }
     }
 }
@@ -141,36 +154,68 @@ pub struct KernelOut {
     pub state: WalkState,
     /// Counter snapshot at the construct/walk phase boundary.
     pub construct: WarpCounters,
+    /// The walk-phase instruction budget of the last k tried (the
+    /// watchdog ceiling derived from the staged layout; 0 when nothing
+    /// was staged).
+    pub walk_budget: u64,
 }
 
 /// The per-warp extension kernel body: stage → Algorithm 1 → Algorithm 2,
 /// repeated down the retry ladder while the walk is not accepted (Fig. 4's
 /// "repeat with different k-mer size" loop — each retry rebuilds the hash
 /// table at the smaller k, exactly as the diagram shows).
-pub fn extension_kernel(warp: &mut Warp, job: &KernelJob<'_>) -> KernelOut {
+///
+/// Faults (arena exhaustion, hash-table overflow, a tripped walk
+/// watchdog, malformed inputs) propagate as `Err` instead of panicking;
+/// the launch layer decides whether to retry. Every open trace phase is
+/// closed before an `Err` return, so a faulting warp can still be
+/// drained and returned to the pool.
+pub fn extension_kernel(
+    warp: &mut Warp,
+    job: &KernelJob<'_>,
+) -> Result<KernelOut, KernelFault> {
     if job.reads.is_empty() {
-        return KernelOut {
+        return Ok(KernelOut {
             extension: Vec::new(),
             state: WalkState::End,
             construct: warp.snapshot(),
-        };
+            walk_budget: 0,
+        });
+    }
+    if job.k == 0 {
+        return Err(KernelFault::MalformedJob { reason: "k must be positive" });
     }
     let mut best: Option<locassm_core::Walk> = None;
     let mut construct = warp.snapshot();
+    let mut walk_budget = 0u64;
     for k in job.retry.schedule(job.k) {
         if job.contig.len() < k {
             continue;
         }
+        if job.contig.len() < 4 {
+            // The walk tail clamp reads the contig's last 4-byte chunk;
+            // shorter contigs (that still cover k) cannot be staged.
+            return Err(KernelFault::MalformedJob {
+                reason: "contig shorter than one 4-base chunk",
+            });
+        }
         warp.phase_enter("stage");
-        let dev = DeviceJob::stage(warp, &job.contig, &job.reads, k, job.walk);
+        let staged =
+            DeviceJob::stage(warp, &job.contig, &job.reads, k, job.walk, job.slot_reserve);
         warp.phase_exit("stage");
+        let dev = staged?;
+        walk_budget = dev.walk_budget;
         warp.phase_enter("construct");
-        construct_hash_table(warp, &dev, job.dialect);
+        if let Err(fault) = construct_hash_table(warp, &dev, job.dialect) {
+            warp.phase_exit("construct");
+            return Err(fault);
+        }
         warp.phase_exit("construct");
         construct = warp.snapshot();
         warp.phase_enter("walk");
         let walk = mer_walk_kernel(warp, &dev);
         warp.phase_exit("walk");
+        let walk = walk?;
         let accepted = job.retry.accepts(&walk);
         let longer = best.as_ref().is_none_or(|b| walk.extension.len() >= b.extension.len());
         if longer {
@@ -180,14 +225,15 @@ pub fn extension_kernel(warp: &mut Warp, job: &KernelJob<'_>) -> KernelOut {
             break;
         }
     }
-    match best {
-        Some(walk) => KernelOut { extension: walk.extension, state: walk.state, construct },
+    Ok(match best {
+        Some(walk) => KernelOut { extension: walk.extension, state: walk.state, construct, walk_budget },
         None => KernelOut {
             extension: Vec::new(),
             state: WalkState::End,
             construct: warp.snapshot(),
+            walk_budget,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -214,9 +260,26 @@ mod tests {
             RetryPolicy::none(),
             Dialect::Cuda,
         );
-        let out = extension_kernel(&mut warp, &job);
+        let out = extension_kernel(&mut warp, &job).unwrap();
         assert!(out.extension.is_empty());
         assert_eq!(out.state, WalkState::End);
+    }
+
+    #[test]
+    fn zero_k_is_a_malformed_job() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = KernelJob::owned(
+            b"ACGTACGT".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGT", b'I')],
+            0,
+            WalkConfig::default(),
+            RetryPolicy::none(),
+            Dialect::Cuda,
+        );
+        match extension_kernel(&mut warp, &job) {
+            Err(KernelFault::MalformedJob { .. }) => {}
+            other => panic!("expected MalformedJob, got {other:?}"),
+        }
     }
 
     #[test]
@@ -230,13 +293,109 @@ mod tests {
             RetryPolicy::none(),
             Dialect::Cuda,
         );
-        let out = extension_kernel(&mut warp, &job);
+        let out = extension_kernel(&mut warp, &job).unwrap();
         assert!(!out.extension.is_empty());
+        assert!(out.walk_budget > 0, "a staged job reports its walk budget");
         let total = warp.finish();
         assert!(out.construct.int_instructions > 0);
         assert!(
             total.int_instructions > out.construct.int_instructions,
             "walk phase must add instructions"
         );
+    }
+}
+
+#[cfg(test)]
+mod capacity_boundary_tests {
+    //! Regression tests pinning the unified wrap-guard boundary: every
+    //! dialect allows exactly `job.slots` probing rounds (one full wrap)
+    //! and faults on the round that would revisit the chain's origin.
+    //! Before unification the HIP dialect allowed `slots + 2` rounds and
+    //! CUDA/SYCL `slots + 1`, so a chain could re-probe its own origin.
+
+    use super::*;
+    use crate::probe::InsertArgs;
+    use locassm_core::walk::WalkConfig;
+    use locassm_core::Read;
+    use memhier::HierarchyConfig;
+    use simt::{LaneVec, Mask};
+
+    const SLOTS: u32 = 4;
+
+    /// Stage a job with plenty of distinct 8-mers, then lie about the
+    /// table size so `SLOTS` distinct keys exactly fill it.
+    fn tiny_table() -> (Warp, DeviceJob) {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let seq: Vec<u8> = (0..160).map(|i| b"ACGT"[(i * 7 + i / 4) % 4]).collect();
+        let reads = vec![Read::with_uniform_qual(&seq, b'I')];
+        let mut job =
+            DeviceJob::stage(&mut warp, b"ACGTACGTACGT", &reads, 8, WalkConfig::default(), 1)
+                .unwrap();
+        job.slots = SLOTS;
+        (warp, job)
+    }
+
+    fn insert_one(
+        dialect: Dialect,
+        warp: &mut Warp,
+        job: &DeviceJob,
+        off: u32,
+    ) -> Result<SlotVec, KernelFault> {
+        let args = InsertArgs {
+            mask: Mask::lane(0),
+            key_off: LaneVec::splat(off),
+            hash: LaneVec::splat(0u32), // all chains start at slot 0
+        };
+        dialect.insert(warp, job, &args)
+    }
+
+    fn boundary(dialect: Dialect) {
+        let (mut warp, job) = tiny_table();
+        // SLOTS distinct keys, all hashed to slot 0: the last one probes
+        // slots 0..SLOTS-1 — exactly `slots` rounds — and must succeed.
+        for off in 0..SLOTS {
+            let slot = insert_one(dialect, &mut warp, &job, off)
+                .unwrap_or_else(|f| panic!("{dialect}: insert {off} must fit: {f}"));
+            assert_eq!(slot[0], off, "{dialect}: linear probe claims slot {off}");
+        }
+        // One more distinct key needs a round beyond the full wrap.
+        match insert_one(dialect, &mut warp, &job, SLOTS) {
+            Err(KernelFault::HashTableFull { capacity, occupancy }) => {
+                assert_eq!(capacity, SLOTS, "{dialect}: fault reports table capacity");
+                assert_eq!(occupancy, SLOTS, "{dialect}: fault reports claimed slots");
+            }
+            other => panic!("{dialect}: expected HashTableFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cuda_allows_exactly_slots_rounds() {
+        boundary(Dialect::Cuda);
+    }
+
+    #[test]
+    fn hip_allows_exactly_slots_rounds() {
+        boundary(Dialect::Hip);
+    }
+
+    #[test]
+    fn sycl_allows_exactly_slots_rounds() {
+        boundary(Dialect::Sycl);
+    }
+
+    #[test]
+    fn reinsertion_at_full_occupancy_still_succeeds() {
+        // A *matching* key never needs the extra round: finding the entry
+        // at the end of the wrap is within budget on every dialect.
+        for dialect in [Dialect::Cuda, Dialect::Hip, Dialect::Sycl] {
+            let (mut warp, job) = tiny_table();
+            for off in 0..SLOTS {
+                insert_one(dialect, &mut warp, &job, off).unwrap();
+            }
+            // Re-insert the key living in the last probed slot.
+            let again = insert_one(dialect, &mut warp, &job, SLOTS - 1)
+                .unwrap_or_else(|f| panic!("{dialect}: reinsertion must find its entry: {f}"));
+            assert_eq!(again[0], SLOTS - 1, "{dialect}");
+        }
     }
 }

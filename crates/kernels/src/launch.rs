@@ -10,6 +10,7 @@
 //! ([`crate::layout::arena_footprint`]) — so the steady-state hot path
 //! performs no sequence copies and no per-warp arena growth.
 
+use crate::fault::{JobOutcome, KernelFault};
 use crate::kernel::{extension_kernel, Dialect, KernelJob, KernelOut};
 use crate::layout::arena_footprint;
 use crate::profile::{BatchProfile, KernelProfile, PhaseCounters};
@@ -17,7 +18,7 @@ use gpu_specs::{effective_hierarchy, DeviceId, DeviceSpec, ModelParams, TimeEsti
 use locassm_core::io::Dataset;
 use locassm_core::walk::WalkConfig;
 use locassm_core::{bin_contigs, BinningPolicy, ExtensionResult, RetryPolicy};
-use simt::{launch_warps, AggCounters, LaunchConfig};
+use simt::{launch_warps, AggCounters, FaultPlan, LaunchConfig, WarpCounters};
 
 /// Configuration of a simulated GPU run.
 #[derive(Debug, Clone)]
@@ -47,6 +48,12 @@ pub struct GpuConfig {
     /// [`simt::WarpTrace`]s in [`GpuRunResult::traces`] (run-global warp
     /// ids, in launch order: batches × {right, left} × job order).
     pub trace: bool,
+    /// Deterministic fault-injection plan threaded to every launch
+    /// (`None`, the default, injects nothing). Plan job ids use the
+    /// run-global *job* numbering — batches × {right, left} × job order —
+    /// which is stable whether or not earlier jobs faulted (escalation
+    /// retries are not counted).
+    pub fault: Option<FaultPlan>,
 }
 
 impl GpuConfig {
@@ -64,6 +71,7 @@ impl GpuConfig {
             pool: true,
             custom_spec: None,
             trace: false,
+            fault: None,
         }
     }
 
@@ -87,7 +95,182 @@ pub struct GpuRunResult {
     pub profile: KernelProfile,
     /// Per-warp traces (empty unless [`GpuConfig::trace`] was set).
     /// `warp_id` is re-numbered to be unique across the whole run.
+    /// Escalation-retry traces are appended right after the batch that
+    /// contained the faulting job.
     pub traces: Vec<simt::WarpTrace>,
+    /// Per-contig fault outcome, in dataset order: the right- and
+    /// left-extension runs' outcomes combined with
+    /// [`JobOutcome::combine`]. All `Ok` on a fault-free run.
+    pub outcomes: Vec<JobOutcome>,
+}
+
+/// The per-warp kernel body every launch runs: the extension kernel plus
+/// the staging invariant check — a *successful* job must never regrow its
+/// pooled arena past the host-side footprint hint (faulted jobs abort
+/// mid-staging, so the invariant only binds on `Ok`).
+fn run_extension(
+    warp: &mut simt::Warp,
+    job: &KernelJob<'_>,
+) -> Result<KernelOut, KernelFault> {
+    let r = extension_kernel(warp, job);
+    if r.is_ok() {
+        debug_assert_eq!(
+            warp.mem.regrowths(),
+            0,
+            "host size estimation must upper-bound in-kernel staging"
+        );
+    }
+    r
+}
+
+/// Escalation ladder for a faulted job: `(k, slot_reserve)` pairs to
+/// retry serially, in order. `HashTableFull` doubles the slot reserve at
+/// the same k, then falls down the retry-policy k-ladder with the grown
+/// reserve (the paper's Fig. 4 recovery, made table-size aware); every
+/// other retryable fault gets a single clean retry (a transient injected
+/// fault clears on it); `MalformedJob` is not retryable at all.
+fn escalation_ladder(
+    schedule: &[usize],
+    fault: KernelFault,
+    base_reserve: u32,
+) -> Vec<(usize, u32)> {
+    match fault {
+        KernelFault::HashTableFull { .. } => {
+            let grown = base_reserve.saturating_mul(2).max(2);
+            schedule.iter().map(|&k| (k, grown)).collect()
+        }
+        KernelFault::MalformedJob { .. } => Vec::new(),
+        _ => match schedule.first() {
+            Some(&k) => vec![(k, base_reserve)],
+            None => Vec::new(),
+        },
+    }
+}
+
+/// Serially retry one faulted job down its escalation ladder.
+///
+/// Each attempt is a fresh single-warp launch (`parallel: false`) whose
+/// arena hint is recomputed for the grown slot reserve; the injection
+/// plan stays armed for attempt indices `0..plan.attempts` (the batch run
+/// was attempt 0), so a transient plan clears on the first retry while a
+/// persistent one keeps faulting until the ladder is exhausted. Retry
+/// counters and traces merge into the run totals.
+#[allow(clippy::too_many_arguments)]
+fn escalate_job(
+    cfg: &GpuConfig,
+    spec: &DeviceSpec,
+    job: &KernelJob<'_>,
+    victim_id: u64,
+    first_fault: KernelFault,
+    traces: &mut Vec<simt::WarpTrace>,
+    total: &mut AggCounters,
+    phases: &mut PhaseCounters,
+) -> (JobOutcome, Option<KernelOut>) {
+    let mut fault = first_fault;
+    let mut grown = matches!(fault, KernelFault::HashTableFull { .. });
+    let schedule = cfg.retry.schedule(job.k);
+    let mut ladder = escalation_ladder(&schedule, fault, job.slot_reserve);
+    let mut next = 0usize;
+    let mut attempts = 0u32;
+    while next < ladder.len() {
+        let (k, reserve) = ladder[next];
+        next += 1;
+        attempts += 1;
+        let mut retry = job.clone();
+        retry.k = k;
+        retry.slot_reserve = reserve;
+        let retry_schedule = cfg.retry.schedule(k);
+        let arena_hint = arena_footprint(
+            retry.contig.len(),
+            &retry.reads,
+            &retry_schedule,
+            retry.walk,
+            reserve,
+        );
+        let armed = cfg.fault.is_some_and(|p| attempts < p.attempts);
+        let launch_cfg = LaunchConfig {
+            width: cfg.width,
+            hierarchy: effective_hierarchy(spec, 1),
+            parallel: false,
+            trace: cfg.trace,
+            pool: cfg.pool,
+            arena_hint,
+            fault: if armed { cfg.fault } else { None },
+            fault_base: victim_id,
+        };
+        let out = launch_warps(launch_cfg, std::slice::from_ref(&retry), run_extension);
+        for mut t in out.traces {
+            t.warp_id = traces.len() as u64;
+            traces.push(t);
+        }
+        total.merge(&out.counters);
+        let instr = out.warp_instruction_counts;
+        let results = out.results;
+        fold_phases(phases, cfg.width, &results, &instr, &out.counters);
+        match results.into_iter().next() {
+            // A single-job launch always yields one result; an empty
+            // result set would mean the engine dropped the job, which
+            // escalation treats as exhausted rather than panicking.
+            None => break,
+            Some(Ok(o)) => return (JobOutcome::Recovered { attempts }, Some(o)),
+            Some(Err(f)) => {
+                fault = f;
+                if !fault.retryable() {
+                    break;
+                }
+                if matches!(fault, KernelFault::HashTableFull { .. }) && !grown {
+                    // A clean retry re-faulted as a genuine overflow:
+                    // restart escalation on the grow branch.
+                    grown = true;
+                    ladder = escalation_ladder(&schedule, fault, job.slot_reserve);
+                    next = 0;
+                }
+            }
+        }
+    }
+    (JobOutcome::Failed { fault }, None)
+}
+
+/// Split a launch's counters at the construct/walk phase boundary and
+/// fold them into `phases`, returning the two aggregates for the timing
+/// model. Successful jobs contribute their construct snapshot; faulted
+/// jobs aborted mid-kernel and have no meaningful boundary, so their
+/// whole stream lands on the walk side (zeroed snapshot). Watchdog trips
+/// and the largest successful walk budget are tallied here too.
+fn fold_phases(
+    phases: &mut PhaseCounters,
+    width: u32,
+    results: &[Result<KernelOut, KernelFault>],
+    instr: &[u64],
+    launch_total: &AggCounters,
+) -> (AggCounters, AggCounters) {
+    let zero = WarpCounters { width, ..WarpCounters::default() };
+    let mut construct = AggCounters::default();
+    let mut max_walk = 0u64;
+    for (r, &total_instr) in results.iter().zip(instr) {
+        let snap = match r {
+            Ok(o) => {
+                phases.walk_budget = phases.walk_budget.max(o.walk_budget);
+                o.construct
+            }
+            Err(f) => {
+                if matches!(f, KernelFault::WalkBudgetExceeded { .. }) {
+                    phases.watchdog_trips += 1;
+                }
+                zero
+            }
+        };
+        construct.absorb(&snap);
+        debug_assert!(
+            total_instr >= snap.warp_instructions,
+            "phase snapshot exceeds the warp's final instruction count"
+        );
+        max_walk = max_walk.max(total_instr.saturating_sub(snap.warp_instructions));
+    }
+    phases.construct.merge(&construct);
+    let walk_agg = diff_agg(launch_total, &construct, max_walk);
+    phases.walk.merge(&walk_agg);
+    (construct, walk_agg)
 }
 
 /// Run the full local assembly pipeline for a dataset on a simulated GPU.
@@ -101,6 +284,11 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
     let mut phases = PhaseCounters::default();
     let mut batch_profiles = Vec::new();
     let mut traces: Vec<simt::WarpTrace> = Vec::new();
+    // Run-global job numbering (batches × {right, left} × job order) —
+    // the id space fault plans target. Escalation retries are not
+    // counted, so ids are stable whether or not earlier jobs faulted.
+    let mut jobs_launched: u64 = 0;
+    let mut outcomes: Vec<JobOutcome> = vec![JobOutcome::Ok; ds.jobs.len()];
 
     // Results indexed by job position.
     let mut right: Vec<(Vec<u8>, locassm_core::WalkState)> =
@@ -164,10 +352,11 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             // the largest per-warp slab so staging never regrows them.
             let arena_hint = kernel_jobs
                 .iter()
-                .map(|j| arena_footprint(j.contig.len(), &j.reads, &schedule, j.walk))
+                .map(|j| arena_footprint(j.contig.len(), &j.reads, &schedule, j.walk, j.slot_reserve))
                 .max()
                 .unwrap_or(0);
             let hierarchy = effective_hierarchy(spec, kernel_jobs.len() as u64);
+            let side_base = jobs_launched;
             let launch_cfg = LaunchConfig {
                 width: cfg.width,
                 hierarchy,
@@ -175,16 +364,11 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                 trace: cfg.trace,
                 pool: cfg.pool,
                 arena_hint,
+                fault: cfg.fault,
+                fault_base: side_base,
             };
-            let out = launch_warps(launch_cfg, &kernel_jobs, |warp, job: &KernelJob<'_>| {
-                let r: KernelOut = extension_kernel(warp, job);
-                debug_assert_eq!(
-                    warp.mem.regrowths(),
-                    0,
-                    "host size estimation must upper-bound in-kernel staging"
-                );
-                r
-            });
+            let out = launch_warps(launch_cfg, &kernel_jobs, run_extension);
+            jobs_launched += kernel_jobs.len() as u64;
             // Re-number warp ids to be unique across batches and sides.
             for mut t in out.traces {
                 t.warp_id = traces.len() as u64;
@@ -195,20 +379,13 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             // The walk phase's critical path (max_warp_instructions) is
             // attributed per warp: each warp's walk segment is its total
             // instruction stream minus its construct-boundary snapshot.
-            let mut construct = AggCounters::default();
-            let mut max_walk = 0u64;
-            for (o, &total_instr) in out.results.iter().zip(&out.warp_instruction_counts) {
-                construct.absorb(&o.construct);
-                debug_assert!(
-                    total_instr >= o.construct.warp_instructions,
-                    "phase snapshot exceeds the warp's final instruction count"
-                );
-                max_walk =
-                    max_walk.max(total_instr.saturating_sub(o.construct.warp_instructions));
-            }
-            phases.construct.merge(&construct);
-            let walk_agg = diff_agg(&out.counters, &construct, max_walk);
-            phases.walk.merge(&walk_agg);
+            let (construct, walk_agg) = fold_phases(
+                &mut phases,
+                cfg.width,
+                &out.results,
+                &out.warp_instruction_counts,
+                &out.counters,
+            );
 
             // Per-phase timing: construction overlaps memory at the
             // device's MLP; the mer-walk is a single-lane dependence chain
@@ -238,7 +415,27 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             });
             total.merge(&out.counters);
 
-            for (idx, o) in indices.into_iter().zip(out.results) {
+            for (local, (idx, r)) in indices.into_iter().zip(out.results).enumerate() {
+                let (outcome, o) = match r {
+                    Ok(o) => (JobOutcome::Ok, Some(o)),
+                    Err(fault) => {
+                        // Per-job isolation: one faulting job degrades to
+                        // an outcome; the rest of the batch already ran
+                        // to completion untouched.
+                        escalate_job(
+                            cfg,
+                            spec,
+                            &kernel_jobs[local],
+                            side_base + local as u64,
+                            fault,
+                            &mut traces,
+                            &mut total,
+                            &mut phases,
+                        )
+                    }
+                };
+                outcomes[idx] = outcomes[idx].combine(outcome);
+                let Some(o) = o else { continue };
                 match side {
                     Side::Right => right[idx] = (o.extension, o.state),
                     Side::Left => {
@@ -274,6 +471,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             batches: batch_profiles,
         },
         traces,
+        outcomes,
     }
 }
 
@@ -478,6 +676,207 @@ mod tests {
             "phase maxima {construct_max}+{walk_max} must cover the total {total_max} \
              (both bound the same slowest warp from its two segments)"
         );
+    }
+
+    /// Fault-free equivalence: threading the fault machinery through the
+    /// launch stack must not perturb a clean run. A run with `fault:
+    /// None` and one with an armed plan targeting an out-of-range job are
+    /// bit-identical — extensions, counters, traces, outcomes — on all
+    /// three devices, parallel and serial.
+    #[test]
+    fn unarmed_fault_plan_is_bit_identical_to_none() {
+        let ds = small_ds();
+        for device in [DeviceId::A100, DeviceId::Mi250x, DeviceId::Max1550] {
+            for parallel in [true, false] {
+                let mut cfg = GpuConfig::for_device(device);
+                cfg.parallel = parallel;
+                cfg.trace = true;
+                let plain = run_local_assembly(&ds, &cfg);
+                cfg.fault = Some(FaultPlan::table_full(u64::MAX));
+                let armed = run_local_assembly(&ds, &cfg);
+
+                let tag = format!("{device} parallel={parallel}");
+                assert_eq!(plain.extensions, armed.extensions, "{tag}: extensions");
+                assert_eq!(plain.profile.total, armed.profile.total, "{tag}: totals");
+                assert_eq!(plain.traces, armed.traces, "{tag}: traces");
+                assert_eq!(plain.outcomes, armed.outcomes, "{tag}: outcomes");
+                assert!(plain.outcomes.iter().all(|o| *o == JobOutcome::Ok), "{tag}");
+            }
+        }
+    }
+
+    /// Map a run-global fault-plan job id back to `(dataset index,
+    /// is_right_side)`, replaying the host's launch-order numbering.
+    fn dataset_index_of(ds: &Dataset, cfg: &GpuConfig, victim: u64) -> (usize, bool) {
+        let schedule = cfg.retry.schedule(ds.k);
+        let min_k = schedule.iter().copied().min().unwrap_or(ds.k);
+        let mut id = 0u64;
+        for batch in &bin_contigs(&ds.jobs, cfg.binning) {
+            for side in 0..2 {
+                for &idx in &batch.jobs {
+                    let j = &ds.jobs[idx];
+                    if j.contig.len() < min_k {
+                        continue;
+                    }
+                    let reads =
+                        if side == 0 { &j.right_reads } else { &j.left_reads };
+                    if reads.is_empty() {
+                        continue;
+                    }
+                    if id == victim {
+                        return (idx, side == 0);
+                    }
+                    id += 1;
+                }
+            }
+        }
+        panic!("victim id {victim} exceeds the run's job count");
+    }
+
+    /// The tentpole acceptance scenario: inject a table-full fault into
+    /// one job of a real batch. The batch completes; the victim is
+    /// `Recovered` (the transient plan clears on the grown retry); every
+    /// other job's extension is bit-identical to the fault-free run; and
+    /// the warp pool remains fully reusable afterwards.
+    #[test]
+    fn injected_fault_isolates_to_one_job() {
+        let ds = small_ds();
+        const VICTIM: u64 = 3;
+        for device in [DeviceId::A100, DeviceId::Mi250x, DeviceId::Max1550] {
+            for parallel in [true, false] {
+                let mut cfg = GpuConfig::for_device(device);
+                cfg.parallel = parallel;
+                let clean = run_local_assembly(&ds, &cfg);
+                cfg.fault = Some(FaultPlan::table_full(VICTIM));
+                let faulted = run_local_assembly(&ds, &cfg);
+
+                let tag = format!("{device} parallel={parallel}");
+                let (victim_idx, _) = dataset_index_of(&ds, &cfg, VICTIM);
+                for (i, (c, f)) in
+                    clean.extensions.iter().zip(&faulted.extensions).enumerate()
+                {
+                    assert_eq!(c, f, "{tag}: job {i} must be bit-identical");
+                }
+                for (i, o) in faulted.outcomes.iter().enumerate() {
+                    if i == victim_idx {
+                        assert_eq!(
+                            *o,
+                            JobOutcome::Recovered { attempts: 1 },
+                            "{tag}: the victim recovers on the grown retry"
+                        );
+                    } else {
+                        assert_eq!(*o, JobOutcome::Ok, "{tag}: job {i}");
+                    }
+                }
+
+                // The pool survived the fault: a fresh clean run reuses
+                // pooled warps and reproduces the baseline bit-for-bit.
+                let stats_before = simt::pool_stats();
+                cfg.fault = None;
+                let after = run_local_assembly(&ds, &cfg);
+                let stats_after = simt::pool_stats();
+                assert_eq!(after.extensions, clean.extensions, "{tag}: rerun");
+                assert_eq!(after.profile.total, clean.profile.total, "{tag}: rerun totals");
+                assert!(
+                    stats_after.reused > stats_before.reused,
+                    "{tag}: the rerun must draw from the pool"
+                );
+            }
+        }
+    }
+
+    /// A persistent table-full plan (`attempts: 2`) also faults the grown
+    /// same-k retry, pushing escalation down the k-ladder: the victim
+    /// recovers at a fallback k and its extension matches the CPU
+    /// reference assembled at that k.
+    #[test]
+    fn persistent_fault_recovers_at_fallback_k() {
+        let ds = small_ds();
+        const VICTIM: u64 = 1;
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.retry = RetryPolicy::ladder(ds.k);
+        cfg.fault = Some(FaultPlan::table_full(VICTIM).persist(2));
+        let r = run_local_assembly(&ds, &cfg);
+        let (victim_idx, is_right) = dataset_index_of(&ds, &cfg, VICTIM);
+        assert_eq!(
+            r.outcomes[victim_idx],
+            JobOutcome::Recovered { attempts: 2 },
+            "attempt 1 (grown, same k) still faults; attempt 2 (fallback k) clears"
+        );
+
+        // CPU oracle: assemble the victim contig with the fallback k as
+        // its primary — exactly what the recovered attempt ran.
+        let schedule = cfg.retry.schedule(ds.k);
+        let fallback_k = schedule[1];
+        let j = &ds.jobs[victim_idx];
+        let cpu = assemble_all(
+            std::slice::from_ref(j),
+            &AssemblyConfig { k: fallback_k, walk: cfg.walk, retry: cfg.retry.clone() },
+            true,
+        );
+        let (got, want) = if is_right {
+            (&r.extensions[victim_idx].right, &cpu[0].right)
+        } else {
+            (&r.extensions[victim_idx].left, &cpu[0].left)
+        };
+        assert_eq!(got, want, "the recovered side matches the CPU oracle at k={fallback_k}");
+    }
+
+    /// An inexhaustibly persistent plan (`u32::MAX` attempts) faults
+    /// every rung of the ladder: the victim ends `Failed` with the
+    /// table-full fault, contributes an empty extension, and still does
+    /// not disturb its neighbours.
+    #[test]
+    fn exhausted_escalation_reports_failed() {
+        let ds = small_ds();
+        const VICTIM: u64 = 0;
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.retry = RetryPolicy::ladder(ds.k);
+        let clean = run_local_assembly(&ds, &cfg);
+        cfg.fault = Some(FaultPlan::table_full(VICTIM).persist(u32::MAX));
+        let r = run_local_assembly(&ds, &cfg);
+        let (victim_idx, is_right) = dataset_index_of(&ds, &cfg, VICTIM);
+        match r.outcomes[victim_idx] {
+            JobOutcome::Failed { fault: KernelFault::HashTableFull { .. } } => {}
+            other => panic!("expected Failed(HashTableFull), got {other:?}"),
+        }
+        assert!(!r.outcomes[victim_idx].succeeded());
+        let failed_side = if is_right {
+            &r.extensions[victim_idx].right
+        } else {
+            &r.extensions[victim_idx].left
+        };
+        assert!(failed_side.is_empty(), "a failed job contributes no bases");
+        for (i, (c, f)) in clean.extensions.iter().zip(&r.extensions).enumerate() {
+            if i != victim_idx {
+                assert_eq!(c, f, "job {i} must be untouched");
+            }
+        }
+    }
+
+    /// Injected arena-exhaustion and watchdog faults are transient by
+    /// default: one clean retry recovers the victim and the run matches
+    /// the fault-free baseline everywhere.
+    #[test]
+    fn transient_alloc_and_watchdog_faults_recover_cleanly() {
+        let ds = small_ds();
+        const VICTIM: u64 = 2;
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        let clean = run_local_assembly(&ds, &cfg);
+        for plan in
+            [FaultPlan::alloc_failure(VICTIM, 3), FaultPlan::watchdog(VICTIM)]
+        {
+            cfg.fault = Some(plan);
+            let r = run_local_assembly(&ds, &cfg);
+            let (victim_idx, _) = dataset_index_of(&ds, &cfg, VICTIM);
+            assert_eq!(r.extensions, clean.extensions, "recovery is exact");
+            assert_eq!(r.outcomes[victim_idx], JobOutcome::Recovered { attempts: 1 });
+        }
+        // The watchdog trip is visible in the phase counters.
+        cfg.fault = Some(FaultPlan::watchdog(VICTIM));
+        let r = run_local_assembly(&ds, &cfg);
+        assert_eq!(r.profile.phases.watchdog_trips, 1);
+        assert!(r.profile.phases.walk_budget > 0);
     }
 
     #[test]

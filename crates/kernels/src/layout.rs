@@ -9,6 +9,8 @@
 //! kernel; everything the *kernel* touches flows through the cache
 //! simulator.
 
+use crate::fault::KernelFault;
+use locassm_core::murmur::murmur_intops;
 use locassm_core::walk::WalkConfig;
 use locassm_core::{estimate_slots, Read};
 use memhier::Addr;
@@ -62,16 +64,33 @@ pub struct DeviceJob {
     pub visited: Addr,
     /// Output extension buffer.
     pub out: Addr,
+    /// Warp-instruction budget for the mer walk (see [`walk_budget`]),
+    /// enforced by the walk kernel's watchdog.
+    pub walk_budget: u64,
 }
 
 impl DeviceJob {
     /// Stage a job into the warp's memory arena.
-    pub fn stage(warp: &mut Warp, contig: &[u8], reads: &[Read], k: usize, walk: WalkConfig) -> Self {
-        let contig_addr = warp.mem.alloc_bytes(contig);
+    ///
+    /// `slot_reserve` multiplies the host-side slot estimate — 1 for a
+    /// first attempt, > 1 when the launch layer retries a job whose table
+    /// overflowed (the grown count stays odd, like the estimate). Staging
+    /// reports allocation failure as a structured fault instead of
+    /// panicking, so one oversized job cannot kill a batch.
+    pub fn stage(
+        warp: &mut Warp,
+        contig: &[u8],
+        reads: &[Read],
+        k: usize,
+        walk: WalkConfig,
+        slot_reserve: u32,
+    ) -> Result<Self, KernelFault> {
+        let contig_addr = warp.mem.try_alloc(contig.len() as u64)?;
+        warp.mem.write_bytes(contig_addr, contig);
 
         let total: usize = reads.iter().map(Read::len).sum();
-        let reads_addr = warp.mem.alloc(total as u64);
-        let quals_addr = warp.mem.alloc(total as u64);
+        let reads_addr = warp.mem.try_alloc(total as u64)?;
+        let quals_addr = warp.mem.try_alloc(total as u64)?;
         let mut spans = Vec::with_capacity(reads.len());
         let mut off = 0u32;
         for r in reads {
@@ -82,16 +101,16 @@ impl DeviceJob {
         }
 
         let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
-        let slots = estimate_slots(insertions) as u32;
-        let ht = warp.mem.alloc_aligned(slots as u64 * ENTRY_STRIDE, 32);
+        let slots = (estimate_slots(insertions) as u32).saturating_mul(slot_reserve.max(1)) | 1;
+        let ht = warp.mem.try_alloc_aligned(slots as u64 * ENTRY_STRIDE, 32)?;
         // GPU Initialize (Fig. 3): table zeroed before launch (cudaMemset —
         // not kernel traffic).
         warp.mem.fill(ht, slots as u64 * ENTRY_STRIDE, 0);
 
-        let visited = warp.mem.alloc(walk.max_walk_len as u64 * 4);
-        let out = warp.mem.alloc(walk.max_walk_len as u64);
+        let visited = warp.mem.try_alloc(walk.max_walk_len as u64 * 4)?;
+        let out = warp.mem.try_alloc(walk.max_walk_len as u64)?;
 
-        DeviceJob {
+        Ok(DeviceJob {
             k,
             walk,
             contig: contig_addr,
@@ -103,7 +122,8 @@ impl DeviceJob {
             slots,
             visited,
             out,
-        }
+            walk_budget: walk_budget(k, slots, walk),
+        })
     }
 
     /// Address of entry `slot`'s field at `field_off`.
@@ -113,15 +133,50 @@ impl DeviceJob {
     }
 }
 
+/// Analytic warp-instruction budget for one mer walk — the watchdog bound
+/// enforced by `mer_walk_kernel`.
+///
+/// Derived from the same layout quantities the footprint estimates use:
+/// at most `max_walk_len + 1` steps, each hashing a k-mer, scanning at
+/// most `max_walk_len` visited fingerprints, probing at most `slots` table
+/// entries (`⌈k/4⌉` chunk loads each) and scoring the vote. The result is
+/// doubled for slack: the budget is a runaway bound, not a tight
+/// estimate, and must never fire on a terminating walk.
+pub fn walk_budget(k: usize, slots: u32, walk: WalkConfig) -> u64 {
+    let chunks = k.div_ceil(4) as u64;
+    let steps = walk.max_walk_len as u64 + 1;
+    let per_step = murmur_intops(k)              // k-mer hash
+        + walk.max_walk_len as u64 * 2           // visited scan: load + compare
+        + slots as u64 * (chunks * 2 + 5)        // probe: key compare + cursor math
+        + 32;                                    // vote loads, scoring, bookkeeping
+    2 * (chunks * 2 + steps * per_step + 8)
+}
+
+/// Occupied slots of a staged hash table — the diagnostic payload of a
+/// `HashTableFull` fault. Host-side scan over direct memory: not charged
+/// to the kernel (the real listings print from the abort handler).
+pub fn table_occupancy(warp: &Warp, job: &DeviceJob) -> u32 {
+    (0..job.slots)
+        .filter(|&s| warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN)) != EMPTY)
+        .count() as u32
+}
+
 /// Upper bound on the arena bytes one [`DeviceJob::stage`] pass allocates
 /// (alignment padding included) — the host-side size estimation of Fig. 3,
 /// reused by the pooled launch engine to pre-size warp arenas so staging
 /// never regrows them.
-pub fn stage_footprint(contig_len: usize, reads: &[Read], k: usize, walk: WalkConfig) -> u64 {
+pub fn stage_footprint(
+    contig_len: usize,
+    reads: &[Read],
+    k: usize,
+    walk: WalkConfig,
+    slot_reserve: u32,
+) -> u64 {
     const A: u64 = simt::mem::DEFAULT_ALIGN - 1; // worst-case pad per default alloc
     let total: u64 = reads.iter().map(|r| r.len() as u64).sum();
     let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
-    let slots = estimate_slots(insertions) as u64;
+    let slots =
+        ((estimate_slots(insertions) as u32).saturating_mul(slot_reserve.max(1)) | 1) as u64;
     (contig_len as u64 + A)               // contig
         + 2 * (total + A)                 // read sequences + qualities
         + (slots * ENTRY_STRIDE + 31)     // hash-table slab (32-aligned)
@@ -138,11 +193,12 @@ pub fn arena_footprint(
     reads: &[Read],
     schedule: &[usize],
     walk: WalkConfig,
+    slot_reserve: u32,
 ) -> u64 {
     schedule
         .iter()
         .filter(|&&k| contig_len >= k)
-        .map(|&k| stage_footprint(contig_len, reads, k, walk))
+        .map(|&k| stage_footprint(contig_len, reads, k, walk, slot_reserve))
         .sum()
 }
 
@@ -158,10 +214,14 @@ mod tests {
         ]
     }
 
+    fn stage_ok(warp: &mut Warp, contig: &[u8], reads: &[Read], k: usize) -> DeviceJob {
+        DeviceJob::stage(warp, contig, reads, k, WalkConfig::default(), 1).unwrap()
+    }
+
     #[test]
     fn staging_preserves_data() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
         assert_eq!(warp.mem.read_bytes(job.contig, 8), b"ACGTACGT");
         assert_eq!(job.spans.len(), 2);
         let s1 = job.spans[1];
@@ -172,7 +232,7 @@ mod tests {
     #[test]
     fn table_is_zeroed_and_sized() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
         // 2 reads × 7 k-mers = 14 insertions → ≥ 14 / 0.66 slots.
         assert!(job.slots >= 21);
         for s in 0..job.slots {
@@ -183,7 +243,7 @@ mod tests {
     #[test]
     fn staging_is_uncounted_host_traffic() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let _ = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        let _ = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
         let c = warp.finish();
         assert_eq!(c.mem.hbm_bytes(), 0, "host staging must not count as kernel traffic");
         assert_eq!(c.warp_instructions, 0);
@@ -195,9 +255,9 @@ mod tests {
             let mut warp = Warp::new(32, HierarchyConfig::tiny());
             let walk = WalkConfig::default();
             let before = warp.mem.allocated();
-            let _ = DeviceJob::stage(&mut warp, contig, &reads(), k, walk);
+            let _ = DeviceJob::stage(&mut warp, contig, &reads(), k, walk, 1).unwrap();
             let actual = warp.mem.allocated() - before;
-            let bound = stage_footprint(contig.len(), &reads(), k, walk);
+            let bound = stage_footprint(contig.len(), &reads(), k, walk, 1);
             assert!(actual <= bound, "actual {actual} > bound {bound} (k={k})");
             assert!(bound <= actual + 256, "bound {bound} is not tight around {actual}");
         }
@@ -207,18 +267,72 @@ mod tests {
     fn arena_footprint_sums_over_the_viable_schedule() {
         let walk = WalkConfig::default();
         let contig_len = 8;
-        let single = stage_footprint(contig_len, &reads(), 4, walk);
+        let single = stage_footprint(contig_len, &reads(), 4, walk, 1);
         // k = 9 exceeds the contig and is skipped, just as the kernel skips it.
-        let laddered = arena_footprint(contig_len, &reads(), &[4, 9, 4], walk);
+        let laddered = arena_footprint(contig_len, &reads(), &[4, 9, 4], walk, 1);
         assert_eq!(laddered, 2 * single);
     }
 
     #[test]
     fn entry_field_addresses_are_disjoint() {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
         let a = job.entry_field(0, OFF_COUNT);
         let b = job.entry_field(1, OFF_KEY_LEN);
         assert_eq!(b - (a + 4), 4, "count(+ext pad) then next entry");
+    }
+
+    #[test]
+    fn slot_reserve_grows_the_table_and_stays_odd() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let base = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        for reserve in [2u32, 3, 5] {
+            let mut w = Warp::new(32, HierarchyConfig::tiny());
+            let grown =
+                DeviceJob::stage(&mut w, b"ACGTACGT", &reads(), 4, WalkConfig::default(), reserve)
+                    .unwrap();
+            assert!(grown.slots > base.slots, "reserve {reserve}");
+            assert_eq!(grown.slots % 2, 1, "grown table stays odd");
+            let bound = stage_footprint(8, &reads(), 4, WalkConfig::default(), reserve);
+            assert!(bound >= grown.slots as u64 * ENTRY_STRIDE, "footprint tracks the reserve");
+        }
+    }
+
+    #[test]
+    fn staging_surfaces_injected_alloc_failure_as_a_fault() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        warp.mem.arm_alloc_failure(4); // the hash-table slab (4th allocation)
+        let err = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads(), 4, WalkConfig::default(), 1)
+            .unwrap_err();
+        assert!(
+            matches!(err, KernelFault::ArenaExhausted { requested, .. }
+                if requested % ENTRY_STRIDE == 0),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn walk_budget_bounds_every_terminating_walk() {
+        // The budget must dominate the instructions a full-length walk can
+        // issue; a loose factor-of-two slack is part of the contract.
+        let walk = WalkConfig::default();
+        for (k, slots) in [(4usize, 33u32), (21, 101), (77, 1001)] {
+            let b = walk_budget(k, slots, walk);
+            let per_step_floor = murmur_intops(k) + slots as u64;
+            assert!(
+                b > (walk.max_walk_len as u64) * per_step_floor,
+                "budget {b} too small for k={k} slots={slots}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_occupancy_counts_claimed_slots() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        assert_eq!(table_occupancy(&warp, &job), 0);
+        warp.mem.write_u32(job.entry_field(2, OFF_KEY_LEN), 4);
+        warp.mem.write_u32(job.entry_field(5, OFF_KEY_LEN), 4);
+        assert_eq!(table_occupancy(&warp, &job), 2);
     }
 }

@@ -20,6 +20,7 @@
 //! with the counters the paper collects via `ncu`/`rocprof`/Advisor.
 
 pub mod construct;
+pub mod fault;
 pub mod insert_cuda;
 pub mod insert_hip;
 pub mod insert_sycl;
@@ -32,6 +33,7 @@ pub mod probe;
 pub mod profile;
 pub mod walk;
 
+pub use fault::{JobOutcome, KernelFault};
 pub use kernel::Dialect;
 pub use launch::{run_local_assembly, GpuConfig, GpuRunResult};
 pub use multi_gpu::{run_multi_gpu, MultiGpuResult, Partition};

@@ -90,7 +90,8 @@ mod tests {
     fn setup() -> (Warp, DeviceJob) {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
         let reads = vec![Read::with_uniform_qual(b"ACGTACGTACGT", b'I')];
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 4, WalkConfig::default());
+        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 4, WalkConfig::default(), 1)
+            .unwrap();
         (warp, job)
     }
 

@@ -23,6 +23,13 @@ pub struct PhaseCounters {
     pub construct: AggCounters,
     /// Algorithm 2: mer-walks (including the state broadcast).
     pub walk: AggCounters,
+    /// Largest per-warp walk instruction budget among successful jobs —
+    /// the watchdog ceiling derived from the staged layout (see
+    /// [`crate::layout::walk_budget`]). 0 when no job staged anything.
+    pub walk_budget: u64,
+    /// Walk watchdog trips observed across the run, escalation retries
+    /// included (each one is a `WalkBudgetExceeded` fault).
+    pub watchdog_trips: u64,
 }
 
 /// Profile of one batch (one kernel call in the Fig. 3 pipeline).
@@ -236,7 +243,7 @@ mod trace_profile_tests {
             RetryPolicy::none(),
             Dialect::Cuda,
         );
-        let _ = extension_kernel(&mut warp, &job);
+        extension_kernel(&mut warp, &job).unwrap();
         vec![warp.take_trace().unwrap()]
     }
 

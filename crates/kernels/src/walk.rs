@@ -7,6 +7,7 @@
 //! which is exactly the thread-predication effect the paper analyses:
 //! every walk instruction still occupies the whole warp.
 
+use crate::fault::KernelFault;
 use crate::layout::{DeviceJob, EMPTY, OFF_HI_Q, OFF_KEY_LEN, OFF_KEY_OFF, OFF_LOW_Q};
 use locassm_core::murmur::murmur_intops;
 use locassm_core::walk::{decide_extension, window_fingerprint, Walk, WalkState};
@@ -21,12 +22,23 @@ const WALK_LANE: u32 = 0;
 /// Semantics are identical to `locassm_core::mer_walk` on the CPU table —
 /// the integration tests assert bit-equality of extensions — while every
 /// memory access and integer operation is charged to the simulator.
-pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Walk {
+///
+/// A per-warp instruction watchdog bounds runaway walks: the budget is
+/// `job.walk_budget` (derived from the staged layout, see
+/// [`crate::layout::walk_budget`]); if the walk's instruction spend
+/// crosses it the kernel emits a `Watchdog` trace event and returns
+/// `WalkBudgetExceeded`. The check is host-side only — it issues no
+/// modeled instructions — so fault-free runs are bit-identical to the
+/// unchecked kernel. An injected watchdog fault shrinks the budget to 0
+/// so the first loop iteration trips it deterministically.
+pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelFault> {
     let lane = WALK_LANE;
     let lm = Mask::lane(lane);
     let k = job.k;
     let chunks = k.div_ceil(4) as u64;
     let cfg = job.walk;
+    let watchdog_start = warp.counters.warp_instructions;
+    let budget = if warp.injected_faults().watchdog { 0 } else { job.walk_budget };
 
     // Slice the terminal k-mer out of the contig (Algorithm 2 line 4).
     let tail = job.contig + job.contig_len as u64 - k as u64;
@@ -42,6 +54,11 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Walk {
     let mut steps = 0u32;
 
     let walk = 'walk: loop {
+        let spent = warp.counters.warp_instructions - watchdog_start;
+        if spent > budget {
+            warp.trace_event(simt::EventKind::Watchdog { budget, spent });
+            return Err(KernelFault::WalkBudgetExceeded { budget, spent });
+        }
         if extension.len() >= cfg.max_walk_len {
             break WalkState::MaxLen;
         }
@@ -124,7 +141,7 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Walk {
     let _ = warp.shfl_u32(warp.full_mask(), &len_vec, lane);
     warp.syncwarp(warp.full_mask());
 
-    Walk { extension, state: walk, steps }
+    Ok(Walk { extension, state: walk, steps })
 }
 
 #[cfg(test)]
@@ -138,9 +155,9 @@ mod tests {
 
     fn run_gpu(contig: &[u8], reads: &[Read], k: usize, cfg: WalkConfig) -> Walk {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, contig, reads, k, cfg);
-        construct_hash_table(&mut warp, &job, Dialect::Cuda);
-        mer_walk_kernel(&mut warp, &job)
+        let job = DeviceJob::stage(&mut warp, contig, reads, k, cfg, 1).unwrap();
+        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        mer_walk_kernel(&mut warp, &job).unwrap()
     }
 
     fn run_cpu(contig: &[u8], reads: &[Read], k: usize, cfg: WalkConfig) -> Walk {
@@ -196,10 +213,10 @@ mod tests {
     fn walk_cost_is_single_lane() {
         let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg());
-        construct_hash_table(&mut warp, &job, Dialect::Cuda);
+        let job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
+        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
         let before = warp.snapshot();
-        let _ = mer_walk_kernel(&mut warp, &job);
+        let _ = mer_walk_kernel(&mut warp, &job).unwrap();
         let delta = warp.snapshot().since(&before);
         // All walk integer instructions ran with one active lane out of 32.
         assert!(delta.int_instructions > 0);
@@ -208,5 +225,59 @@ mod tests {
             "walk utilization should be ~1/32, got {}",
             delta.lane_utilization()
         );
+    }
+
+    #[test]
+    fn watchdog_never_fires_on_terminating_walks() {
+        // The budget formula over-approximates every terminating walk,
+        // so none of the reference walks above can trip it.
+        let cases: [(&[u8], &[u8], usize); 3] = [
+            (b"GGGGACGTACG", b"ACGTACGGTTACCA", 4),
+            (b"TTACGT", b"TACGTA", 5),
+            (b"GGAACC", b"AACCAACCAACC", 4),
+        ];
+        for (contig, read, k) in cases {
+            let reads = vec![Read::with_uniform_qual(read, b'I')];
+            let mut warp = Warp::new(32, HierarchyConfig::tiny());
+            let job = DeviceJob::stage(&mut warp, contig, &reads, k, cfg(), 1).unwrap();
+            construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+            mer_walk_kernel(&mut warp, &job).unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_watchdog_trips_deterministically() {
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
+        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        warp.inject_watchdog();
+        match mer_walk_kernel(&mut warp, &job) {
+            Err(KernelFault::WalkBudgetExceeded { budget, spent }) => {
+                assert_eq!(budget, 0, "injection zeroes the budget");
+                assert!(spent > 0, "the tail-chunk loads precede the check");
+            }
+            other => panic!("expected WalkBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_check_is_free() {
+        // The watchdog must not perturb the modeled instruction stream:
+        // a walk under an (unfired) watchdog spends exactly the same
+        // instruction count as the counters predict from a twin run.
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
+        let run = || {
+            let mut warp = Warp::new(32, HierarchyConfig::tiny());
+            let job =
+                DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
+            construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+            let walk = mer_walk_kernel(&mut warp, &job).unwrap();
+            (walk, warp.finish())
+        };
+        let (w1, c1) = run();
+        let (w2, c2) = run();
+        assert_eq!(w1, w2);
+        assert_eq!(c1, c2);
     }
 }

@@ -94,6 +94,9 @@ fn event_args(kind: &EventKind) -> String {
         EventKind::HbmTx { read, write } => {
             format!("{{\"read_tx\":{read},\"write_tx\":{write}}}")
         }
+        EventKind::Watchdog { budget, spent } => {
+            format!("{{\"budget\":{budget},\"spent\":{spent}}}")
+        }
         EventKind::Collective { .. } | EventKind::Sync => "{}".to_string(),
     }
 }

@@ -1,0 +1,180 @@
+//! Deterministic fault injection for the launch engine.
+//!
+//! Production GPU pipelines must survive pathological jobs — a hash table
+//! whose host-side slot estimate was violated, an arena that cannot grow,
+//! a walk that never terminates. The kernel layer reports those as
+//! structured faults; this module provides the *harness* that forces each
+//! fault class on demand so recovery paths can be tested deterministically.
+//!
+//! A [`FaultPlan`] names one victim job (by run-global launch index) and
+//! one fault class. The launch engine arms the plan on the victim's warp
+//! just before its kernel runs; the kernel's ordinary fault checks then
+//! observe the injected condition and return the same structured error a
+//! real pathology would produce. Plans are plain `Copy` data — no global
+//! state, no timers — so a seeded plan replays bit-identically.
+
+use crate::mem::GlobalMem;
+use crate::warp::Warp;
+
+/// Fault flags carried on a [`Warp`], observed by kernel-side checks.
+///
+/// Cleared by [`Warp::reset`] so pooled warps never leak an armed fault
+/// into the next job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Force the next hash-table insert to report the table full.
+    pub table_full: bool,
+    /// Force the walk watchdog to trip on its first budget check.
+    pub watchdog: bool,
+}
+
+/// A deterministic, seedable single-fault injection plan.
+///
+/// Job indices are *run-global*: the launch layer numbers every warp it
+/// launches across batches and sides in deterministic order (the same
+/// numbering the trace layer uses), and offsets each launch's local
+/// indices by [`crate::grid::LaunchConfig::fault_base`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Report `HashTableFull` when this job first inserts.
+    pub table_full_at: Option<u64>,
+    /// `(job, nth)` — fail the `nth` (1-based) arena allocation of `job`.
+    pub alloc_fail: Option<(u64, u64)>,
+    /// Trip the walk watchdog on this job's first budget check.
+    pub watchdog_at: Option<u64>,
+    /// How many attempts of the victim job observe the fault. `1` (the
+    /// default) models a transient fault: the first retry runs clean.
+    /// `2` also faults the first (grown-table) retry, pushing recovery
+    /// down the k-ladder; `u32::MAX` models a persistent fault that
+    /// exhausts every escalation step and ends in `Failed`.
+    pub attempts: u32,
+}
+
+impl FaultPlan {
+    /// Force a hash-table-full fault at run-global job index `job`.
+    pub fn table_full(job: u64) -> Self {
+        Self { table_full_at: Some(job), attempts: 1, ..Self::default() }
+    }
+
+    /// Fail the `nth` (1-based) arena allocation of job `job`.
+    pub fn alloc_failure(job: u64, nth: u64) -> Self {
+        Self { alloc_fail: Some((job, nth.max(1))), attempts: 1, ..Self::default() }
+    }
+
+    /// Trip the walk watchdog at run-global job index `job`.
+    pub fn watchdog(job: u64) -> Self {
+        Self { watchdog_at: Some(job), attempts: 1, ..Self::default() }
+    }
+
+    /// Make the fault persist for the victim's first `attempts` attempts
+    /// (the original run counts as attempt one).
+    pub fn persist(mut self, attempts: u32) -> Self {
+        self.attempts = attempts.max(1);
+        self
+    }
+
+    /// Derive a single-fault plan from a seed: a splitmix64 scramble
+    /// picks the fault class, the victim among `n_jobs`, and (for
+    /// allocation faults) which allocation fails. Same seed, same plan.
+    pub fn seeded(seed: u64, n_jobs: u64) -> Self {
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let job = if n_jobs == 0 { 0 } else { next() % n_jobs };
+        match next() % 3 {
+            0 => Self::table_full(job),
+            1 => Self::alloc_failure(job, 1 + next() % 5),
+            _ => Self::watchdog(job),
+        }
+    }
+
+    /// True if this plan targets run-global job index `job`.
+    pub fn targets(&self, job: u64) -> bool {
+        self.table_full_at == Some(job)
+            || self.watchdog_at == Some(job)
+            || matches!(self.alloc_fail, Some((j, _)) if j == job)
+    }
+
+    /// Arm this plan on `warp` if it targets run-global job index `job`.
+    /// Called by the launch engine after the warp is acquired (and reset)
+    /// and before the kernel runs; a non-matching job is a no-op.
+    pub fn arm(&self, job: u64, warp: &mut Warp) {
+        if self.table_full_at == Some(job) {
+            warp.inject_table_full();
+        }
+        if self.watchdog_at == Some(job) {
+            warp.inject_watchdog();
+        }
+        if let Some((j, nth)) = self.alloc_fail {
+            if j == job {
+                arm_alloc(&mut warp.mem, nth);
+            }
+        }
+    }
+}
+
+fn arm_alloc(mem: &mut GlobalMem, nth: u64) {
+    mem.arm_alloc_failure(nth);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memhier::HierarchyConfig;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..64u64 {
+            assert_eq!(FaultPlan::seeded(seed, 17), FaultPlan::seeded(seed, 17));
+        }
+    }
+
+    #[test]
+    fn seeded_plans_cover_all_fault_classes() {
+        let mut table = 0;
+        let mut alloc = 0;
+        let mut dog = 0;
+        for seed in 0..64u64 {
+            let p = FaultPlan::seeded(seed, 9);
+            if p.table_full_at.is_some() {
+                table += 1;
+            }
+            if let Some((j, nth)) = p.alloc_fail {
+                alloc += 1;
+                assert!(j < 9 && (1..=5).contains(&nth));
+            }
+            if p.watchdog_at.is_some() {
+                dog += 1;
+            }
+        }
+        assert!(table > 0 && alloc > 0 && dog > 0, "{table}/{alloc}/{dog}");
+    }
+
+    #[test]
+    fn arming_is_job_selective() {
+        let mut warp = Warp::new(8, HierarchyConfig::tiny());
+        let plan = FaultPlan::table_full(3);
+        plan.arm(2, &mut warp);
+        assert_eq!(warp.injected_faults(), InjectedFaults::default());
+        plan.arm(3, &mut warp);
+        assert!(warp.injected_faults().table_full);
+        assert!(plan.targets(3) && !plan.targets(2));
+    }
+
+    #[test]
+    fn reset_disarms_injected_faults() {
+        let mut warp = Warp::new(8, HierarchyConfig::tiny());
+        FaultPlan::watchdog(0).arm(0, &mut warp);
+        FaultPlan::alloc_failure(0, 2).arm(0, &mut warp);
+        assert!(warp.injected_faults().watchdog);
+        warp.reset(8, HierarchyConfig::tiny());
+        assert_eq!(warp.injected_faults(), InjectedFaults::default());
+        assert!(warp.mem.try_alloc(16).is_ok(), "reset must disarm the allocation fault");
+        assert!(warp.mem.try_alloc(16).is_ok());
+    }
+}

@@ -24,6 +24,7 @@
 //! tests below and by the kernel-level equivalence suite).
 
 use crate::counters::AggCounters;
+use crate::fault::FaultPlan;
 use crate::trace::WarpTrace;
 use crate::warp::Warp;
 use memhier::HierarchyConfig;
@@ -58,12 +59,29 @@ pub struct LaunchConfig {
     /// in-kernel bump allocator never regrows its backing buffer. `0`
     /// means no reservation.
     pub arena_hint: u64,
+    /// Deterministic fault-injection plan (see [`crate::fault`]). `None`
+    /// (the default) injects nothing; the launch is then bit-identical to
+    /// one with an armed plan targeting an out-of-range job.
+    pub fault: Option<FaultPlan>,
+    /// Offset added to each job's local index before matching it against
+    /// [`LaunchConfig::fault`], so multi-launch drivers can address jobs
+    /// by a run-global number (the same numbering as renumbered traces).
+    pub fault_base: u64,
 }
 
 impl LaunchConfig {
     /// A parallel, untraced, pooled launch at the given width and hierarchy.
     pub fn new(width: u32, hierarchy: HierarchyConfig) -> Self {
-        LaunchConfig { width, hierarchy, parallel: true, trace: false, pool: true, arena_hint: 0 }
+        LaunchConfig {
+            width,
+            hierarchy,
+            parallel: true,
+            trace: false,
+            pool: true,
+            arena_hint: 0,
+            fault: None,
+            fault_base: 0,
+        }
     }
 }
 
@@ -170,6 +188,9 @@ where
         if cfg.trace {
             warp.enable_trace(idx as u64);
         }
+        if let Some(plan) = &cfg.fault {
+            plan.arm(cfg.fault_base + idx as u64, &mut warp);
+        }
         let r = kernel(&mut warp, job);
         let counters = warp.finish();
         let trace = warp.take_trace();
@@ -209,6 +230,8 @@ mod tests {
             trace: false,
             pool: true,
             arena_hint: 0,
+            fault: None,
+            fault_base: 0,
         }
     }
 
@@ -397,5 +420,63 @@ mod tests {
             "a hinted arena must never regrow mid-kernel: {:?}",
             out.results
         );
+    }
+
+    /// Kernel that reports which injected faults it observes.
+    fn fault_probe(w: &mut Warp, _j: &u32) -> (bool, bool, bool) {
+        let f = w.injected_faults();
+        (f.table_full, f.watchdog, w.mem.try_alloc(64).is_err())
+    }
+
+    #[test]
+    fn fault_plan_arms_exactly_the_victim_job() {
+        let jobs: Vec<u32> = (0..8).collect();
+        for parallel in [true, false] {
+            let mut c = cfg(parallel);
+            c.fault = Some(FaultPlan::table_full(5));
+            let out = launch_warps(c, &jobs, fault_probe);
+            for (i, &(table, dog, alloc)) in out.results.iter().enumerate() {
+                assert_eq!(table, i == 5, "job {i}, parallel={parallel}");
+                assert!(!dog && !alloc, "job {i} must see no other fault");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_base_offsets_the_victim_index() {
+        let jobs: Vec<u32> = (0..4).collect();
+        let mut c = cfg(false);
+        c.fault = Some(FaultPlan::alloc_failure(10, 1));
+        c.fault_base = 8; // local job 2 is run-global job 10
+        let out = launch_warps(c, &jobs, fault_probe);
+        let failed: Vec<usize> =
+            out.results.iter().enumerate().filter(|(_, r)| r.2).map(|(i, _)| i).collect();
+        assert_eq!(failed, vec![2]);
+    }
+
+    #[test]
+    fn armed_faults_do_not_poison_the_pool() {
+        let jobs: Vec<u32> = (0..6).collect();
+        let mut faulted = cfg(false);
+        faulted.fault = Some(FaultPlan::watchdog(3));
+        let _ = launch_warps(faulted, &jobs, fault_probe);
+        // The same pooled warps, re-acquired, must be fault-free.
+        let clean = launch_warps(cfg(false), &jobs, fault_probe);
+        assert!(clean.results.iter().all(|r| !r.0 && !r.1 && !r.2));
+    }
+
+    #[test]
+    fn unarmed_plan_is_bit_identical_to_no_plan() {
+        let jobs: Vec<u32> = (0..32).collect();
+        let mut armed = cfg(true);
+        armed.trace = true;
+        armed.fault = Some(FaultPlan::table_full(u64::MAX));
+        let mut none = armed;
+        none.fault = None;
+        let a = launch_warps(armed, &jobs, stateful_body);
+        let b = launch_warps(none, &jobs, stateful_body);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.traces, b.traces);
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod collectives;
 pub mod counters;
+pub mod fault;
 pub mod grid;
 pub mod lanevec;
 pub mod mask;
@@ -37,10 +38,11 @@ pub mod trace;
 pub mod warp;
 
 pub use counters::{AggCounters, WarpCounters};
+pub use fault::{FaultPlan, InjectedFaults};
 pub use grid::{launch_warps, pool_stats, LaunchConfig, LaunchOutput, PoolStats};
 pub use lanevec::LaneVec;
 pub use mask::Mask;
-pub use mem::GlobalMem;
+pub use mem::{AllocError, GlobalMem};
 pub use trace::{Event, EventKind, Span, TraceSink, WarpTrace};
 pub use warp::Warp;
 

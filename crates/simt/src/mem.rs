@@ -21,6 +21,25 @@ use memhier::Addr;
 /// Alignment used by [`GlobalMem::alloc`] by default.
 pub const DEFAULT_ALIGN: u64 = 8;
 
+/// A failed arena allocation, reported by [`GlobalMem::try_alloc_aligned`].
+///
+/// Produced either when the requested region cannot fit the address space
+/// (arithmetic overflow of the bump pointer) or when a fault-injection
+/// plan armed this allocation to fail (see [`GlobalMem::arm_alloc_failure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes the failed allocation asked for.
+    pub requested: u64,
+    /// Arena capacity at the time of the failure.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} bytes requested, arena capacity {}", self.requested, self.limit)
+    }
+}
+
 /// Size of the reserved null page at the bottom of every arena.
 pub const NULL_PAGE: u64 = 64;
 
@@ -33,12 +52,20 @@ pub struct GlobalMem {
     /// Times an allocation had to grow the backing buffer past its
     /// reserved size (0 for a correctly pre-sized arena).
     regrowths: u64,
+    /// Fault-injection countdown: when `Some(n)`, the `n`th upcoming
+    /// allocation fails. Self-disarming; cleared by [`GlobalMem::reset`].
+    fail_alloc_in: Option<u64>,
 }
 
 impl GlobalMem {
     /// An arena with a reserved null page (first [`NULL_PAGE`] bytes unused).
     pub fn new() -> Self {
-        GlobalMem { data: vec![0; NULL_PAGE as usize], next: NULL_PAGE, regrowths: 0 }
+        GlobalMem {
+            data: vec![0; NULL_PAGE as usize],
+            next: NULL_PAGE,
+            regrowths: 0,
+            fail_alloc_in: None,
+        }
     }
 
     /// Preallocate capacity for `bytes` of upcoming allocations.
@@ -72,6 +99,48 @@ impl GlobalMem {
         self.data[..used].fill(0);
         self.next = NULL_PAGE;
         self.regrowths = 0;
+        self.fail_alloc_in = None;
+    }
+
+    /// Arm a fault-injection failure: the `nth` (1-based) upcoming
+    /// allocation returns `Err` from [`GlobalMem::try_alloc_aligned`].
+    /// Self-disarming after it fires; [`GlobalMem::reset`] also clears it,
+    /// so a pooled arena never carries an armed fault into the next job.
+    pub fn arm_alloc_failure(&mut self, nth: u64) {
+        self.fail_alloc_in = Some(nth.max(1));
+    }
+
+    /// Allocate `len` bytes with `align` alignment, reporting failure as a
+    /// value instead of panicking. Failure modes: bump-pointer arithmetic
+    /// overflow, or an armed [`GlobalMem::arm_alloc_failure`] countdown
+    /// reaching zero. On failure the arena is unchanged (no partial bump).
+    pub fn try_alloc_aligned(&mut self, len: u64, align: u64) -> Result<Addr, AllocError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        if let Some(n) = self.fail_alloc_in.as_mut() {
+            *n -= 1;
+            if *n == 0 {
+                self.fail_alloc_in = None;
+                return Err(AllocError { requested: len, limit: self.data.len() as u64 });
+            }
+        }
+        let overflow = AllocError { requested: len, limit: self.data.len() as u64 };
+        let base = self
+            .next
+            .checked_add(align - 1)
+            .map(|b| b & !(align - 1))
+            .ok_or(overflow)?;
+        let end = base.checked_add(len).ok_or(overflow)?;
+        if end as usize > self.data.len() {
+            self.regrowths += 1;
+            self.data.resize(end as usize, 0);
+        }
+        self.next = end;
+        Ok(base)
+    }
+
+    /// Fallible allocation with [`DEFAULT_ALIGN`].
+    pub fn try_alloc(&mut self, len: u64) -> Result<Addr, AllocError> {
+        self.try_alloc_aligned(len, DEFAULT_ALIGN)
     }
 
     /// Allocate `len` bytes with `align` alignment; returns the base address.
@@ -79,22 +148,13 @@ impl GlobalMem {
     /// Panics with "allocation overflow" when the aligned end of the region
     /// would exceed `u64::MAX` — unchecked arithmetic here would wrap in
     /// release builds, pass the bounds check and alias live allocations.
+    /// Code on the per-job kernel hot path must use
+    /// [`GlobalMem::try_alloc_aligned`] instead and surface the failure as
+    /// a structured fault.
     pub fn alloc_aligned(&mut self, len: u64, align: u64) -> Addr {
-        assert!(align.is_power_of_two(), "alignment must be a power of two");
-        let base = self
-            .next
-            .checked_add(align - 1)
-            .map(|b| b & !(align - 1))
-            .unwrap_or_else(|| panic!("allocation overflow: align {align} past next {}", self.next));
-        let end = base.checked_add(len).unwrap_or_else(|| {
-            panic!("allocation overflow: len {len} at base {base} exceeds the address space")
-        });
-        if end as usize > self.data.len() {
-            self.regrowths += 1;
-            self.data.resize(end as usize, 0);
-        }
-        self.next = end;
-        base
+        self.try_alloc_aligned(len, align).unwrap_or_else(|e| {
+            panic!("allocation overflow: align {align} at next {}: {e}", self.next)
+        })
     }
 
     /// Allocate with [`DEFAULT_ALIGN`].
@@ -327,6 +387,47 @@ mod tests {
         let b = m.alloc(8);
         assert_eq!(a, b, "bump pointer rewound");
         assert_eq!(m.read_bytes(b, 8), &[0u8; 8], "stale contents re-zeroed");
+    }
+
+    #[test]
+    fn try_alloc_matches_alloc_when_unarmed() {
+        let mut a = GlobalMem::new();
+        let mut b = GlobalMem::new();
+        for len in [1u64, 8, 13, 200] {
+            assert_eq!(Ok(a.alloc(len)), b.try_alloc(len));
+        }
+        assert_eq!(a.allocated(), b.allocated());
+    }
+
+    #[test]
+    fn armed_allocation_fails_at_the_nth_call_then_disarms() {
+        let mut m = GlobalMem::with_capacity(4096);
+        m.arm_alloc_failure(3);
+        assert!(m.try_alloc(16).is_ok());
+        assert!(m.try_alloc(16).is_ok());
+        let err = m.try_alloc(32).unwrap_err();
+        assert_eq!(err.requested, 32);
+        assert_eq!(err.limit, m.capacity());
+        // Self-disarmed: subsequent allocations succeed again.
+        assert!(m.try_alloc(16).is_ok());
+    }
+
+    #[test]
+    fn failed_allocation_leaves_the_arena_unchanged() {
+        let mut m = GlobalMem::with_capacity(1024);
+        let before = m.allocated();
+        m.arm_alloc_failure(1);
+        assert!(m.try_alloc(64).is_err());
+        assert_eq!(m.allocated(), before, "no partial bump on failure");
+        assert_eq!(m.regrowths(), 0);
+    }
+
+    #[test]
+    fn overflow_is_reported_as_a_value_by_try_alloc() {
+        let mut m = GlobalMem::new();
+        let err = m.try_alloc(u64::MAX - 32).unwrap_err();
+        assert_eq!(err.requested, u64::MAX - 32);
+        assert!(err.to_string().contains("arena capacity"));
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub enum EventKind {
         /// HBM write transactions caused by the instruction (evictions).
         write: u64,
     },
+    /// The per-warp instruction watchdog tripped: the walk spent more
+    /// warp instructions than its layout-derived budget allowed. The
+    /// kernel aborts with a `WalkBudgetExceeded` fault right after
+    /// recording this marker.
+    Watchdog {
+        /// Budget the walk was allowed (warp instructions).
+        budget: u64,
+        /// Instructions actually spent when the watchdog fired.
+        spent: u64,
+    },
 }
 
 impl EventKind {
@@ -70,6 +80,7 @@ impl EventKind {
             EventKind::Sync => "sync",
             EventKind::WalkStep { .. } => "walk_step",
             EventKind::HbmTx { .. } => "hbm_tx",
+            EventKind::Watchdog { .. } => "watchdog",
         }
     }
 }
@@ -282,5 +293,6 @@ mod tests {
         assert_eq!(EventKind::Sync.name(), "sync");
         assert_eq!(EventKind::WalkStep { probes: 2 }.name(), "walk_step");
         assert_eq!(EventKind::HbmTx { read: 1, write: 0 }.name(), "hbm_tx");
+        assert_eq!(EventKind::Watchdog { budget: 10, spent: 11 }.name(), "watchdog");
     }
 }

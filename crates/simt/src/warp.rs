@@ -12,6 +12,7 @@
 //! * collectives in [`crate::collectives`].
 
 use crate::counters::WarpCounters;
+use crate::fault::InjectedFaults;
 use crate::lanevec::LaneVec;
 use crate::mask::Mask;
 use crate::mem::GlobalMem;
@@ -36,6 +37,9 @@ pub struct Warp {
     /// one coalesce pass, so reusing this buffer keeps the access hot path
     /// allocation-free at steady state (its capacity survives pool reuse).
     co_scratch: CoalesceResult,
+    /// Armed fault-injection flags (see [`crate::fault`]); cleared by
+    /// [`Warp::reset`].
+    injected: InjectedFaults,
 }
 
 impl Warp {
@@ -52,6 +56,7 @@ impl Warp {
             counters: WarpCounters::new(width),
             trace: None,
             co_scratch: CoalesceResult::default(),
+            injected: InjectedFaults::default(),
         }
     }
 
@@ -71,6 +76,24 @@ impl Warp {
         self.hier.reconfigure(hier_cfg);
         self.counters = WarpCounters::new(width);
         self.trace = None;
+        self.injected = InjectedFaults::default();
+    }
+
+    /// Arm the injected hash-table-full fault (see [`crate::fault`]).
+    pub fn inject_table_full(&mut self) {
+        self.injected.table_full = true;
+    }
+
+    /// Arm the injected walk-watchdog fault (see [`crate::fault`]).
+    pub fn inject_watchdog(&mut self) {
+        self.injected.watchdog = true;
+    }
+
+    /// Current injected-fault flags. Kernel fault checks read these; they
+    /// cost nothing on the fault-free path beyond one branch per check
+    /// site (never per instruction).
+    pub fn injected_faults(&self) -> InjectedFaults {
+        self.injected
     }
 
     /// Attach a [`TraceSink`], enabling span/event recording for this warp.

@@ -1,0 +1,89 @@
+//! Tier-1 hygiene gate for the fault model: the per-job kernel hot path
+//! must stay panic-free. Pathology is reported as `KernelFault` values
+//! (see `locassm_kernels::fault`), so `panic!`, `unwrap()`, `expect(`,
+//! `unreachable!` and `todo!` must not reappear in the hot-path sources.
+//! Test modules are exempt (everything from the first `#[cfg(test)]` on),
+//! as are `debug_assert!`s — they document invariants, vanish in release
+//! builds, and cannot take down a production batch.
+
+use std::path::Path;
+
+/// The per-job kernel hot path: everything a single warp executes between
+/// job pickup and outcome writeback, plus the launch layer that isolates
+/// faults. A panic in any of these kills a whole pooled batch.
+const HOT_PATH: &[&str] = &[
+    "crates/kernels/src/probe.rs",
+    "crates/kernels/src/insert_cuda.rs",
+    "crates/kernels/src/insert_hip.rs",
+    "crates/kernels/src/insert_sycl.rs",
+    "crates/kernels/src/construct.rs",
+    "crates/kernels/src/walk.rs",
+    "crates/kernels/src/kernel.rs",
+    "crates/kernels/src/layout.rs",
+    "crates/kernels/src/launch.rs",
+];
+
+const FORBIDDEN: &[&str] = &["panic!(", ".unwrap()", ".expect(", "unreachable!(", "todo!("];
+
+/// Strip `//` line comments (good enough for this codebase: no raw
+/// strings or `/* */` blocks in the hot path) and cut the file at its
+/// first `#[cfg(test)]` marker.
+fn production_code(source: &str) -> String {
+    let mut out = String::new();
+    for line in source.lines() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let code = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        out.push_str(code);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn kernel_hot_path_stays_panic_free() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for rel in HOT_PATH {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("hot-path file {rel} must exist: {e}"));
+        let code = production_code(&source);
+        for (lineno, line) in code.lines().enumerate() {
+            for pat in FORBIDDEN {
+                // `debug_assert!` is allowed; it contains no forbidden
+                // pattern, so no special-casing is needed beyond the
+                // comment strip above.
+                if line.contains(pat) {
+                    violations.push(format!("{rel}:{}: `{pat}` in `{}`", lineno + 1, line.trim()));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "panic paths reappeared in the per-job kernel hot path — report a \
+         KernelFault instead:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn hot_path_listing_is_current() {
+    // Guard the guard: if a hot-path file is renamed away, the test above
+    // silently shrinks. Require every listed file to exist AND require
+    // the insert dialects to still dispatch through `Dialect::insert`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in HOT_PATH {
+        assert!(root.join(rel).is_file(), "{rel} disappeared; update HOT_PATH");
+    }
+    let kernel = std::fs::read_to_string(root.join("crates/kernels/src/kernel.rs")).unwrap();
+    assert!(
+        kernel.contains("Result<SlotVec, KernelFault>"),
+        "Dialect::insert no longer returns a fault Result"
+    );
+}

@@ -1,0 +1,191 @@
+//! Property-based fault-injection suite (the tentpole's proof harness):
+//! for any job set and any injected single fault, every *other* job's
+//! extension is bit-identical to the fault-free run, and recovered jobs
+//! match the CPU reference at the k they recovered with.
+
+use gpu_specs::DeviceId;
+use locassm_core::io::Dataset;
+use locassm_core::{assemble_all, bin_contigs, AssemblyConfig, RetryPolicy};
+use locassm_kernels::{run_local_assembly, GpuConfig, GpuRunResult, JobOutcome, KernelFault};
+use proptest::prelude::*;
+use simt::FaultPlan;
+use std::sync::OnceLock;
+use workloads::paper_dataset;
+
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| paper_dataset(21, 0.002, 42))
+}
+
+fn config(retry: RetryPolicy) -> GpuConfig {
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.retry = retry;
+    cfg
+}
+
+fn baseline_none() -> &'static GpuRunResult {
+    static RUN: OnceLock<GpuRunResult> = OnceLock::new();
+    RUN.get_or_init(|| run_local_assembly(dataset(), &config(RetryPolicy::none())))
+}
+
+fn baseline_ladder() -> &'static GpuRunResult {
+    static RUN: OnceLock<GpuRunResult> = OnceLock::new();
+    RUN.get_or_init(|| run_local_assembly(dataset(), &config(RetryPolicy::ladder(21))))
+}
+
+/// Replay the host's run-global job numbering (batches × {right, left} ×
+/// job order) and return the `(dataset index, is_right)` of every
+/// launched job, in id order.
+fn launched_jobs(ds: &Dataset, cfg: &GpuConfig) -> Vec<(usize, bool)> {
+    let schedule = cfg.retry.schedule(ds.k);
+    let min_k = schedule.iter().copied().min().unwrap_or(ds.k);
+    let mut out = Vec::new();
+    for batch in &bin_contigs(&ds.jobs, cfg.binning) {
+        for side in 0..2 {
+            for &idx in &batch.jobs {
+                let j = &ds.jobs[idx];
+                if j.contig.len() < min_k {
+                    continue;
+                }
+                let reads = if side == 0 { &j.right_reads } else { &j.left_reads };
+                if reads.is_empty() {
+                    continue;
+                }
+                out.push((idx, side == 0));
+            }
+        }
+    }
+    out
+}
+
+/// The run-global job id a plan targets (every plan here targets one).
+fn victim_of(plan: &FaultPlan, n_jobs: u64) -> u64 {
+    (0..n_jobs).find(|&j| plan.targets(j)).expect("plan targets one launched job")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any transient single fault — table-full, a failed arena
+    /// allocation, or a tripped watchdog, at any job — leaves every
+    /// extension bit-identical to the fault-free run (the victim
+    /// recovers exactly) and marks exactly the victim `Recovered`.
+    #[test]
+    fn transient_single_fault_is_invisible_in_the_output(seed in 0u64..1_000_000) {
+        let ds = dataset();
+        let mut cfg = config(RetryPolicy::none());
+        let jobs = launched_jobs(ds, &cfg);
+        let plan = FaultPlan::seeded(seed, jobs.len() as u64);
+        let victim = victim_of(&plan, jobs.len() as u64);
+        cfg.fault = Some(plan);
+
+        let faulted = run_local_assembly(ds, &cfg);
+        let clean = baseline_none();
+        prop_assert_eq!(&faulted.extensions, &clean.extensions);
+
+        let (victim_idx, _) = jobs[victim as usize];
+        for (i, o) in faulted.outcomes.iter().enumerate() {
+            if i == victim_idx {
+                prop_assert_eq!(*o, JobOutcome::Recovered { attempts: 1 });
+            } else {
+                prop_assert_eq!(*o, JobOutcome::Ok);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A *persistent* single fault exhausts escalation: the victim ends
+    /// `Failed` with its faulted side empty, and — the isolation
+    /// property — every other job plus the victim's clean side stays
+    /// bit-identical to the fault-free run.
+    #[test]
+    fn persistent_single_fault_isolates_to_the_victim(seed in 0u64..1_000_000) {
+        let ds = dataset();
+        let mut cfg = config(RetryPolicy::none());
+        let jobs = launched_jobs(ds, &cfg);
+        let plan = FaultPlan::seeded(seed, jobs.len() as u64).persist(u32::MAX);
+        let victim = victim_of(&plan, jobs.len() as u64);
+        cfg.fault = Some(plan);
+
+        let faulted = run_local_assembly(ds, &cfg);
+        let clean = baseline_none();
+        let (victim_idx, is_right) = jobs[victim as usize];
+
+        for (i, (c, f)) in clean.extensions.iter().zip(&faulted.extensions).enumerate() {
+            if i != victim_idx {
+                prop_assert_eq!(c, f, "job {} must be untouched", i);
+            }
+        }
+        prop_assert!(!faulted.outcomes[victim_idx].succeeded());
+        let v_clean = &clean.extensions[victim_idx];
+        let v_faulted = &faulted.extensions[victim_idx];
+        if is_right {
+            prop_assert!(v_faulted.right.is_empty());
+            prop_assert_eq!(&v_faulted.left, &v_clean.left);
+        } else {
+            prop_assert!(v_faulted.left.is_empty());
+            prop_assert_eq!(&v_faulted.right, &v_clean.right);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// A table-full fault persisting through the grown same-k retry
+    /// pushes escalation down the k-ladder: the victim recovers at the
+    /// first fallback k and its faulted side matches the CPU reference
+    /// assembled with that k as primary.
+    #[test]
+    fn ladder_recovery_matches_the_cpu_reference_at_fallback_k(victim_pick in 0usize..64) {
+        let ds = dataset();
+        let mut cfg = config(RetryPolicy::ladder(ds.k));
+        let jobs = launched_jobs(ds, &cfg);
+        let victim = (victim_pick % jobs.len()) as u64;
+        cfg.fault = Some(FaultPlan::table_full(victim).persist(2));
+
+        let faulted = run_local_assembly(ds, &cfg);
+        let clean = baseline_ladder();
+        let (victim_idx, is_right) = jobs[victim as usize];
+
+        for (i, (c, f)) in clean.extensions.iter().zip(&faulted.extensions).enumerate() {
+            if i != victim_idx {
+                prop_assert_eq!(c, f, "job {} must be untouched", i);
+            }
+        }
+        prop_assert_eq!(faulted.outcomes[victim_idx], JobOutcome::Recovered { attempts: 2 });
+
+        let fallback_k = cfg.retry.schedule(ds.k)[1];
+        let oracle = assemble_all(
+            std::slice::from_ref(&ds.jobs[victim_idx]),
+            &AssemblyConfig { k: fallback_k, walk: cfg.walk, retry: cfg.retry.clone() },
+            true,
+        );
+        let v = &faulted.extensions[victim_idx];
+        if is_right {
+            prop_assert_eq!(&v.right, &oracle[0].right);
+        } else {
+            prop_assert_eq!(&v.left, &oracle[0].left);
+        }
+    }
+}
+
+/// Non-property smoke check tying the suite together: a `Failed` job's
+/// fault survives into the outcome with its diagnostic payload.
+#[test]
+fn failed_outcome_carries_the_fault_payload() {
+    let ds = dataset();
+    let mut cfg = config(RetryPolicy::none());
+    cfg.fault = Some(FaultPlan::table_full(0).persist(u32::MAX));
+    let r = run_local_assembly(ds, &cfg);
+    let (victim_idx, _) = launched_jobs(ds, &cfg)[0];
+    match r.outcomes[victim_idx] {
+        JobOutcome::Failed { fault: KernelFault::HashTableFull { capacity, .. } } => {
+            assert!(capacity > 0, "the fault reports the table that overflowed");
+        }
+        other => panic!("expected Failed(HashTableFull), got {other:?}"),
+    }
+}
