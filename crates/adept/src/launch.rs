@@ -64,6 +64,7 @@ pub fn run_alignment_batch(
         arena_hint,
         fault: None,
         fault_base: 0,
+        sanitize: simt::SanitizerConfig::default(),
     };
     let out = launch_warps(cfg, pairs, |warp, p: &Pair| {
         sw_kernel(warp, &p.query, &p.reference, scoring)

@@ -128,12 +128,44 @@ fn bench_fault_injection(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sanitizer_overhead(c: &mut Criterion) {
+    // The sanitizer's acceptance bar: with every check *off* (the
+    // default), the instrumented hot paths cost < 1 % against the
+    // pre-sanitizer numbers in BENCH_kernels.json — each hook is one
+    // branch on an `Option<Box<SanState>>` that stays `None`. Compare
+    // `sanitize_off` against `baseline` (they must agree within noise);
+    // `sanitize_on` shows the real cost of shadow-memory tracking, which
+    // is allowed to be expensive — it is an opt-in debugging mode that
+    // models zero kernel instructions either way.
+    let ds = paper_dataset(21, 0.005, 11);
+    let mut g = c.benchmark_group("sanitizer_overhead");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ds.jobs.len() as u64));
+    let mut cfg = GpuConfig::for_device(DeviceId::A100);
+    cfg.parallel = false;
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.total.warps)
+    });
+    g.bench_function("sanitize_off", |b| {
+        b.iter(|| run_local_assembly(black_box(&ds), &cfg).profile.total.warps)
+    });
+    cfg.sanitize = simt::SanitizerConfig::all();
+    g.bench_function("sanitize_on", |b| {
+        b.iter(|| {
+            let r = run_local_assembly(black_box(&ds), &cfg);
+            (r.profile.total.warps, r.san.findings.len(), r.san.lints.len())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_devices,
     bench_construct_vs_walk_split,
     bench_tracing_overhead,
     bench_launch_pooling,
-    bench_fault_injection
+    bench_fault_injection,
+    bench_sanitizer_overhead
 );
 criterion_main!(benches);

@@ -31,6 +31,7 @@ struct Args {
     parallel: bool,
     csv_dir: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
+    sanitize: bool,
     artifacts: Vec<String>,
 }
 
@@ -41,6 +42,7 @@ fn parse_args() -> Args {
         parallel: true,
         csv_dir: None,
         trace: None,
+        sanitize: false,
         artifacts: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +59,7 @@ fn parse_args() -> Args {
                     require_arg(it.next().and_then(|v| v.parse().ok()), "--seed <integer>");
             }
             "--serial" => args.parallel = false,
+            "--sanitize" => args.sanitize = true,
             "--csv" => {
                 args.csv_dir =
                     Some(std::path::PathBuf::from(require_arg(it.next(), "--csv <dir>")));
@@ -70,7 +73,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale S] [--seed N] [--serial] [--csv DIR] \
-                     [--trace PATH.json] \
+                     [--trace PATH.json] [--sanitize] \
                      <table1..table7|fig5..fig9|ablation|whatif|divergence|scaling|adept|packed|all>..."
                 );
                 std::process::exit(0);
@@ -78,7 +81,7 @@ fn parse_args() -> Args {
             other => args.artifacts.push(other.to_string()),
         }
     }
-    if args.artifacts.is_empty() && args.trace.is_none() {
+    if args.artifacts.is_empty() && args.trace.is_none() && !args.sanitize {
         args.artifacts.push("all".to_string());
     }
     const KNOWN: [&str; 16] = [
@@ -707,6 +710,75 @@ fn trace_run(args: &Args, path: &std::path::Path) {
     println!("{}", t.render());
 }
 
+/// `--sanitize`: run the paper's kernels under the warp sanitizer — every
+/// dialect on every dataset with all checks on (the `sanitizer_clean`
+/// matrix) — then seed a deliberate lane race into a bare warp and show
+/// the detector catching it. See EXPERIMENTS.md § "Sanitizing a run".
+fn sanitize_run(args: &Args) {
+    use simt::{LaneVec, Mask, SanitizerConfig, Warp};
+
+    // (a) The clean matrix: three dialects × four datasets, all checks on.
+    // The paper's kernels are race-free by construction (ordered by
+    // __match_any_sync/__syncwarp, __all-lockstep, or sub-group barriers),
+    // so every cell must report zero findings.
+    let scale = args.scale.min(0.01);
+    let mut t = Table::new("Warp sanitizer — three dialects x four datasets (all checks on)")
+        .header(["k", "device", "dialect", "findings", "lints", "clean"]);
+    for k in KS {
+        let ds = paper_dataset(k, scale, args.seed);
+        for dev in DeviceId::ALL {
+            let mut cfg = GpuConfig::for_device(dev);
+            cfg.parallel = args.parallel;
+            cfg.sanitize = SanitizerConfig::all();
+            let run = run_local_assembly(&ds, &cfg);
+            t.row([
+                k.to_string(),
+                device_key(dev).to_string(),
+                cfg.dialect.to_string(),
+                run.san.findings.len().to_string(),
+                run.san.lints.len().to_string(),
+                if run.san.is_clean() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    // (b) Seeded defects on a bare warp: the three hazard classes the
+    // simt-level checks exist for, each provoked deliberately.
+    let mut t = Table::new("Seeded defects — what each check reports")
+        .header(["seeded defect", "check", "hits"]);
+    let mut demo = |name: &str, body: &dyn Fn(&mut Warp)| {
+        let mut warp = Warp::new(32, memhier::HierarchyConfig::tiny());
+        warp.enable_sanitizer(SanitizerConfig::all());
+        body(&mut warp);
+        let report = warp.take_san_report().expect("sanitizer was enabled");
+        for f in &report.findings {
+            t.row([name.to_string(), f.kind.check().to_string(), "1".to_string()]);
+        }
+        if report.findings.is_empty() {
+            t.row([name.to_string(), "(none)".to_string(), "0".to_string()]);
+        }
+    };
+    demo("two lanes store the same word, no sync", &|w| {
+        let a = w.mem.alloc(4);
+        let vals = LaneVec::from_fn(32, |l| l);
+        w.store_u32(Mask(0b11), &LaneVec::splat(a), &vals);
+    });
+    demo("syncwarp under a divergent mask", &|w| {
+        w.iop(Mask(0b11), 1);
+        w.syncwarp(Mask(0b1111));
+    });
+    demo("shuffle reads an inactive source lane", &|w| {
+        let vals = LaneVec::from_fn(32, |l| l);
+        let _ = w.shfl_u32(Mask(0b11), &vals, 5);
+    });
+    println!("{}", t.render());
+    println!(
+        "(the clean matrix above is the tier-1 `sanitizer_clean` gate; the seeded\n \
+         defects are the regression suite's detection fixtures — see tests/sanitizer.rs)\n"
+    );
+}
+
 /// Dump the underlying per-run data as CSV files for external plotting.
 fn write_csvs(dir: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -798,6 +870,9 @@ fn main() {
     println!("# locassm repro — scale {}, seed {}\n", args.scale, args.seed);
     if let Some(path) = args.trace.clone() {
         trace_run(&args, &path);
+    }
+    if args.sanitize {
+        sanitize_run(&args);
     }
     if wants("table1") {
         table1();

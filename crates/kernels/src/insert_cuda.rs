@@ -42,6 +42,7 @@ pub fn ht_get_atomic(
     while !searching.is_empty() {
         rounds += 1;
         if rounds > job.slots {
+            warp.san_record(simt::SanKind::ProbeWrap { rounds, slots: job.slots });
             return Err(KernelFault::HashTableFull {
                 capacity: job.slots,
                 occupancy: table_occupancy(warp, job),

@@ -46,6 +46,7 @@ pub fn ht_get_atomic(
         }
         rounds += 1;
         if rounds > job.slots {
+            warp.san_record(simt::SanKind::ProbeWrap { rounds, slots: job.slots });
             return Err(KernelFault::HashTableFull {
                 capacity: job.slots,
                 occupancy: table_occupancy(warp, job),

@@ -211,6 +211,13 @@ pub fn extension_kernel(
             return Err(fault);
         }
         warp.phase_exit("construct");
+        if warp.san_config().invariants {
+            // Sanitizer invariant pass: host-side table scan, zero modeled
+            // instructions (collected first — recording needs &mut).
+            for kind in crate::layout::check_table_invariants(warp, &dev) {
+                warp.san_record(kind);
+            }
+        }
         construct = warp.snapshot();
         warp.phase_enter("walk");
         let walk = mer_walk_kernel(warp, &dev);

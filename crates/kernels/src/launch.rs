@@ -18,7 +18,9 @@ use gpu_specs::{effective_hierarchy, DeviceId, DeviceSpec, ModelParams, TimeEsti
 use locassm_core::io::Dataset;
 use locassm_core::walk::WalkConfig;
 use locassm_core::{bin_contigs, BinningPolicy, ExtensionResult, RetryPolicy};
-use simt::{launch_warps, AggCounters, FaultPlan, LaunchConfig, WarpCounters};
+use simt::{
+    launch_warps, AggCounters, FaultPlan, LaunchConfig, SanReport, SanitizerConfig, WarpCounters,
+};
 
 /// Configuration of a simulated GPU run.
 #[derive(Debug, Clone)]
@@ -54,6 +56,29 @@ pub struct GpuConfig {
     /// which is stable whether or not earlier jobs faulted (escalation
     /// retries are not counted).
     pub fault: Option<FaultPlan>,
+    /// Warp sanitizer configuration, threaded to every launch (all checks
+    /// off by default). The execution-ordering mode is dialect-dependent —
+    /// see [`dialect_sanitizer`] — so the `lockstep` flag set here is
+    /// overridden per dialect at launch time. With every check off, runs
+    /// are bit-identical to an unsanitized build.
+    pub sanitize: SanitizerConfig,
+}
+
+/// Adapt a sanitizer configuration to a kernel dialect's execution-
+/// ordering model.
+///
+/// The race detector needs to know which cross-lane orderings the kernel
+/// may legally rely on. CUDA (Volta+) has independent thread scheduling:
+/// nothing orders lanes between collectives, so the sanitizer runs in its
+/// strict mode (`lockstep = false`) and any cross-lane conflict not
+/// separated by a collective or `__syncwarp` is a race. HIP wavefronts
+/// and SYCL sub-groups execute in implicit lockstep — the ported listings
+/// *depend* on it (§III-B: publish/compare ordered by the wavefront's
+/// instruction-level lockstep rather than an explicit sync) — so for
+/// those dialects only *intra-instruction* conflicts (two lanes touching
+/// the same byte in one SIMT op) are flagged.
+pub fn dialect_sanitizer(cfg: SanitizerConfig, dialect: Dialect) -> SanitizerConfig {
+    SanitizerConfig { lockstep: !matches!(dialect, Dialect::Cuda), ..cfg }
 }
 
 impl GpuConfig {
@@ -72,6 +97,7 @@ impl GpuConfig {
             custom_spec: None,
             trace: false,
             fault: None,
+            sanitize: SanitizerConfig::default(),
         }
     }
 
@@ -102,6 +128,10 @@ pub struct GpuRunResult {
     /// left-extension runs' outcomes combined with
     /// [`JobOutcome::combine`]. All `Ok` on a fault-free run.
     pub outcomes: Vec<JobOutcome>,
+    /// Sanitizer findings merged across every launch of the run (batches ×
+    /// {right, left} × job order, escalation retries appended in place).
+    /// Empty — and free — unless [`GpuConfig::sanitize`] enables a check.
+    pub san: SanReport,
 }
 
 /// The per-warp kernel body every launch runs: the extension kernel plus
@@ -165,6 +195,7 @@ fn escalate_job(
     traces: &mut Vec<simt::WarpTrace>,
     total: &mut AggCounters,
     phases: &mut PhaseCounters,
+    san: &mut SanReport,
 ) -> (JobOutcome, Option<KernelOut>) {
     let mut fault = first_fault;
     let mut grown = matches!(fault, KernelFault::HashTableFull { .. });
@@ -197,11 +228,15 @@ fn escalate_job(
             arena_hint,
             fault: if armed { cfg.fault } else { None },
             fault_base: victim_id,
+            sanitize: dialect_sanitizer(cfg.sanitize, cfg.dialect),
         };
         let out = launch_warps(launch_cfg, std::slice::from_ref(&retry), run_extension);
         for mut t in out.traces {
             t.warp_id = traces.len() as u64;
             traces.push(t);
+        }
+        for r in out.san {
+            san.merge(r);
         }
         total.merge(&out.counters);
         let instr = out.warp_instruction_counts;
@@ -289,6 +324,8 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
     // counted, so ids are stable whether or not earlier jobs faulted.
     let mut jobs_launched: u64 = 0;
     let mut outcomes: Vec<JobOutcome> = vec![JobOutcome::Ok; ds.jobs.len()];
+    let mut san = SanReport::default();
+    let sanitize = dialect_sanitizer(cfg.sanitize, cfg.dialect);
 
     // Results indexed by job position.
     let mut right: Vec<(Vec<u8>, locassm_core::WalkState)> =
@@ -366,6 +403,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                 arena_hint,
                 fault: cfg.fault,
                 fault_base: side_base,
+                sanitize,
             };
             let out = launch_warps(launch_cfg, &kernel_jobs, run_extension);
             jobs_launched += kernel_jobs.len() as u64;
@@ -373,6 +411,9 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
             for mut t in out.traces {
                 t.warp_id = traces.len() as u64;
                 traces.push(t);
+            }
+            for r in out.san {
+                san.merge(r);
             }
 
             // Phase split: construct snapshots summed; walk = total − construct.
@@ -431,6 +472,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                             &mut traces,
                             &mut total,
                             &mut phases,
+                            &mut san,
                         )
                     }
                 };
@@ -472,6 +514,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
         },
         traces,
         outcomes,
+        san,
     }
 }
 
@@ -877,6 +920,78 @@ mod tests {
         let r = run_local_assembly(&ds, &cfg);
         assert_eq!(r.profile.phases.watchdog_trips, 1);
         assert!(r.profile.phases.walk_budget > 0);
+    }
+
+    /// The execution-ordering mode follows the dialect: CUDA's independent
+    /// thread scheduling gets the strict race detector; HIP wavefronts and
+    /// SYCL sub-groups run in implicit lockstep, which their ported
+    /// listings legally rely on.
+    #[test]
+    fn sanitizer_mode_follows_dialect() {
+        let all = SanitizerConfig::all();
+        assert!(!dialect_sanitizer(all, Dialect::Cuda).lockstep);
+        assert!(dialect_sanitizer(all, Dialect::Hip).lockstep);
+        assert!(dialect_sanitizer(all, Dialect::Sycl).lockstep);
+        // Everything else passes through untouched.
+        let adapted = dialect_sanitizer(all, Dialect::Hip);
+        assert!(adapted.races && adapted.sync && adapted.lint && adapted.invariants);
+    }
+
+    /// Full-checks sanitized runs are bit-identical to plain runs on every
+    /// device — the sanitizer models zero instructions — and the paper's
+    /// kernels come back clean (no findings) on all three dialects. This
+    /// is the launch-level half of the `sanitizer_clean` tier-1 gate.
+    /// Traces are compared modulo `san_finding` instants: surfacing lints
+    /// as trace events is the sanitizer's *output*, not a perturbation
+    /// (spans and every modeled counter stay identical).
+    #[test]
+    fn sanitized_run_is_bit_identical_and_clean() {
+        let strip_san = |traces: &[simt::WarpTrace]| -> Vec<simt::WarpTrace> {
+            traces
+                .iter()
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.events.retain(|e| {
+                        !matches!(e.kind, simt::EventKind::SanFinding { .. })
+                    });
+                    t
+                })
+                .collect()
+        };
+        let ds = small_ds();
+        for device in [DeviceId::A100, DeviceId::Mi250x, DeviceId::Max1550] {
+            let mut cfg = GpuConfig::for_device(device);
+            cfg.trace = true;
+            let plain = run_local_assembly(&ds, &cfg);
+            assert!(plain.san.is_clean() && plain.san.lints.is_empty(), "{device}: off = empty");
+            cfg.sanitize = SanitizerConfig::all();
+            let sane = run_local_assembly(&ds, &cfg);
+
+            let tag = format!("{device}");
+            assert_eq!(plain.extensions, sane.extensions, "{tag}: extensions");
+            assert_eq!(plain.profile.total, sane.profile.total, "{tag}: totals");
+            assert_eq!(plain.traces, strip_san(&sane.traces), "{tag}: traces");
+            assert_eq!(plain.outcomes, sane.outcomes, "{tag}: outcomes");
+            assert!(
+                sane.san.is_clean(),
+                "{tag}: the paper's kernels must sanitize clean, got {:?}",
+                sane.san.findings
+            );
+        }
+    }
+
+    /// Escalation retries run under the same sanitizer as the batch: a
+    /// transient injected table-full fault recovers and the sanitized
+    /// retry still reports clean.
+    #[test]
+    fn sanitizer_covers_escalation_retries() {
+        let ds = small_ds();
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.sanitize = SanitizerConfig::all();
+        cfg.fault = Some(FaultPlan::table_full(3));
+        let r = run_local_assembly(&ds, &cfg);
+        assert!(r.outcomes.iter().any(|o| matches!(o, JobOutcome::Recovered { .. })));
+        assert!(r.san.is_clean(), "recovered retries sanitize clean: {:?}", r.san.findings);
     }
 
     #[test]

@@ -161,6 +161,38 @@ pub fn table_occupancy(warp: &Warp, job: &DeviceJob) -> u32 {
         .count() as u32
 }
 
+/// Post-construct hash-table invariant scan — the warp sanitizer's
+/// `invariants` check family. Verifies that every occupied slot holds a
+/// *distinct* key (duplicate keys mean two lanes both won a claim for the
+/// same k-mer — the exact corruption `__match_any_sync`/done-flag retry
+/// loops exist to prevent) and that the table is not completely full (a
+/// full open-addressed table cannot terminate unmatched probes, so the
+/// staging load-factor estimate was violated). Host-side direct reads,
+/// like [`table_occupancy`]: not charged to the kernel.
+pub fn check_table_invariants(warp: &Warp, job: &DeviceJob) -> Vec<simt::SanKind> {
+    let mut found = Vec::new();
+    let mut seen: Vec<(Vec<u8>, u32)> = Vec::new();
+    let mut occupancy = 0u32;
+    for s in 0..job.slots {
+        let len = warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN));
+        if len == EMPTY {
+            continue;
+        }
+        occupancy += 1;
+        let off = warp.mem.read_u32(job.entry_field(s, OFF_KEY_OFF));
+        let key = warp.mem.read_bytes(job.reads + off as u64, len as u64);
+        if let Some(&(_, slot_a)) = seen.iter().find(|(k2, _)| *k2 == key) {
+            found.push(simt::SanKind::DuplicateKey { slot_a, slot_b: s });
+        } else {
+            seen.push((key.to_vec(), s));
+        }
+    }
+    if occupancy >= job.slots {
+        found.push(simt::SanKind::TableOverflow { occupancy, capacity: job.slots });
+    }
+    found
+}
+
 /// Upper bound on the arena bytes one [`DeviceJob::stage`] pass allocates
 /// (alignment padding included) — the host-side size estimation of Fig. 3,
 /// reused by the pooled launch engine to pre-size warp arenas so staging
@@ -334,5 +366,42 @@ mod tests {
         warp.mem.write_u32(job.entry_field(2, OFF_KEY_LEN), 4);
         warp.mem.write_u32(job.entry_field(5, OFF_KEY_LEN), 4);
         assert_eq!(table_occupancy(&warp, &job), 2);
+    }
+
+    #[test]
+    fn table_invariants_detect_duplicate_keys() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        assert!(check_table_invariants(&warp, &job).is_empty(), "fresh table is clean");
+        // Two slots claiming the same key bytes (reads offset 0, len 4):
+        // the corruption a lost warp-collision vote would produce.
+        for s in [1u32, 6] {
+            warp.mem.write_u32(job.entry_field(s, OFF_KEY_LEN), 4);
+            warp.mem.write_u32(job.entry_field(s, OFF_KEY_OFF), 0);
+        }
+        let found = check_table_invariants(&warp, &job);
+        assert_eq!(found.len(), 1);
+        assert!(
+            matches!(found[0], simt::SanKind::DuplicateKey { slot_a: 1, slot_b: 6 }),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn table_invariants_flag_a_full_table() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        for s in 0..job.slots {
+            warp.mem.write_u32(job.entry_field(s, OFF_KEY_LEN), 4);
+            warp.mem.write_u32(job.entry_field(s, OFF_KEY_OFF), 0);
+        }
+        let found = check_table_invariants(&warp, &job);
+        assert!(
+            found.iter().any(|k| matches!(
+                k,
+                simt::SanKind::TableOverflow { occupancy, capacity } if occupancy == capacity
+            )),
+            "{found:?}"
+        );
     }
 }

@@ -35,7 +35,7 @@ pub mod walk;
 
 pub use fault::{JobOutcome, KernelFault};
 pub use kernel::Dialect;
-pub use launch::{run_local_assembly, GpuConfig, GpuRunResult};
+pub use launch::{dialect_sanitizer, run_local_assembly, GpuConfig, GpuRunResult};
 pub use multi_gpu::{run_multi_gpu, MultiGpuResult, Partition};
 pub use pipeline::{run_pipeline_gpu, GpuPipelineResult, GpuRoundReport};
 pub use profile::{KernelProfile, PhaseCounters, PhaseStats, TraceProfile};

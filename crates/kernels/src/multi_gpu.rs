@@ -43,16 +43,39 @@ pub struct MultiGpuResult {
 
 impl MultiGpuResult {
     /// Wall-clock of the distributed phase: the slowest rank.
+    ///
+    /// A rank whose modeled time is NaN poisons the makespan rather than
+    /// disappearing: `f64::max` returns its *other* operand when either
+    /// side is NaN, so the old max-fold silently dropped corrupted rank
+    /// profiles and reported the makespan of the healthy remainder.
     pub fn makespan_seconds(&self) -> f64 {
-        self.ranks.iter().map(KernelProfile::seconds).fold(0.0, f64::max)
+        self.ranks.iter().map(KernelProfile::seconds).fold(0.0, |acc, t| {
+            if acc.is_nan() || t.is_nan() {
+                f64::NAN
+            } else {
+                acc.max(t)
+            }
+        })
     }
 
-    /// Load imbalance: slowest rank time over mean rank time (1.0 = perfect).
+    /// Load imbalance: slowest rank time over mean rank time (1.0 =
+    /// perfect). The mean is taken over ranks that were actually assigned
+    /// contigs — with more ranks than jobs, [`partition`] hands the extra
+    /// ranks empty shards whose zero-second profiles would drag the mean
+    /// down and report spurious imbalance for a perfectly balanced run.
+    /// NaN rank times propagate (the quotient inherits the poisoned
+    /// makespan).
     pub fn imbalance(&self) -> f64 {
-        if self.ranks.is_empty() {
+        let times: Vec<f64> = self
+            .ranks
+            .iter()
+            .zip(&self.shard_sizes)
+            .filter(|&(_, &n)| n > 0)
+            .map(|(p, _)| p.seconds())
+            .collect();
+        if times.is_empty() {
             return 1.0;
         }
-        let times: Vec<f64> = self.ranks.iter().map(KernelProfile::seconds).collect();
         let mean = times.iter().sum::<f64>() / times.len() as f64;
         if mean == 0.0 {
             1.0
@@ -218,5 +241,61 @@ mod tests {
         let multi = run_multi_gpu(&small, &cfg, 8, Partition::RoundRobin);
         assert_eq!(multi.extensions.len(), 3);
         assert_eq!(multi.shard_sizes.iter().sum::<usize>(), 3);
+    }
+
+    /// With 8 ranks and 3 contigs, 5 shards are empty. Their zero-second
+    /// profiles must not enter the imbalance mean: the statistic is
+    /// max/mean over the *working* ranks only, so a hand-check against
+    /// the non-empty shard times must agree exactly (the old
+    /// all-ranks mean reported ~8/3× spurious imbalance here).
+    #[test]
+    fn empty_shards_do_not_skew_imbalance() {
+        let mut small = ds();
+        small.jobs.truncate(3);
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let multi = run_multi_gpu(&small, &cfg, 8, Partition::RoundRobin);
+        assert_eq!(multi.shard_sizes.iter().filter(|&&n| n == 0).count(), 5);
+
+        let times: Vec<f64> = multi
+            .ranks
+            .iter()
+            .zip(&multi.shard_sizes)
+            .filter(|&(_, &n)| n > 0)
+            .map(|(p, _)| p.seconds())
+            .collect();
+        assert_eq!(times.len(), 3);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let expected = multi.makespan_seconds() / mean;
+        assert!(
+            (multi.imbalance() - expected).abs() < 1e-12,
+            "imbalance {} must be max/mean over working ranks ({expected})",
+            multi.imbalance()
+        );
+        // Sanity: the spurious all-ranks statistic is strictly larger.
+        let all_mean = multi.ranks.iter().map(KernelProfile::seconds).sum::<f64>()
+            / multi.ranks.len() as f64;
+        assert!(multi.imbalance() < multi.makespan_seconds() / all_mean);
+    }
+
+    /// A NaN rank time must poison the makespan and the imbalance, not
+    /// vanish into `f64::max`'s NaN-ignoring semantics.
+    #[test]
+    fn nan_rank_time_propagates() {
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let mut small = ds();
+        small.jobs.truncate(2);
+        let mut multi = run_multi_gpu(&small, &cfg, 2, Partition::RoundRobin);
+        assert!(multi.makespan_seconds().is_finite());
+        assert!(multi.imbalance().is_finite());
+
+        // Corrupt one rank's modeled time.
+        for b in &mut multi.ranks[0].batches {
+            b.time.seconds = f64::NAN;
+        }
+        assert!(
+            multi.makespan_seconds().is_nan(),
+            "a NaN rank must poison the makespan, not be masked by max"
+        );
+        assert!(multi.imbalance().is_nan());
     }
 }

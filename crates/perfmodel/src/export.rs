@@ -97,6 +97,9 @@ fn event_args(kind: &EventKind) -> String {
         EventKind::Watchdog { budget, spent } => {
             format!("{{\"budget\":{budget},\"spent\":{spent}}}")
         }
+        EventKind::SanFinding { check } => {
+            format!("{{\"check\":\"{}\"}}", json_escape(check))
+        }
         EventKind::Collective { .. } | EventKind::Sync => "{}".to_string(),
     }
 }

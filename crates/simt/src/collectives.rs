@@ -17,18 +17,35 @@ use crate::warp::Warp;
 
 impl Warp {
     /// `__shfl_sync`: every active lane receives lane `src`'s value.
+    ///
+    /// Source semantics are hardware-faithful: the source lane is
+    /// `src % width`, exactly as `__shfl_sync` computes `srcLane mod
+    /// warpSize` (so `src = width` wraps to lane 0 instead of reading
+    /// past the lane vector). Reading from a source lane that is not in
+    /// `mask` is *undefined* on hardware; the simulator deterministically
+    /// returns that lane's register value, and the sanitizer flags it
+    /// ([`crate::SanKind::ShuffleInactiveSource`]) along with any
+    /// out-of-range `src` ([`crate::SanKind::ShuffleSourceOutOfRange`]).
     pub fn shfl_u32(&mut self, mask: Mask, vals: &LaneVec<u32>, src: u32) -> LaneVec<u32> {
         self.count_collective(1, "shfl");
-        let v = vals[src];
+        self.san_collective("shfl", mask);
+        self.san_shfl(mask, src);
+        let v = vals[src % self.width()];
         let mut out = LaneVec::splat(0u32);
         out.set_masked(mask, v);
         out
     }
 
     /// 64-bit shuffle (two 32-bit shuffles on hardware → 2 instructions).
+    ///
+    /// Same source semantics as [`Warp::shfl_u32`]: the source lane is
+    /// `src % width`, and the sanitizer flags inactive or out-of-range
+    /// sources.
     pub fn shfl_u64(&mut self, mask: Mask, vals: &LaneVec<u64>, src: u32) -> LaneVec<u64> {
         self.count_collective(2, "shfl");
-        let v = vals[src];
+        self.san_collective("shfl", mask);
+        self.san_shfl(mask, src);
+        let v = vals[src % self.width()];
         let mut out = LaneVec::splat(0u64);
         out.set_masked(mask, v);
         out
@@ -37,6 +54,7 @@ impl Warp {
     /// `__ballot_sync`: mask of active lanes whose predicate is true.
     pub fn ballot(&mut self, mask: Mask, preds: &LaneVec<bool>) -> Mask {
         self.count_collective(1, "ballot");
+        self.san_collective("ballot", mask);
         let mut out = Mask::NONE;
         for (l, p) in preds.iter_masked(mask) {
             if p {
@@ -51,6 +69,7 @@ impl Warp {
     /// collisions on identical k-mers (§III-A, Appendix A).
     pub fn match_any(&mut self, mask: Mask, keys: &LaneVec<u64>) -> LaneVec<Mask> {
         self.count_collective(1, "match_any");
+        self.san_collective("match_any", mask);
         let mut out = LaneVec::splat(Mask::NONE);
         for (l, k) in keys.iter_masked(mask) {
             let mut m = Mask::NONE;
@@ -68,28 +87,37 @@ impl Warp {
     /// termination test for the done-flag insertion loop.)
     pub fn all(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {
         self.count_collective(1, "all");
+        self.san_collective("all", mask);
         preds.iter_masked(mask).all(|(_, p)| p)
     }
 
     /// `__any`: true iff at least one active lane's predicate is true.
     pub fn any(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {
         self.count_collective(1, "any");
+        self.san_collective("any", mask);
         preds.iter_masked(mask).any(|(_, p)| p)
     }
 
     /// `__syncwarp(mask)`: converge the given lanes. In a lockstep simulator
-    /// this is a pure accounting event.
-    pub fn syncwarp(&mut self, _mask: Mask) {
+    /// this is a pure accounting event — but under the sanitizer it is also
+    /// an ordering point and the divergence-check boundary (a barrier
+    /// naming lanes that executed nothing since the previous barrier is
+    /// flagged as [`crate::SanKind::DivergentBarrier`]).
+    pub fn syncwarp(&mut self, mask: Mask) {
         self.counters.sync_instructions += 1;
         self.counters.warp_instructions += 1;
         self.trace_event(EventKind::Sync);
+        self.san_barrier(Some(mask));
     }
 
-    /// SYCL `sg.barrier()`: synchronize the whole sub-group.
+    /// SYCL `sg.barrier()`: synchronize the whole sub-group. Unmasked, so
+    /// the sanitizer treats it as an ordering point without a
+    /// divergence check.
     pub fn subgroup_barrier(&mut self) {
         self.counters.sync_instructions += 1;
         self.counters.warp_instructions += 1;
         self.trace_event(EventKind::Sync);
+        self.san_barrier(None);
     }
 
     fn count_collective(&mut self, n: u64, name: &'static str) {
@@ -125,6 +153,65 @@ mod tests {
         let out = w.shfl_u64(w.full_mask(), &vals, 0);
         assert_eq!(out[15], 0xdead_beef_0000_0001);
         assert_eq!(w.counters.collective_instructions, 2);
+    }
+
+    #[test]
+    fn shfl_source_wraps_modulo_width() {
+        // Hardware computes `srcLane mod warpSize`; before the fix the
+        // simulator indexed the raw lane vector, reading stale defaults
+        // (src in 16..64) or panicking (src >= 64).
+        let mut w = warp(16);
+        let vals = LaneVec::from_fn(16, |l| l + 1);
+        let out = w.shfl_u32(w.full_mask(), &vals, 16);
+        assert_eq!(out[3], 1, "src == width wraps to lane 0");
+        let out = w.shfl_u32(w.full_mask(), &vals, 35);
+        assert_eq!(out[0], 4, "src 35 wraps to lane 3 at width 16");
+        let out = w.shfl_u32(w.full_mask(), &vals, 64);
+        assert_eq!(out[7], 1, "src 64 no longer panics");
+        let vals64 = LaneVec::from_fn(16, |l| l as u64 + 100);
+        let out64 = w.shfl_u64(w.full_mask(), &vals64, 17);
+        assert_eq!(out64[5], 101, "u64 shuffle wraps identically");
+    }
+
+    #[test]
+    fn sanitizer_flags_shuffle_hazards() {
+        use crate::san::SanitizerConfig;
+        let mut w = warp(16);
+        w.enable_sanitizer(SanitizerConfig::all());
+        let vals = LaneVec::splat(7u32);
+        let _ = w.shfl_u32(Mask(0b11), &vals, 40); // out of range
+        let _ = w.shfl_u32(Mask(0b11), &vals, 5); // in range, inactive
+        let _ = w.shfl_u32(Mask(0b11), &vals, 1); // clean
+        let r = w.take_san_report().unwrap();
+        assert_eq!(r.count("shfl_src_out_of_range"), 1);
+        assert_eq!(r.count("shfl_inactive_src"), 1);
+        assert_eq!(r.findings.len(), 2);
+    }
+
+    #[test]
+    fn sanitizer_flags_divergent_syncwarp() {
+        use crate::san::SanitizerConfig;
+        let mut w = warp(32);
+        w.enable_sanitizer(SanitizerConfig::all());
+        w.iop(Mask(0b11), 1);
+        // The barrier names lanes 2-3, which executed nothing.
+        w.syncwarp(Mask(0b1111));
+        // Converged rounds after the defect stay silent.
+        w.iop(Mask(0b11), 1);
+        w.syncwarp(Mask(0b11));
+        let r = w.take_san_report().unwrap();
+        assert_eq!(r.count("divergent_barrier"), 1);
+    }
+
+    #[test]
+    fn sanitizer_flags_overwide_collective_mask() {
+        use crate::san::SanitizerConfig;
+        let mut w = warp(16);
+        w.enable_sanitizer(SanitizerConfig::all());
+        let preds = LaneVec::splat(true);
+        let _ = w.all(Mask(1 << 20), &preds);
+        let r = w.take_san_report().unwrap();
+        assert_eq!(r.count("mask_exceeds_width"), 1);
     }
 
     #[test]

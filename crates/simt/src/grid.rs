@@ -25,6 +25,7 @@
 
 use crate::counters::AggCounters;
 use crate::fault::FaultPlan;
+use crate::san::{SanReport, SanitizerConfig};
 use crate::trace::WarpTrace;
 use crate::warp::Warp;
 use memhier::HierarchyConfig;
@@ -67,6 +68,13 @@ pub struct LaunchConfig {
     /// [`LaunchConfig::fault`], so multi-launch drivers can address jobs
     /// by a run-global number (the same numbering as renumbered traces).
     pub fault_base: u64,
+    /// Warp-sanitizer configuration (see [`crate::san`]). All-off by
+    /// default; an armed config attaches a sanitizer to every warp and
+    /// collects per-warp [`SanReport`]s in [`LaunchOutput::san`]. The
+    /// sanitizer models zero instructions, so results/counters/traces are
+    /// bit-identical with it on or off (absent findings, which add trace
+    /// events).
+    pub sanitize: SanitizerConfig,
 }
 
 impl LaunchConfig {
@@ -81,6 +89,7 @@ impl LaunchConfig {
             arena_hint: 0,
             fault: None,
             fault_base: 0,
+            sanitize: SanitizerConfig::default(),
         }
     }
 }
@@ -99,6 +108,9 @@ pub struct LaunchOutput<R> {
     /// Lets callers attribute the intra-batch critical path to kernel
     /// phases without holding every warp's full counter set.
     pub warp_instruction_counts: Vec<u64>,
+    /// Per-warp sanitizer reports in job order; empty unless
+    /// [`LaunchConfig::sanitize`] arms a check family.
+    pub san: Vec<SanReport>,
 }
 
 /// The process-wide pool of idle warps behind the pooled launch engine.
@@ -183,22 +195,25 @@ where
     R: Send,
     F: Fn(&mut Warp, &J) -> R + Sync,
 {
-    let run_one = |(idx, job): (usize, &J)| -> (R, crate::WarpCounters, Option<WarpTrace>) {
+    type PerWarp<R> = (R, crate::WarpCounters, Option<WarpTrace>, Option<SanReport>);
+    let run_one = |(idx, job): (usize, &J)| -> PerWarp<R> {
         let mut warp = acquire_warp(&cfg);
         if cfg.trace {
             warp.enable_trace(idx as u64);
         }
+        warp.enable_sanitizer(cfg.sanitize);
         if let Some(plan) = &cfg.fault {
             plan.arm(cfg.fault_base + idx as u64, &mut warp);
         }
         let r = kernel(&mut warp, job);
         let counters = warp.finish();
         let trace = warp.take_trace();
+        let san = warp.take_san_report();
         release_warp(&cfg, warp);
-        (r, counters, trace)
+        (r, counters, trace, san)
     };
 
-    let per_warp: Vec<(R, crate::WarpCounters, Option<WarpTrace>)> = if cfg.parallel {
+    let per_warp: Vec<PerWarp<R>> = if cfg.parallel {
         jobs.par_iter().enumerate().map(run_one).collect()
     } else {
         jobs.iter().enumerate().map(run_one).collect()
@@ -208,13 +223,15 @@ where
     let mut results = Vec::with_capacity(per_warp.len());
     let mut traces = Vec::new();
     let mut warp_instruction_counts = Vec::with_capacity(per_warp.len());
-    for (r, c, t) in per_warp {
+    let mut san = Vec::new();
+    for (r, c, t, s) in per_warp {
         agg.absorb(&c);
         results.push(r);
         traces.extend(t);
         warp_instruction_counts.push(c.warp_instructions);
+        san.extend(s);
     }
-    LaunchOutput { results, counters: agg, traces, warp_instruction_counts }
+    LaunchOutput { results, counters: agg, traces, warp_instruction_counts, san }
 }
 
 #[cfg(test)]
@@ -232,6 +249,7 @@ mod tests {
             arena_hint: 0,
             fault: None,
             fault_base: 0,
+            sanitize: SanitizerConfig::default(),
         }
     }
 
@@ -478,5 +496,63 @@ mod tests {
         assert_eq!(a.results, b.results);
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.traces, b.traces);
+    }
+
+    /// Two lanes store to the same word with no ordering collective — the
+    /// canonical lane race.
+    fn racy_body(w: &mut Warp, _j: &u32) {
+        let a = w.mem.alloc(4);
+        let addrs = LaneVec::splat(a);
+        let vals = LaneVec::from_fn(32, |l| l);
+        w.store_u32(crate::Mask(0b11), &addrs, &vals);
+    }
+
+    #[test]
+    fn sanitized_launch_collects_reports_in_job_order() {
+        let jobs: Vec<u32> = (0..8).collect();
+        for parallel in [true, false] {
+            let mut c = cfg(parallel);
+            c.sanitize = SanitizerConfig::all();
+            let out = launch_warps(c, &jobs, racy_body);
+            assert_eq!(out.san.len(), 8, "one report per warp, parallel={parallel}");
+            for r in &out.san {
+                assert_eq!(r.count("lane_race"), 1);
+                assert!(!r.is_clean());
+            }
+        }
+        let off = launch_warps(cfg(true), &jobs, racy_body);
+        assert!(off.san.is_empty(), "no reports without a sanitize config");
+    }
+
+    #[test]
+    fn sanitizing_is_bit_identical_on_clean_kernels() {
+        let jobs: Vec<u32> = (0..64).collect();
+        for parallel in [true, false] {
+            let mut san = cfg(parallel);
+            san.trace = true;
+            san.sanitize = SanitizerConfig::all();
+            let mut off = san;
+            off.sanitize = SanitizerConfig::default();
+            let a = launch_warps(san, &jobs, stateful_body);
+            let b = launch_warps(off, &jobs, stateful_body);
+            assert_eq!(a.results, b.results, "parallel={parallel}");
+            assert_eq!(a.counters, b.counters, "observing a warp must not perturb it");
+            assert_eq!(a.traces, b.traces, "a clean kernel emits no san events");
+            assert_eq!(a.san.len(), 64);
+            assert!(a.san.iter().all(SanReport::is_clean));
+        }
+    }
+
+    #[test]
+    fn sanitizer_state_does_not_leak_through_the_pool() {
+        let jobs: Vec<u32> = (0..6).collect();
+        let mut san = cfg(false);
+        san.sanitize = SanitizerConfig::all();
+        let dirty = launch_warps(san, &jobs, racy_body);
+        assert!(dirty.san.iter().all(|r| !r.is_clean()));
+        // The same pooled warps, re-acquired without a config, sanitize
+        // nothing — and report nothing stale.
+        let clean = launch_warps(cfg(false), &jobs, racy_body);
+        assert!(clean.san.is_empty());
     }
 }

@@ -23,7 +23,10 @@
 //! An optional warp-level tracing layer ([`trace`]) records phase spans and
 //! instantaneous events (probe chains, collectives, HBM transactions) on a
 //! deterministic warp-instruction clock — the simulator's analogue of the
-//! vendor profiler timelines the paper's analysis is built on.
+//! vendor profiler timelines the paper's analysis is built on. Its
+//! correctness counterpart is the opt-in warp sanitizer ([`san`]): lane-race
+//! detection, barrier-divergence and shuffle-source checks, access-pattern
+//! lints and hash-table invariants, all at zero modeled-instruction cost.
 
 #![warn(missing_docs)]
 
@@ -34,6 +37,7 @@ pub mod grid;
 pub mod lanevec;
 pub mod mask;
 pub mod mem;
+pub mod san;
 pub mod trace;
 pub mod warp;
 
@@ -43,6 +47,7 @@ pub use grid::{launch_warps, pool_stats, LaunchConfig, LaunchOutput, PoolStats};
 pub use lanevec::LaneVec;
 pub use mask::Mask;
 pub use mem::{AllocError, GlobalMem};
+pub use san::{SanFinding, SanKind, SanReport, SanitizerConfig};
 pub use trace::{Event, EventKind, Span, TraceSink, WarpTrace};
 pub use warp::Warp;
 

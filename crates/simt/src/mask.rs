@@ -26,23 +26,33 @@ impl Mask {
     }
 
     /// Mask with exactly one lane active.
+    ///
+    /// Panics when `lane >= MAX_LANES` in every build profile: an unguarded
+    /// `1u64 << lane` would silently alias `lane % 64` in release builds
+    /// (Rust shift amounts wrap), turning an out-of-range lane index into a
+    /// plausible-looking mask for some *other* lane.
     pub fn lane(lane: u32) -> Mask {
-        debug_assert!((lane as usize) < crate::MAX_LANES);
+        assert!((lane as usize) < crate::MAX_LANES, "lane index {lane} out of range");
         Mask(1u64 << lane)
     }
 
-    /// Is the lane active?
+    /// Is the lane active? Lane indices ≥ [`crate::MAX_LANES`] are never
+    /// active (a total function: no mask has bits for them).
     pub fn contains(self, lane: u32) -> bool {
-        self.0 & (1u64 << lane) != 0
+        (lane as usize) < crate::MAX_LANES && self.0 & (1u64 << lane) != 0
     }
 
-    /// Activate a lane.
+    /// Activate a lane. Panics when `lane >= MAX_LANES` (see [`Mask::lane`]
+    /// for why the shift must not be left unguarded).
     pub fn set(&mut self, lane: u32) {
+        assert!((lane as usize) < crate::MAX_LANES, "lane index {lane} out of range");
         self.0 |= 1u64 << lane;
     }
 
-    /// Deactivate a lane.
+    /// Deactivate a lane. Panics when `lane >= MAX_LANES` (see
+    /// [`Mask::lane`]).
     pub fn clear(&mut self, lane: u32) {
+        assert!((lane as usize) < crate::MAX_LANES, "lane index {lane} out of range");
         self.0 &= !(1u64 << lane);
     }
 
@@ -163,5 +173,46 @@ mod tests {
     fn empty_first_is_none() {
         assert_eq!(Mask::NONE.first(), None);
         assert_eq!(Mask::NONE.lanes().count(), 0);
+    }
+
+    #[test]
+    fn lane_63_is_the_last_valid_lane() {
+        // Regression for the shift-overflow fix: the guard must not
+        // disturb the topmost valid lane.
+        let m = Mask::lane(63);
+        assert_eq!(m.0, 1u64 << 63);
+        assert!(m.contains(63));
+        let mut n = Mask::NONE;
+        n.set(63);
+        assert_eq!(n, m);
+        n.clear(63);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn contains_is_total_past_the_top_lane() {
+        // Before the guard, `contains(64)` computed `1u64 << 64`, which in
+        // release builds wraps to `1 << 0` and aliases lane 0.
+        assert!(!Mask::full(64).contains(64));
+        assert!(!Mask::lane(0).contains(64), "lane 64 must not alias lane 0");
+        assert!(!Mask(u64::MAX).contains(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index 64 out of range")]
+    fn lane_64_panics_in_every_build() {
+        let _ = Mask::lane(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index 64 out of range")]
+    fn set_64_panics_in_every_build() {
+        Mask::NONE.set(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index 64 out of range")]
+    fn clear_64_panics_in_every_build() {
+        Mask(u64::MAX).clear(64);
     }
 }

@@ -69,6 +69,14 @@ pub enum EventKind {
         /// Instructions actually spent when the watchdog fired.
         spent: u64,
     },
+    /// A warp-sanitizer check fired (see [`crate::san`]); the full typed
+    /// diagnostic lives in the launch's `SanReport` — the trace event
+    /// pins *when* it fired on the instruction clock.
+    SanFinding {
+        /// Stable check identifier (`"lane_race"`, `"divergent_barrier"`,
+        /// …) — the same string `SanKind::check` returns.
+        check: &'static str,
+    },
 }
 
 impl EventKind {
@@ -81,6 +89,7 @@ impl EventKind {
             EventKind::WalkStep { .. } => "walk_step",
             EventKind::HbmTx { .. } => "hbm_tx",
             EventKind::Watchdog { .. } => "watchdog",
+            EventKind::SanFinding { .. } => "san_finding",
         }
     }
 }
@@ -294,5 +303,6 @@ mod tests {
         assert_eq!(EventKind::WalkStep { probes: 2 }.name(), "walk_step");
         assert_eq!(EventKind::HbmTx { read: 1, write: 0 }.name(), "hbm_tx");
         assert_eq!(EventKind::Watchdog { budget: 10, spent: 11 }.name(), "watchdog");
+        assert_eq!(EventKind::SanFinding { check: "lane_race" }.name(), "san_finding");
     }
 }

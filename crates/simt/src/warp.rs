@@ -16,6 +16,7 @@ use crate::fault::InjectedFaults;
 use crate::lanevec::LaneVec;
 use crate::mask::Mask;
 use crate::mem::GlobalMem;
+use crate::san::{SanKind, SanReport, SanState, SanitizerConfig};
 use crate::trace::{EventKind, TraceSink, WarpTrace};
 use memhier::{
     coalesce_sectors_into, AccessKind, Addr, CoalesceResult, HierarchyConfig, MemHierarchy,
@@ -40,6 +41,9 @@ pub struct Warp {
     /// Armed fault-injection flags (see [`crate::fault`]); cleared by
     /// [`Warp::reset`].
     injected: InjectedFaults,
+    /// Optional warp sanitizer; `None` (the default) costs one branch per
+    /// instrumented call site and models zero instructions, like `trace`.
+    san: Option<Box<SanState>>,
 }
 
 impl Warp {
@@ -57,6 +61,7 @@ impl Warp {
             trace: None,
             co_scratch: CoalesceResult::default(),
             injected: InjectedFaults::default(),
+            san: None,
         }
     }
 
@@ -77,6 +82,7 @@ impl Warp {
         self.counters = WarpCounters::new(width);
         self.trace = None;
         self.injected = InjectedFaults::default();
+        self.san = None;
     }
 
     /// Arm the injected hash-table-full fault (see [`crate::fault`]).
@@ -143,6 +149,80 @@ impl Warp {
         self.trace.take().map(|t| t.finish(width))
     }
 
+    /// Attach the warp sanitizer (see [`crate::san`]). A config with no
+    /// check family armed attaches nothing, keeping the run's fast path.
+    pub fn enable_sanitizer(&mut self, cfg: SanitizerConfig) {
+        if cfg.enabled() {
+            self.san = Some(Box::new(SanState::new(cfg)));
+        }
+    }
+
+    /// Whether a sanitizer is attached. Kernel call sites that must
+    /// *compute* a check input host-side (e.g. scan the hash table for
+    /// invariants) can skip that work when this is false.
+    pub fn sanitizing(&self) -> bool {
+        self.san.is_some()
+    }
+
+    /// The attached sanitizer's config; all-off when none is attached.
+    pub fn san_config(&self) -> SanitizerConfig {
+        self.san.as_ref().map(|s| s.config()).unwrap_or_default()
+    }
+
+    /// Record a kernel-level sanitizer diagnostic (probe wrap, hash-table
+    /// invariant violations). No-op without a sanitizer, and gated on the
+    /// config wanting the kind — call sites never branch on the config.
+    pub fn san_record(&mut self, kind: SanKind) {
+        if let Some(s) = self.san.as_deref_mut() {
+            s.record(self.counters.warp_instructions, kind);
+        }
+        self.san_drain_events();
+    }
+
+    /// Detach the sanitizer and seal its report, if one was attached.
+    pub fn take_san_report(&mut self) -> Option<SanReport> {
+        self.san.take().map(|s| s.into_report())
+    }
+
+    /// Collective hook: mask-width check + ordering-epoch advance.
+    pub(crate) fn san_collective(&mut self, name: &'static str, mask: Mask) {
+        if let Some(s) = self.san.as_deref_mut() {
+            s.collective(self.counters.warp_instructions, name, mask, self.width);
+        }
+        self.san_drain_events();
+    }
+
+    /// Shuffle-source hook: out-of-range / inactive source lane checks.
+    pub(crate) fn san_shfl(&mut self, mask: Mask, src: u32) {
+        if let Some(s) = self.san.as_deref_mut() {
+            s.shfl_src(self.counters.warp_instructions, mask, src, self.width);
+        }
+        self.san_drain_events();
+    }
+
+    /// Barrier hook: divergence check (`Some(mask)` only) + epoch advance.
+    pub(crate) fn san_barrier(&mut self, mask: Option<Mask>) {
+        if let Some(s) = self.san.as_deref_mut() {
+            s.barrier(self.counters.warp_instructions, mask, self.width);
+        }
+        self.san_drain_events();
+    }
+
+    /// Emit queued sanitizer findings as trace events. Queued names are
+    /// drained even without a trace sink so the buffer cannot grow.
+    fn san_drain_events(&mut self) {
+        if !self.san.as_ref().is_some_and(|s| s.has_pending()) {
+            return;
+        }
+        let pending = match self.san.as_deref_mut() {
+            Some(s) => s.take_pending(),
+            None => return,
+        };
+        for check in pending {
+            self.trace_event(EventKind::SanFinding { check });
+        }
+    }
+
     /// HBM transaction counts before a traced memory access
     /// (`None` when tracing is off — the common, free path).
     #[inline]
@@ -189,6 +269,9 @@ impl Warp {
         // Divergence profile: bucket by active-lane quartile.
         let q = ((4 * active).div_ceil(self.width).clamp(1, 4) - 1) as usize;
         self.counters.occupancy_quartiles[q] += n;
+        if let Some(s) = self.san.as_deref_mut() {
+            s.note_active(mask);
+        }
     }
 
     fn mem_access(&mut self, mask: Mask, addrs: &LaneVec<Addr>, size: u32, kind: AccessKind) {
@@ -197,6 +280,12 @@ impl Warp {
         self.hier.access(&self.co_scratch, kind);
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
+        if let Some(s) = self.san.as_deref_mut() {
+            let at = self.counters.warp_instructions;
+            s.lint_access(at, self.co_scratch.transactions(), self.co_scratch.lane_accesses);
+            s.mem_op(at, mask, addrs.iter_masked(mask), size, kind == AccessKind::Write);
+            self.san_drain_events();
+        }
     }
 
     /// Warp-wide 32-bit load. Inactive lanes read as 0.
@@ -276,7 +365,10 @@ impl Warp {
         self.hier.access(&self.co_scratch, AccessKind::Read);
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
-        let _ = lane;
+        if let Some(s) = self.san.as_deref_mut() {
+            s.scalar_op(self.counters.warp_instructions, lane, addr, 8, false);
+            self.san_drain_events();
+        }
         self.mem.read_u64(addr)
     }
 
@@ -287,7 +379,10 @@ impl Warp {
         self.hier.access(&self.co_scratch, AccessKind::Write);
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
-        let _ = lane;
+        if let Some(s) = self.san.as_deref_mut() {
+            s.scalar_op(self.counters.warp_instructions, lane, addr, 8, true);
+            self.san_drain_events();
+        }
         self.mem.write_u64(addr, v);
     }
 
@@ -359,6 +454,12 @@ impl Warp {
             self.counters.warp_instructions += replays;
         }
         self.hbm_post(pre);
+        // Atomics are exempt from the race shadow (the machine serializes
+        // them), but their lanes still count as active for the divergence
+        // check.
+        if let Some(s) = self.san.as_deref_mut() {
+            s.note_active(mask);
+        }
     }
 
     /// A mid-kernel counter snapshot (memory stats included, without

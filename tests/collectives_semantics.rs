@@ -1,0 +1,197 @@
+//! Property tests pinning every warp collective to a scalar per-lane
+//! reference model.
+//!
+//! The collectives are the intrinsics whose cross-vendor (un)availability
+//! drives the paper's porting story (§III), so their semantics must be
+//! exact: each test re-computes the expected result with a plain scalar
+//! loop over lanes and compares against the SIMT implementation across
+//! sub-group widths 16/32/64 (the three dialects' widths), random active
+//! masks, and the documented edge cases — shuffle-source wrap at
+//! `src >= width` (hardware `srcLane mod warpSize`), empty masks
+//! (vacuous votes), and full masks.
+
+use memhier::HierarchyConfig;
+use proptest::prelude::*;
+use simt::{LaneVec, Mask, Warp};
+
+fn warp(width: u32) -> Warp {
+    Warp::new(width, HierarchyConfig::tiny())
+}
+
+/// Clamp a raw 64-bit pattern to a legal active mask for `width`.
+fn mask_for(raw: u64, width: u32) -> Mask {
+    Mask(raw & Mask::full(width).0)
+}
+
+/// Scalar reference for `__ballot_sync`.
+fn ballot_ref(width: u32, mask: Mask, preds: &[bool]) -> Mask {
+    let mut out = Mask::NONE;
+    for l in 0..width {
+        if mask.contains(l) && preds[l as usize] {
+            out.set(l);
+        }
+    }
+    out
+}
+
+/// Scalar reference for `__match_any_sync`: active lanes holding an equal
+/// key, per active lane; `Mask::NONE` for inactive lanes.
+fn match_any_ref(width: u32, mask: Mask, keys: &[u64]) -> Vec<Mask> {
+    (0..width)
+        .map(|l| {
+            if !mask.contains(l) {
+                return Mask::NONE;
+            }
+            let mut m = Mask::NONE;
+            for l2 in 0..width {
+                if mask.contains(l2) && keys[l2 as usize] == keys[l as usize] {
+                    m.set(l2);
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+const WIDTHS: [u32; 3] = [16, 32, 64];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ballot_matches_scalar_reference(
+        w in proptest::sample::select(vec![16u32, 32, 64]),
+        raw in any::<u64>(),
+        preds in proptest::collection::vec(any::<bool>(), 64usize),
+    ) {
+        let mask = mask_for(raw, w);
+        let lv = LaneVec::from_fn(w, |l| preds[l as usize]);
+        prop_assert_eq!(warp(w).ballot(mask, &lv), ballot_ref(w, mask, &preds));
+    }
+
+    #[test]
+    fn match_any_matches_scalar_reference(
+        w in proptest::sample::select(vec![16u32, 32, 64]),
+        raw in any::<u64>(),
+        // Few distinct keys so collisions actually occur.
+        keys in proptest::collection::vec(0u64..5, 64usize),
+    ) {
+        let mask = mask_for(raw, w);
+        let lv = LaneVec::from_fn(w, |l| keys[l as usize]);
+        let got = warp(w).match_any(mask, &lv);
+        let want = match_any_ref(w, mask, &keys);
+        for l in 0..w {
+            prop_assert_eq!(got[l], want[l as usize], "lane {} width {}", l, w);
+        }
+        // Groups partition the active mask: every active lane is in its
+        // own group, and group members agree on the group.
+        for l in 0..w {
+            if mask.contains(l) {
+                prop_assert!(got[l].contains(l), "lane {} must match itself", l);
+                for l2 in 0..w {
+                    if got[l].contains(l2) {
+                        prop_assert_eq!(got[l], got[l2], "groups must be consistent");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_and_any_match_scalar_reference(
+        w in proptest::sample::select(vec![16u32, 32, 64]),
+        raw in any::<u64>(),
+        preds in proptest::collection::vec(any::<bool>(), 64usize),
+    ) {
+        let mask = mask_for(raw, w);
+        let lv = LaneVec::from_fn(w, |l| preds[l as usize]);
+        let want_all = (0..w).filter(|&l| mask.contains(l)).all(|l| preds[l as usize]);
+        let want_any = (0..w).filter(|&l| mask.contains(l)).any(|l| preds[l as usize]);
+        prop_assert_eq!(warp(w).all(mask, &lv), want_all);
+        prop_assert_eq!(warp(w).any(mask, &lv), want_any);
+        // De Morgan on the lane predicates.
+        let neg = LaneVec::from_fn(w, |l| !preds[l as usize]);
+        prop_assert_eq!(warp(w).all(mask, &lv), !warp(w).any(mask, &neg));
+    }
+
+    #[test]
+    fn shfl_u32_matches_scalar_reference(
+        w in proptest::sample::select(vec![16u32, 32, 64]),
+        raw in any::<u64>(),
+        vals in proptest::collection::vec(any::<u32>(), 64usize),
+        src in 0u32..130,
+    ) {
+        let mask = mask_for(raw, w);
+        let lv = LaneVec::from_fn(w, |l| vals[l as usize]);
+        let got = warp(w).shfl_u32(mask, &lv, src);
+        // Hardware semantics: every active lane receives lane
+        // `src % width`'s register; inactive lanes read back 0.
+        let broadcast = lv[src % w];
+        for l in 0..64u32 {
+            let want = if mask.contains(l) { broadcast } else { 0 };
+            prop_assert_eq!(got[l], want, "lane {} width {} src {}", l, w, src);
+        }
+    }
+
+    #[test]
+    fn shfl_u64_matches_scalar_reference(
+        w in proptest::sample::select(vec![16u32, 32, 64]),
+        raw in any::<u64>(),
+        vals in proptest::collection::vec(any::<u64>(), 64usize),
+        src in 0u32..130,
+    ) {
+        let mask = mask_for(raw, w);
+        let lv = LaneVec::from_fn(w, |l| vals[l as usize]);
+        let got = warp(w).shfl_u64(mask, &lv, src);
+        let broadcast = lv[src % w];
+        for l in 0..64u32 {
+            let want = if mask.contains(l) { broadcast } else { 0 };
+            prop_assert_eq!(got[l], want, "lane {} width {} src {}", l, w, src);
+        }
+    }
+}
+
+/// The fixed edge cases the satellite fix exists for: `src >= width` must
+/// wrap (`srcLane mod warpSize`), not read stale registers or panic.
+#[test]
+fn shuffle_source_wrap_fixed_cases() {
+    for w in WIDTHS {
+        let vals = LaneVec::from_fn(w, |l| 100 + l);
+        let m = Mask::full(w);
+        // src == width wraps to lane 0; src == width+3 to lane 3;
+        // src == 64 (the old panic point) to lane 64 % width.
+        assert_eq!(warp(w).shfl_u32(m, &vals, w)[0], 100, "width {w}");
+        assert_eq!(warp(w).shfl_u32(m, &vals, w + 3)[0], 103, "width {w}");
+        assert_eq!(warp(w).shfl_u32(m, &vals, 64)[0], 100 + (64 % w), "width {w}");
+        assert_eq!(warp(w).shfl_u32(m, &vals, 127)[0], 100 + (127 % w), "width {w}");
+    }
+}
+
+/// Vacuous votes on an empty mask: `all` is true, `any` and `ballot` are
+/// empty — the HIP dialect's loop-top `__all(done)` termination relies on
+/// exactly this.
+#[test]
+fn empty_mask_vote_fixed_cases() {
+    for w in WIDTHS {
+        let t = LaneVec::splat(true);
+        let f = LaneVec::splat(false);
+        assert!(warp(w).all(Mask::NONE, &f), "all() over no lanes is vacuously true");
+        assert!(!warp(w).any(Mask::NONE, &t));
+        assert_eq!(warp(w).ballot(Mask::NONE, &t), Mask::NONE);
+    }
+}
+
+/// Full-mask ballots at every width, including the width-64 case whose
+/// full mask has bit 63 set (the shift-overflow regression).
+#[test]
+fn full_mask_ballot_fixed_cases() {
+    for w in WIDTHS {
+        let t = LaneVec::splat(true);
+        assert_eq!(warp(w).ballot(Mask::full(w), &t), Mask::full(w), "width {w}");
+        let alternating = LaneVec::from_fn(w, |l| l % 2 == 0);
+        let got = warp(w).ballot(Mask::full(w), &alternating);
+        for l in 0..w {
+            assert_eq!(got.contains(l), l % 2 == 0, "lane {l} width {w}");
+        }
+    }
+}
