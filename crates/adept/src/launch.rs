@@ -65,6 +65,7 @@ pub fn run_alignment_batch(
         fault: None,
         fault_base: 0,
         sanitize: simt::SanitizerConfig::default(),
+        exec: simt::ExecMode::default(),
     };
     let out = launch_warps(cfg, pairs, |warp, p: &Pair| {
         sw_kernel(warp, &p.query, &p.reference, scoring)

@@ -1,22 +1,30 @@
-//! Regenerates the checked-in `BENCH_kernels.json`: pooled-vs-fresh launch
-//! engine throughput and allocator metrics on the paper's k = 21 dataset.
+//! Regenerates the checked-in launch-engine reports:
+//!
+//! * `BENCH_kernels.json` — pooled-vs-fresh allocator metrics and
+//!   throughput on the paper's k = 21 dataset (A100/CUDA).
+//! * `BENCH_hotpath.json` — scalar vs pooled vs vectorized warp
+//!   throughput for all three dialects on their native devices, with the
+//!   `warps_per_sec` headline and speedup ratios.
 //!
 //! ```text
-//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH]
+//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT]]
 //! ```
 //!
-//! `OUT_PATH` defaults to `BENCH_kernels.json` in the current directory
-//! (run from the repo root to refresh the checked-in copy).
+//! Paths default to `BENCH_kernels.json` / `BENCH_hotpath.json` in the
+//! current directory (run from the repo root to refresh the checked-in
+//! copies).
 
 use gpu_specs::DeviceId;
 use locassm_bench::cli::require_ok;
-use locassm_bench::poolbench::pool_bench;
+use locassm_bench::poolbench::{hotpath_bench, pool_bench};
 
 fn main() {
     let path =
         std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let hot_path =
+        std::env::args().nth(2).unwrap_or_else(|| "BENCH_hotpath.json".to_string());
 
-    let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3);
+    let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3, 5);
     let json = r.to_json();
     require_ok(std::fs::write(&path, &json), &format!("write report {path}"));
 
@@ -39,4 +47,27 @@ fn main() {
         r.speedup()
     );
     eprintln!("  wrote {path}");
+
+    let h = hotpath_bench(21, 0.005, 11, 3, 5);
+    let hot_json = h.to_json();
+    require_ok(std::fs::write(&hot_path, &hot_json), &format!("write report {hot_path}"));
+
+    eprintln!(
+        "warp hot path, k={} ({} contigs, {} iterations, median of {} rounds):",
+        h.k, h.contigs, h.iterations, h.rounds
+    );
+    for d in &h.dialects {
+        eprintln!(
+            "  {:>8} ({:<4}): scalar {:>9.1} warps/s  pooled {:>9.1} ({:.2}x)  \
+             vectorized {:>9.1} ({:.2}x)",
+            d.device.spec().short_name,
+            d.dialect.to_string(),
+            d.scalar.warps_per_sec,
+            d.pooled.warps_per_sec,
+            d.pooled_speedup(),
+            d.vectorized.warps_per_sec,
+            d.vectorized_speedup()
+        );
+    }
+    eprintln!("  wrote {hot_path}");
 }

@@ -45,18 +45,25 @@ pub fn construct_hash_table(
 
             // Load the k-mer (one 4-byte chunk per mix-loop iteration;
             // neighbouring lanes read overlapping bytes → well coalesced).
+            // The lane values feed the hash below, which the host reads
+            // straight from the arena — a touch charges the same traffic.
             for j in 0..chunks {
-                let addrs =
-                    LaneVec::from_fn(width, |l| job.reads + key_off[l] as u64 + 4 * j);
-                let _ = warp.load_u32(mask, &addrs);
+                warp.touch_u32_with(mask, |l| job.reads + key_off[l] as u64 + 4 * j);
             }
-            // Hash it (Table V's INTOP1) and reduce mod table size.
+            // Hash it (Table V's INTOP1) and reduce mod table size. The
+            // simulated kernel pays the murmur iops either way; the host
+            // reads the value from the interned shadow when one exists
+            // (Vectorized staging) and recomputes it otherwise.
             warp.iop(mask, murmur_intops(job.k));
             warp.iop(mask, 2);
             let hash = LaneVec::from_fn(width, |l| {
                 if mask.contains(l) {
-                    let key = warp.mem.read_bytes(job.reads + key_off[l] as u64, job.k as u64);
-                    murmur_hash_aligned2(key, DEFAULT_SEED) % job.slots
+                    let h = job.key_fp(key_off[l]).unwrap_or_else(|| {
+                        let key =
+                            warp.mem.read_bytes(job.reads + key_off[l] as u64, job.k as u64);
+                        murmur_hash_aligned2(key, DEFAULT_SEED)
+                    });
+                    h % job.slots
                 } else {
                     0
                 }
@@ -70,7 +77,7 @@ pub fn construct_hash_table(
             let ones = LaneVec::splat(1u32);
             let count_addrs =
                 LaneVec::from_fn(width, |l| job.entry_field(slots[l], OFF_COUNT));
-            warp.atomic_add_u32(mask, &count_addrs, &ones);
+            warp.atomic_add_u32_discard(mask, &count_addrs, &ones);
 
             // Extension vote for k-mers that have a following base.
             let mut vote_mask = Mask::NONE;
@@ -100,7 +107,7 @@ pub fn construct_hash_table(
                     0
                 }
             });
-            warp.atomic_add_u32(vote_mask, &vote_addrs, &ones);
+            warp.atomic_add_u32_discard(vote_mask, &vote_addrs, &ones);
         }
     }
     Ok(())

@@ -32,6 +32,7 @@ pub fn ht_get_atomic(
             occupancy: table_occupancy(warp, job),
         });
     }
+    let warp_width = warp.width();
     let mut slot = args.hash;
     let mut searching = args.mask;
 
@@ -52,9 +53,12 @@ pub fn ht_get_atomic(
         let prev = cas_claim(warp, job, searching, &slot);
 
         // __match_any_sync(__activemask(), &thread_ht[hash_val]) — groups
-        // lanes probing the same entry this round.
-        let entry_addrs = LaneVec::from_fn(warp.width(), |l| job.entry_field(slot[l], 0));
-        let _groups = warp.match_any(searching, &entry_addrs);
+        // lanes probing the same entry this round. The groups themselves are
+        // unused (the CAS result resolves collisions); the collective is
+        // issued for its modeled cost.
+        warp.match_any_discard(searching, || {
+            LaneVec::from_fn(warp_width, |l| job.entry_field(slot[l], 0))
+        });
 
         // Winners publish the key.
         let mut winners = Mask::NONE;

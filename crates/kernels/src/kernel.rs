@@ -3,7 +3,7 @@
 use crate::construct::construct_hash_table;
 use crate::fault::KernelFault;
 use crate::layout::DeviceJob;
-use crate::probe::{InsertArgs, SlotVec};
+use crate::probe::{InsertArgs, ProbeStrategy, SlotVec};
 use crate::walk::mer_walk_kernel;
 use gpu_specs::{DeviceId, ProgrammingModel};
 use locassm_core::walk::{WalkConfig, WalkState};
@@ -81,6 +81,9 @@ pub struct KernelJob<'a> {
     /// attempts; the launch layer raises it when escalating a
     /// `HashTableFull` fault (grown-table retry).
     pub slot_reserve: u32,
+    /// Probe-cursor strategy for every table access of the job (a tuning
+    /// dimension — see [`crate::tune`](mod@crate::tune); extensions are invariant).
+    pub probe: ProbeStrategy,
 }
 
 impl<'a> KernelJob<'a> {
@@ -101,6 +104,7 @@ impl<'a> KernelJob<'a> {
             retry: Cow::Borrowed(retry),
             dialect,
             slot_reserve: 1,
+            probe: ProbeStrategy::default(),
         }
     }
 
@@ -123,6 +127,7 @@ impl<'a> KernelJob<'a> {
             retry: Cow::Borrowed(retry),
             dialect,
             slot_reserve: 1,
+            probe: ProbeStrategy::default(),
         }
     }
 
@@ -143,6 +148,7 @@ impl<'a> KernelJob<'a> {
             retry: Cow::Owned(retry),
             dialect,
             slot_reserve: 1,
+            probe: ProbeStrategy::default(),
         }
     }
 }
@@ -203,7 +209,11 @@ pub fn extension_kernel(
         let staged =
             DeviceJob::stage(warp, &job.contig, &job.reads, k, job.walk, job.slot_reserve);
         warp.phase_exit("stage");
-        let dev = staged?;
+        let mut dev = staged?;
+        // The probe strategy travels on the job, not the stage call, so
+        // the ~dozen direct `DeviceJob::stage` call sites keep their
+        // signature (and their Linear default).
+        dev.probe = job.probe;
         walk_budget = dev.walk_budget;
         warp.phase_enter("construct");
         if let Err(fault) = construct_hash_table(warp, &dev, job.dialect) {

@@ -13,13 +13,15 @@
 use crate::fault::{JobOutcome, KernelFault};
 use crate::kernel::{extension_kernel, Dialect, KernelJob, KernelOut};
 use crate::layout::arena_footprint;
+use crate::probe::ProbeStrategy;
 use crate::profile::{BatchProfile, KernelProfile, PhaseCounters};
 use gpu_specs::{effective_hierarchy, DeviceId, DeviceSpec, ModelParams, TimeEstimate};
 use locassm_core::io::Dataset;
 use locassm_core::walk::WalkConfig;
 use locassm_core::{bin_contigs, BinningPolicy, ExtensionResult, RetryPolicy};
 use simt::{
-    launch_warps, AggCounters, FaultPlan, LaunchConfig, SanReport, SanitizerConfig, WarpCounters,
+    launch_warps, AggCounters, ExecMode, FaultPlan, LaunchConfig, SanReport, SanitizerConfig,
+    WarpCounters,
 };
 
 /// Configuration of a simulated GPU run.
@@ -62,6 +64,25 @@ pub struct GpuConfig {
     /// overridden per dialect at launch time. With every check off, runs
     /// are bit-identical to an unsanitized build.
     pub sanitize: SanitizerConfig,
+    /// Interpreter execution mode for every warp (see [`ExecMode`]).
+    /// `Vectorized` (the default) takes the batched hot path; `Scalar`
+    /// keeps the reference per-lane interpreter as a benchmarkable
+    /// baseline. All modeled state is bit-identical either way.
+    pub exec: ExecMode,
+    /// Base multiplier on the host-side hash-table slot estimate applied
+    /// to every first-attempt job (escalation grows it further on
+    /// `HashTableFull`). 1 is the paper's sizing; the autotuner may pick a
+    /// larger reserve to shorten probe chains at the cost of table bytes.
+    pub slot_reserve: u32,
+    /// Probe-cursor strategy for every job (insert and walk lookup share
+    /// it). Extensions are invariant across strategies — only the probe
+    /// order, and thus counters and modeled time, change.
+    pub probe: ProbeStrategy,
+    /// Cap on jobs per launch: each batch side is split into chunks of at
+    /// most this many warps, each chunk launched with its own L2 share
+    /// (`effective_hierarchy`). `None` launches whole sides, the paper's
+    /// batching. Run-global job/fault ids are unaffected by chunking.
+    pub max_batch: Option<usize>,
 }
 
 /// Adapt a sanitizer configuration to a kernel dialect's execution-
@@ -98,6 +119,10 @@ impl GpuConfig {
             trace: false,
             fault: None,
             sanitize: SanitizerConfig::default(),
+            exec: ExecMode::default(),
+            slot_reserve: 1,
+            probe: ProbeStrategy::default(),
+            max_batch: None,
         }
     }
 
@@ -229,6 +254,7 @@ fn escalate_job(
             fault: if armed { cfg.fault } else { None },
             fault_base: victim_id,
             sanitize: dialect_sanitizer(cfg.sanitize, cfg.dialect),
+            exec: cfg.exec,
         };
         let out = launch_warps(launch_cfg, std::slice::from_ref(&retry), run_extension);
         for mut t in out.traces {
@@ -378,6 +404,11 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                         )
                     }
                 };
+                // Tuned knobs ride on the job: base table reserve and
+                // probe strategy (escalation grows the reserve further).
+                let mut job = job;
+                job.slot_reserve = cfg.slot_reserve.max(1);
+                job.probe = cfg.probe;
                 indices.push(idx);
                 kernel_jobs.push(job);
             }
@@ -385,104 +416,120 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                 continue;
             }
 
-            // Host-side size estimation (Fig. 3): pre-size pooled arenas to
-            // the largest per-warp slab so staging never regrows them.
-            let arena_hint = kernel_jobs
-                .iter()
-                .map(|j| arena_footprint(j.contig.len(), &j.reads, &schedule, j.walk, j.slot_reserve))
-                .max()
-                .unwrap_or(0);
-            let hierarchy = effective_hierarchy(spec, kernel_jobs.len() as u64);
-            let side_base = jobs_launched;
-            let launch_cfg = LaunchConfig {
-                width: cfg.width,
-                hierarchy,
-                parallel: cfg.parallel,
-                trace: cfg.trace,
-                pool: cfg.pool,
-                arena_hint,
-                fault: cfg.fault,
-                fault_base: side_base,
-                sanitize,
-            };
-            let out = launch_warps(launch_cfg, &kernel_jobs, run_extension);
-            jobs_launched += kernel_jobs.len() as u64;
-            // Re-number warp ids to be unique across batches and sides.
-            for mut t in out.traces {
-                t.warp_id = traces.len() as u64;
-                traces.push(t);
-            }
-            for r in out.san {
-                san.merge(r);
-            }
+            // Optional launch cap (an autotuner dimension): split the side
+            // into chunks of at most `max_batch` jobs, launched in job
+            // order, so run-global job/fault ids match the unchunked
+            // numbering. Each chunk sizes its own L2 share from its
+            // resident-warp count.
+            let chunk_len =
+                cfg.max_batch.unwrap_or(usize::MAX).clamp(1, kernel_jobs.len());
+            for chunk_start in (0..kernel_jobs.len()).step_by(chunk_len) {
+                let chunk_end = (chunk_start + chunk_len).min(kernel_jobs.len());
+                let jobs_chunk = &kernel_jobs[chunk_start..chunk_end];
+                let idx_chunk = &indices[chunk_start..chunk_end];
 
-            // Phase split: construct snapshots summed; walk = total − construct.
-            // The walk phase's critical path (max_warp_instructions) is
-            // attributed per warp: each warp's walk segment is its total
-            // instruction stream minus its construct-boundary snapshot.
-            let (construct, walk_agg) = fold_phases(
-                &mut phases,
-                cfg.width,
-                &out.results,
-                &out.warp_instruction_counts,
-                &out.counters,
-            );
-
-            // Per-phase timing: construction overlaps memory at the
-            // device's MLP; the mer-walk is a single-lane dependence chain
-            // (MLP ≈ 1).
-            let t_construct =
-                TimeEstimate::estimate(spec, &ModelParams::from_counters(&construct));
-            let t_walk = TimeEstimate::estimate_with_mlp(
-                spec,
-                &ModelParams::from_counters(&walk_agg),
-                1.0,
-            );
-            let time = TimeEstimate {
-                seconds: t_construct.seconds + t_walk.seconds,
-                compute_seconds: t_construct.compute_seconds + t_walk.compute_seconds,
-                bandwidth_seconds: t_construct.bandwidth_seconds + t_walk.bandwidth_seconds,
-                latency_seconds: t_construct.latency_seconds + t_walk.latency_seconds,
-                bound: if t_construct.seconds >= t_walk.seconds {
-                    t_construct.bound
-                } else {
-                    t_walk.bound
-                },
-            };
-            batch_profiles.push(BatchProfile {
-                band: batch.band,
-                warps: out.counters.warps,
-                time,
-            });
-            total.merge(&out.counters);
-
-            for (local, (idx, r)) in indices.into_iter().zip(out.results).enumerate() {
-                let (outcome, o) = match r {
-                    Ok(o) => (JobOutcome::Ok, Some(o)),
-                    Err(fault) => {
-                        // Per-job isolation: one faulting job degrades to
-                        // an outcome; the rest of the batch already ran
-                        // to completion untouched.
-                        escalate_job(
-                            cfg,
-                            spec,
-                            &kernel_jobs[local],
-                            side_base + local as u64,
-                            fault,
-                            &mut traces,
-                            &mut total,
-                            &mut phases,
-                            &mut san,
-                        )
-                    }
+                // Host-side size estimation (Fig. 3): pre-size pooled arenas to
+                // the largest per-warp slab so staging never regrows them.
+                let arena_hint = jobs_chunk
+                    .iter()
+                    .map(|j| {
+                        arena_footprint(j.contig.len(), &j.reads, &schedule, j.walk, j.slot_reserve)
+                    })
+                    .max()
+                    .unwrap_or(0);
+                let hierarchy = effective_hierarchy(spec, jobs_chunk.len() as u64);
+                let side_base = jobs_launched;
+                let launch_cfg = LaunchConfig {
+                    width: cfg.width,
+                    hierarchy,
+                    parallel: cfg.parallel,
+                    trace: cfg.trace,
+                    pool: cfg.pool,
+                    arena_hint,
+                    fault: cfg.fault,
+                    fault_base: side_base,
+                    sanitize,
+                    exec: cfg.exec,
                 };
-                outcomes[idx] = outcomes[idx].combine(outcome);
-                let Some(o) = o else { continue };
-                match side {
-                    Side::Right => right[idx] = (o.extension, o.state),
-                    Side::Left => {
-                        // Left walks ran on the reverse complement.
-                        left[idx] = (locassm_core::revcomp(&o.extension), o.state);
+                let out = launch_warps(launch_cfg, jobs_chunk, run_extension);
+                jobs_launched += jobs_chunk.len() as u64;
+                // Re-number warp ids to be unique across batches and sides.
+                for mut t in out.traces {
+                    t.warp_id = traces.len() as u64;
+                    traces.push(t);
+                }
+                for r in out.san {
+                    san.merge(r);
+                }
+
+                // Phase split: construct snapshots summed; walk = total − construct.
+                // The walk phase's critical path (max_warp_instructions) is
+                // attributed per warp: each warp's walk segment is its total
+                // instruction stream minus its construct-boundary snapshot.
+                let (construct, walk_agg) = fold_phases(
+                    &mut phases,
+                    cfg.width,
+                    &out.results,
+                    &out.warp_instruction_counts,
+                    &out.counters,
+                );
+
+                // Per-phase timing: construction overlaps memory at the
+                // device's MLP; the mer-walk is a single-lane dependence chain
+                // (MLP ≈ 1).
+                let t_construct =
+                    TimeEstimate::estimate(spec, &ModelParams::from_counters(&construct));
+                let t_walk = TimeEstimate::estimate_with_mlp(
+                    spec,
+                    &ModelParams::from_counters(&walk_agg),
+                    1.0,
+                );
+                let time = TimeEstimate {
+                    seconds: t_construct.seconds + t_walk.seconds,
+                    compute_seconds: t_construct.compute_seconds + t_walk.compute_seconds,
+                    bandwidth_seconds: t_construct.bandwidth_seconds + t_walk.bandwidth_seconds,
+                    latency_seconds: t_construct.latency_seconds + t_walk.latency_seconds,
+                    bound: if t_construct.seconds >= t_walk.seconds {
+                        t_construct.bound
+                    } else {
+                        t_walk.bound
+                    },
+                };
+                batch_profiles.push(BatchProfile {
+                    band: batch.band,
+                    warps: out.counters.warps,
+                    time,
+                });
+                total.merge(&out.counters);
+
+                for (local, (&idx, r)) in idx_chunk.iter().zip(out.results).enumerate() {
+                    let (outcome, o) = match r {
+                        Ok(o) => (JobOutcome::Ok, Some(o)),
+                        Err(fault) => {
+                            // Per-job isolation: one faulting job degrades to
+                            // an outcome; the rest of the batch already ran
+                            // to completion untouched.
+                            escalate_job(
+                                cfg,
+                                spec,
+                                &jobs_chunk[local],
+                                side_base + local as u64,
+                                fault,
+                                &mut traces,
+                                &mut total,
+                                &mut phases,
+                                &mut san,
+                            )
+                        }
+                    };
+                    outcomes[idx] = outcomes[idx].combine(outcome);
+                    let Some(o) = o else { continue };
+                    match side {
+                        Side::Right => right[idx] = (o.extension, o.state),
+                        Side::Left => {
+                            // Left walks ran on the reverse complement.
+                            left[idx] = (locassm_core::revcomp(&o.extension), o.state);
+                        }
                     }
                 }
             }

@@ -10,11 +10,12 @@
 //! simulator.
 
 use crate::fault::KernelFault;
-use locassm_core::murmur::murmur_intops;
+use crate::probe::ProbeStrategy;
+use locassm_core::murmur::{murmur_hash_aligned2, murmur_intops, DEFAULT_SEED};
 use locassm_core::walk::WalkConfig;
 use locassm_core::{estimate_slots, Read};
 use memhier::Addr;
-use simt::Warp;
+use simt::{ExecMode, Warp};
 
 /// Hash-table entry layout (stride and field offsets, bytes).
 ///
@@ -67,6 +68,21 @@ pub struct DeviceJob {
     /// Warp-instruction budget for the mer walk (see [`walk_budget`]),
     /// enforced by the walk kernel's watchdog.
     pub walk_budget: u64,
+    /// Probe-cursor strategy shared by every table access of this job.
+    /// Staging defaults to [`ProbeStrategy::Linear`]; the extension kernel
+    /// overrides it from its [`crate::kernel::KernelJob`].
+    pub probe: ProbeStrategy,
+    /// Host-side k-mer hash shadow of the reads buffer, indexed by byte
+    /// offset: `fps[off]` is [`key_hash`] of the k-mer at `reads + off`
+    /// (0 where no whole k-mer starts — readers treat 0 as "no
+    /// fingerprint" and fall back to hashing/comparing the bytes).
+    /// Because [`key_hash`] is exactly the table hash, the shadow serves
+    /// double duty in Vectorized runs: construction reads its slot hash
+    /// from it, and probe compares reject mismatched keys against it
+    /// without touching the key bytes. Interned at stage time in
+    /// Vectorized runs only; empty in Scalar runs, so the baseline's
+    /// host work is untouched.
+    pub fps: Vec<u32>,
 }
 
 impl DeviceJob {
@@ -85,12 +101,16 @@ impl DeviceJob {
         walk: WalkConfig,
         slot_reserve: u32,
     ) -> Result<Self, KernelFault> {
-        let contig_addr = warp.mem.try_alloc(contig.len() as u64)?;
+        // The three staging buffers are memcpy'd in full right here (the
+        // read/qual spans pack contiguously over [0, total)), so a pooled
+        // arena need not lazily re-zero them — cudaMemcpyHostToDevice
+        // doesn't care what the buffer held before.
+        let contig_addr = warp.mem.try_alloc_overwritten(contig.len() as u64)?;
         warp.mem.write_bytes(contig_addr, contig);
 
         let total: usize = reads.iter().map(Read::len).sum();
-        let reads_addr = warp.mem.try_alloc(total as u64)?;
-        let quals_addr = warp.mem.try_alloc(total as u64)?;
+        let reads_addr = warp.mem.try_alloc_overwritten(total as u64)?;
+        let quals_addr = warp.mem.try_alloc_overwritten(total as u64)?;
         let mut spans = Vec::with_capacity(reads.len());
         let mut off = 0u32;
         for r in reads {
@@ -102,13 +122,22 @@ impl DeviceJob {
 
         let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
         let slots = (estimate_slots(insertions) as u32).saturating_mul(slot_reserve.max(1)) | 1;
+        // GPU Initialize (Fig. 3): the table must be zero (EMPTY) before
+        // launch. The arena guarantees zeroed bytes on every allocation
+        // (pooled resets zero lazily on the next alloc), so the cudaMemset
+        // is modeled by the allocation itself — no second pass here.
         let ht = warp.mem.try_alloc_aligned(slots as u64 * ENTRY_STRIDE, 32)?;
-        // GPU Initialize (Fig. 3): table zeroed before launch (cudaMemset —
-        // not kernel traffic).
-        warp.mem.fill(ht, slots as u64 * ENTRY_STRIDE, 0);
 
         let visited = warp.mem.try_alloc(walk.max_walk_len as u64 * 4)?;
         let out = warp.mem.try_alloc(walk.max_walk_len as u64)?;
+
+        // Vectorized runs intern one fingerprint per k-mer start so probe
+        // compares can reject mismatches without touching the key bytes;
+        // the Scalar baseline skips the shadow entirely.
+        let fps = match warp.exec() {
+            ExecMode::Vectorized => intern_fingerprints(reads, total, k),
+            ExecMode::Scalar => Vec::new(),
+        };
 
         Ok(DeviceJob {
             k,
@@ -123,6 +152,8 @@ impl DeviceJob {
             visited,
             out,
             walk_budget: walk_budget(k, slots, walk),
+            probe: ProbeStrategy::default(),
+            fps,
         })
     }
 
@@ -131,6 +162,45 @@ impl DeviceJob {
     pub fn entry_field(&self, slot: u32, field_off: u64) -> Addr {
         self.ht + slot as u64 * ENTRY_STRIDE + field_off
     }
+
+    /// The interned hash of the k-mer at reads-buffer offset `off`, or
+    /// `None` when no shadow exists (Scalar runs) or no whole k-mer
+    /// starts there. `None` means "recompute / fall back to the byte
+    /// compare", never "not equal".
+    #[inline]
+    pub fn key_fp(&self, off: u32) -> Option<u32> {
+        match self.fps.get(off as usize) {
+            Some(&f) if f != 0 => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// The key fingerprint *and* table hash: `MurmurHashAligned2` under the
+/// table seed, the same value `construct` reduces mod the slot count.
+/// Host-side only — interning it never charges the simulated kernel,
+/// which still pays `murmur_intops(k)` per hash exactly as before.
+pub fn key_hash(bytes: &[u8]) -> u32 {
+    murmur_hash_aligned2(bytes, DEFAULT_SEED)
+}
+
+/// One hash per k-mer start across the concatenated reads buffer
+/// (`total` bytes laid out read-by-read, exactly as staging writes them).
+/// Offsets where no whole k-mer starts keep the 0 sentinel; a genuine
+/// hash of 0 (vanishingly rare) is also treated as "absent", which only
+/// costs a harmless recompute/fallback on that key.
+fn intern_fingerprints(reads: &[Read], total: usize, k: usize) -> Vec<u32> {
+    let mut fps = vec![0u32; total];
+    let mut off = 0usize;
+    for r in reads {
+        if r.len() >= k {
+            for i in 0..=r.len() - k {
+                fps[off + i] = key_hash(&r.seq[i..i + k]);
+            }
+        }
+        off += r.len();
+    }
+    fps
 }
 
 /// Analytic warp-instruction budget for one mer walk — the watchdog bound
@@ -270,6 +340,55 @@ mod tests {
         for s in 0..job.slots {
             assert_eq!(warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN)), EMPTY);
         }
+    }
+
+    /// The "cudaMemset" of Fig. 3 is modeled by the arena's zero-on-alloc
+    /// guarantee: even a pooled warp whose previous job dirtied the slab
+    /// bytes must stage a fully EMPTY table after `reset()`.
+    #[test]
+    fn restaged_pooled_arena_sees_a_zeroed_table() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let first = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        // Dirty the whole table slab, as a completed job would.
+        for s in 0..first.slots {
+            warp.mem.write_u32(first.entry_field(s, OFF_KEY_LEN), 0xdead_beef);
+        }
+        warp.reset(32, HierarchyConfig::tiny());
+        let second = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        for s in 0..second.slots {
+            assert_eq!(warp.mem.read_u32(second.entry_field(s, OFF_KEY_LEN)), EMPTY);
+        }
+    }
+
+    #[test]
+    fn fingerprints_cover_every_kmer_start() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        assert_eq!(job.fps.len(), 20, "one slot per concatenated read byte");
+        for span in &job.spans {
+            for i in 0..span.len {
+                let off = span.offset + i;
+                let fp = job.key_fp(off);
+                if i + 4 <= span.len {
+                    let key = warp.mem.read_bytes(job.reads + off as u64, 4);
+                    assert_eq!(fp, Some(key_hash(key)), "offset {off}");
+                } else {
+                    assert_eq!(fp, None, "offset {off} has no whole k-mer");
+                }
+            }
+        }
+        // Equal keys ⇒ equal fingerprints (offsets 0 and 4 are both "ACGT").
+        assert_eq!(job.key_fp(0), job.key_fp(4));
+        assert_ne!(job.key_fp(0), job.key_fp(1));
+    }
+
+    #[test]
+    fn scalar_staging_skips_the_fingerprint_shadow() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        warp.set_exec(simt::ExecMode::Scalar);
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        assert!(job.fps.is_empty());
+        assert_eq!(job.key_fp(0), None, "no shadow means byte-compare fallback");
     }
 
     #[test]

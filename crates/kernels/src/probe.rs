@@ -3,6 +3,44 @@
 use crate::layout::{DeviceJob, EMPTY, OFF_KEY_LEN, OFF_KEY_OFF};
 use simt::{LaneVec, Mask, Warp};
 
+/// Probe-cursor advance strategy for the open-addressed table.
+///
+/// Every staged table is odd-sized (`estimate_slots(..) | 1`), so any
+/// stride coprime with 2 visits all slots before wrapping; insert and
+/// walk lookup share the job's strategy, which is what keeps lookups
+/// finding the keys inserts placed. Extensions are invariant across
+/// strategies — the table is a content-addressed set and only the probe
+/// *order* changes — so this is a pure tuning dimension (see
+/// [`crate::tune`](mod@crate::tune)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProbeStrategy {
+    /// `slot = (slot + 1) % slots` — the paper listings' linear probe.
+    #[default]
+    Linear,
+    /// `slot = (slot + 2) % slots` — double-stride probe, spreading a
+    /// cluster's chain across twice the address range. Degrades to the
+    /// linear step on an even-sized table (stride 2 would only visit half
+    /// the slots there), which only synthetic test tables have.
+    Stride2,
+}
+
+impl ProbeStrategy {
+    /// The cursor increment for a table of `slots` entries.
+    #[inline]
+    pub fn step(self, slots: u32) -> u32 {
+        match self {
+            ProbeStrategy::Linear => 1,
+            ProbeStrategy::Stride2 => {
+                if slots % 2 == 1 {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
 /// Arguments to one warp-cooperative batch of hash-table claims: each
 /// active lane wants the entry for the k-mer at `key_off` in the reads
 /// buffer, starting its linear probe at `hash` (already reduced mod slots).
@@ -56,19 +94,28 @@ pub fn compare_stored_keys(
     let k = job.k;
     let chunks = k.div_ceil(4) as u64;
     for j in 0..chunks {
-        let addrs =
-            LaneVec::from_fn(warp.width(), |l| job.reads + stored_off[l] as u64 + 4 * j);
-        let _ = warp.load_u32(mask, &addrs);
+        warp.touch_u32_with(mask, |l| job.reads + stored_off[l] as u64 + 4 * j);
         warp.iop(mask, 1); // chunk compare
     }
     warp.iop(mask, 2); // tail handling / result reduction
 
-    // Semantic truth from memory contents (two shared borrows of the
-    // arena — no copying in the probe loop).
+    // Semantic truth from memory contents. The modeled cost above is
+    // already charged; what remains is host-side only, so the staged
+    // fingerprint shadow (Vectorized runs) may reject mismatches without
+    // the k-byte compare: equal offsets alias the same bytes, and unequal
+    // fingerprints imply unequal keys. Equal fingerprints (or a missing
+    // shadow — Scalar runs) fall back to the byte compare.
     for l in mask.lanes() {
-        let a = warp.mem.read_bytes(job.reads + stored_off[l] as u64, k as u64);
-        let b = warp.mem.read_bytes(job.reads + args.key_off[l] as u64, k as u64);
-        eq[l] = a == b;
+        let s_off = stored_off[l];
+        let k_off = args.key_off[l];
+        eq[l] = s_off == k_off
+            || match (job.key_fp(s_off), job.key_fp(k_off)) {
+                (Some(a), Some(b)) if a != b => false,
+                _ => {
+                    warp.mem.read_bytes(job.reads + s_off as u64, k as u64)
+                        == warp.mem.read_bytes(job.reads + k_off as u64, k as u64)
+                }
+            };
     }
     eq
 }
@@ -76,7 +123,8 @@ pub fn compare_stored_keys(
 /// Advance the probe cursor for the lanes still searching.
 pub fn advance(warp: &mut Warp, job: &DeviceJob, mask: Mask, slot: &mut LaneVec<u32>) {
     warp.iop(mask, 2); // increment + modulo
-    slot.update_masked(mask, |_, s| (s + 1) % job.slots);
+    let step = job.probe.step(job.slots);
+    slot.update_masked(mask, |_, s| (s + step) % job.slots);
 }
 
 #[cfg(test)]
@@ -133,5 +181,58 @@ mod tests {
         let mut slot = LaneVec::splat(job.slots - 1);
         advance(&mut warp, &job, Mask::lane(0), &mut slot);
         assert_eq!(slot[0], 0);
+    }
+
+    #[test]
+    fn stride2_steps_by_two_on_odd_tables_only() {
+        assert_eq!(ProbeStrategy::Linear.step(33), 1);
+        assert_eq!(ProbeStrategy::Stride2.step(33), 2);
+        assert_eq!(ProbeStrategy::Stride2.step(4), 1, "even tables degrade to linear");
+    }
+
+    #[test]
+    fn stride2_advance_cycles_the_whole_odd_table() {
+        let (mut warp, mut job) = setup();
+        job.probe = ProbeStrategy::Stride2;
+        assert_eq!(job.slots % 2, 1, "staged tables are odd");
+        let mut slot = LaneVec::splat(0u32);
+        let mut seen = vec![false; job.slots as usize];
+        for _ in 0..job.slots {
+            seen[slot[0] as usize] = true;
+            advance(&mut warp, &job, Mask::lane(0), &mut slot);
+        }
+        assert!(seen.iter().all(|&s| s), "stride 2 is coprime with an odd table");
+        assert_eq!(slot[0], 0, "a full cycle returns to the origin");
+    }
+
+    /// The fingerprint shadow is a pure rejection filter: compare results
+    /// and modeled counters are identical with and without it.
+    #[test]
+    fn fingerprint_fast_path_matches_byte_compare() {
+        let run = |strip_fps: bool| {
+            let (mut warp, mut job) = setup();
+            if strip_fps {
+                job.fps.clear();
+            } else {
+                assert!(!job.fps.is_empty(), "Vectorized staging interns fingerprints");
+            }
+            let mask = Mask(0b11);
+            let slot = LaneVec::from_fn(32, |l| 3 + l);
+            let mut args =
+                InsertArgs { mask, key_off: LaneVec::from_fn(32, |l| l), hash: LaneVec::splat(0) };
+            cas_claim(&mut warp, &job, mask, &slot);
+            publish_key(&mut warp, &job, mask, &slot, &args);
+            // Lane 0 re-compares an equal key at a different offset
+            // ("ACGT" at 0 vs 4); lane 1 compares a mismatch.
+            args.key_off[0] = 4;
+            args.key_off[1] = 2;
+            let eq = compare_stored_keys(&mut warp, &job, mask, &slot, &args);
+            ((eq[0], eq[1]), warp.finish())
+        };
+        let (eq_fp, counters_fp) = run(false);
+        let (eq_plain, counters_plain) = run(true);
+        assert_eq!(eq_fp, (true, false));
+        assert_eq!(eq_fp, eq_plain, "fingerprints must not change compare results");
+        assert_eq!(counters_fp, counters_plain, "fingerprints are host-side only");
     }
 }

@@ -52,6 +52,9 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
     let mut visited = 0u64;
     let mut extension: Vec<u8> = Vec::new();
     let mut steps = 0u32;
+    // Probe-cursor increment: 1 for linear, 2 for double-stride on the
+    // odd staged tables.
+    let probe_step = job.probe.step(job.slots);
 
     let walk = 'walk: loop {
         let spent = warp.counters.warp_instructions - watchdog_start;
@@ -81,7 +84,11 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
 
         steps += 1;
 
-        // ext = k-mer_ht.lookup(k-mer): linear probe from murmur % slots.
+        // ext = k-mer_ht.lookup(k-mer): probe from murmur % slots. `fp`
+        // is the window's table hash, so in Vectorized runs (which carry
+        // an interned hash shadow) the probe loop can reject mismatched
+        // stored keys against it without the k-byte compare. Modeled
+        // loads/iops are charged identically either way.
         let mut slot = fp % job.slots;
         warp.iop(lm, 2);
         let mut found = None;
@@ -98,12 +105,15 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
                 let _ = warp.load_u32_scalar(lane, job.reads + off as u64 + 4 * j);
                 warp.iop(lm, 1);
             }
-            let stored = warp.mem.read_bytes(job.reads + off as u64, k as u64);
-            if stored == window.as_slice() {
+            let matches = match job.key_fp(off) {
+                Some(f) if f != fp => false,
+                _ => warp.mem.read_bytes(job.reads + off as u64, k as u64) == window.as_slice(),
+            };
+            if matches {
                 found = Some(slot);
                 break;
             }
-            slot = (slot + 1) % job.slots;
+            slot = (slot + probe_step) % job.slots;
             warp.iop(lm, 2);
         }
         warp.trace_event(simt::EventKind::WalkStep { probes });

@@ -1,0 +1,74 @@
+//! Scalar/Vectorized bit-identity across the whole pipeline.
+//!
+//! `ExecMode::Vectorized` is a host-side interpreter fast path: batched
+//! memory-hierarchy walks, skipped `LaneVec` construction on single-lane
+//! accesses, and fingerprint-rejected probe compares. None of it may be
+//! observable in modeled state. This suite pins that contract at full
+//! pipeline scope: all three dialects (via their native devices), the four
+//! paper k presets, parallel and serial execution — comparing extensions,
+//! fault outcomes, every aggregate counter, both phase splits, full warp
+//! traces, and sanitizer reports.
+
+use gpu_specs::DeviceId;
+use locassm_kernels::{run_local_assembly, GpuConfig};
+use simt::{ExecMode, SanitizerConfig};
+use workloads::paper_dataset;
+
+const DEVICES: [DeviceId; 3] = [DeviceId::A100, DeviceId::Mi250x, DeviceId::Max1550];
+
+fn assert_bit_identical(ds: &locassm_core::io::Dataset, device: DeviceId, parallel: bool, tag: &str) {
+    let mut cfg = GpuConfig::for_device(device);
+    cfg.parallel = parallel;
+    cfg.trace = true;
+    cfg.sanitize = SanitizerConfig::all();
+
+    cfg.exec = ExecMode::Vectorized;
+    let vec = run_local_assembly(ds, &cfg);
+    cfg.exec = ExecMode::Scalar;
+    let sca = run_local_assembly(ds, &cfg);
+
+    assert_eq!(vec.extensions, sca.extensions, "{tag}: extensions");
+    assert_eq!(vec.outcomes, sca.outcomes, "{tag}: outcomes");
+    assert_eq!(vec.profile.total, sca.profile.total, "{tag}: aggregate counters");
+    assert_eq!(
+        vec.profile.phases.construct, sca.profile.phases.construct,
+        "{tag}: construct phase"
+    );
+    assert_eq!(vec.profile.phases.walk, sca.profile.phases.walk, "{tag}: walk phase");
+    assert_eq!(
+        vec.profile.phases.walk_budget, sca.profile.phases.walk_budget,
+        "{tag}: walk budget"
+    );
+    assert_eq!(
+        vec.profile.phases.watchdog_trips, sca.profile.phases.watchdog_trips,
+        "{tag}: watchdog trips"
+    );
+    assert_eq!(vec.traces, sca.traces, "{tag}: warp traces");
+    assert_eq!(vec.san, sca.san, "{tag}: sanitizer reports");
+    assert_eq!(vec.profile.seconds(), sca.profile.seconds(), "{tag}: modeled seconds");
+}
+
+/// The full matrix on the primary k = 21 preset: three dialects ×
+/// parallel/serial, traced and fully sanitized.
+#[test]
+fn exec_modes_bit_identical_all_dialects_k21() {
+    let ds = paper_dataset(21, 0.002, 42);
+    for device in DEVICES {
+        for parallel in [true, false] {
+            assert_bit_identical(&ds, device, parallel, &format!("{device} parallel={parallel}"));
+        }
+    }
+}
+
+/// The remaining paper presets (k ∈ {33, 55, 77}), each on every dialect
+/// (serial keeps the launch order deterministic in the tag output; the
+/// parallel half of the matrix is pinned above).
+#[test]
+fn exec_modes_bit_identical_remaining_k_presets() {
+    for (k, seed) in [(33usize, 7u64), (55, 13), (77, 99)] {
+        let ds = paper_dataset(k, 0.002, seed);
+        for device in DEVICES {
+            assert_bit_identical(&ds, device, false, &format!("k={k} {device}"));
+        }
+    }
+}

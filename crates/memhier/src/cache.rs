@@ -33,15 +33,23 @@ struct Line {
     /// Bit i set ⇒ sector i of the line is present.
     sector_valid: u32,
     /// Bit i set ⇒ sector i has been written (dirty); used for write-back
-    /// accounting.
+    /// accounting. Meaningful only while `dirty_gen` matches the cache's.
     sector_dirty: u32,
     /// LRU timestamp.
     last_use: u64,
+    /// Generation stamp: the line's contents are meaningful only while this
+    /// matches [`Cache::gen`]; a stale stamp reads as an invalid line. This
+    /// is what makes [`Cache::reset`] O(1) — bumping the cache generation
+    /// invalidates every line without touching it.
+    gen: u64,
+    /// Same scheme for the dirty bits: [`Cache::flush`] bumps
+    /// [`Cache::dirty_gen`] instead of clearing `sector_dirty` per line.
+    dirty_gen: u64,
 }
 
 impl Line {
     fn empty() -> Self {
-        Line { tag: None, sector_valid: 0, sector_dirty: 0, last_use: 0 }
+        Line { tag: None, sector_valid: 0, sector_dirty: 0, last_use: 0, gen: 0, dirty_gen: 0 }
     }
 }
 
@@ -51,6 +59,22 @@ pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Line>,
     tick: u64,
+    /// Geometry derived from `cfg` once at construction — `access_sector`
+    /// is the simulator's innermost loop and recomputing these costs one
+    /// 64-bit division each per access.
+    n_sets: u64,
+    sectors_per_line: u64,
+    /// `log2(sectors_per_line)` when it is a power of two (every real GPU
+    /// geometry: 128-byte lines of 32-byte sectors), letting the per-access
+    /// line-tag split compile to a shift and mask instead of two divisions.
+    spl_shift: Option<u32>,
+    /// Current line generation (see [`Line::gen`]).
+    gen: u64,
+    /// Current dirty-bit generation (see [`Line::dirty_gen`]).
+    dirty_gen: u64,
+    /// Dirty sectors currently resident, maintained incrementally so
+    /// [`Cache::flush`] is O(1) instead of a scan over every line.
+    dirty_sectors: u64,
     /// Dirty sectors evicted (write-back traffic to the level below).
     pub writebacks: u64,
     /// Extra sectors fetched beyond the requested one (non-sectored whole-
@@ -61,7 +85,21 @@ pub struct Cache {
 impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         let n = (cfg.sets() * cfg.ways as u64) as usize;
-        Cache { cfg, sets: vec![Line::empty(); n], tick: 0, writebacks: 0, extra_fills: 0 }
+        Cache {
+            cfg,
+            sets: vec![Line::empty(); n],
+            tick: 0,
+            n_sets: cfg.sets(),
+            sectors_per_line: cfg.sectors_per_line() as u64,
+            spl_shift: (cfg.sectors_per_line() as u64)
+                .is_power_of_two()
+                .then(|| (cfg.sectors_per_line() as u64).trailing_zeros()),
+            gen: 0,
+            dirty_gen: 0,
+            dirty_sectors: 0,
+            writebacks: 0,
+            extra_fills: 0,
+        }
     }
 
     pub fn config(&self) -> &CacheConfig {
@@ -69,17 +107,23 @@ impl Cache {
     }
 
     /// Clear all contents and counters (reuse between warps).
+    ///
+    /// O(1): bumping the generation invalidates every line lazily, so a
+    /// pooled warp's reset does not rescan a multi-megabyte line array the
+    /// way constructing a fresh cache must. Observable behaviour (access
+    /// outcomes, traffic counters) is identical to a fresh cache; only the
+    /// private LRU tick keeps counting, which never reaches lines of an
+    /// older generation. A u64 generation cannot wrap in any real run.
     pub fn reset(&mut self) {
-        for l in &mut self.sets {
-            *l = Line::empty();
-        }
-        self.tick = 0;
+        self.gen += 1;
+        self.dirty_gen += 1;
+        self.dirty_sectors = 0;
         self.writebacks = 0;
         self.extra_fills = 0;
     }
 
     fn set_range(&self, line_tag: u64) -> (usize, usize) {
-        let set = (line_tag % self.cfg.sets()) as usize;
+        let set = (line_tag % self.n_sets) as usize;
         let ways = self.cfg.ways as usize;
         (set * ways, set * ways + ways)
     }
@@ -90,19 +134,27 @@ impl Cache {
     pub fn access_sector(&mut self, sector_addr: u64, write: bool) -> SectorOutcome {
         self.tick += 1;
         let tick = self.tick;
-        let sectors_per_line = self.cfg.sectors_per_line() as u64;
-        let line_tag = sector_addr / sectors_per_line;
-        let sector_in_line = (sector_addr % sectors_per_line) as u32;
+        let sectors_per_line = self.sectors_per_line;
+        let (line_tag, sector_in_line) = match self.spl_shift {
+            Some(sh) => (sector_addr >> sh, (sector_addr & (sectors_per_line - 1)) as u32),
+            None => (sector_addr / sectors_per_line, (sector_addr % sectors_per_line) as u32),
+        };
         let sector_bit = 1u32 << sector_in_line;
         let (lo, hi) = self.set_range(line_tag);
+        let (gen, dirty_gen) = (self.gen, self.dirty_gen);
 
-        // Look for the tag.
+        // Look for the tag (a stale generation reads as an invalid line).
         for way in lo..hi {
             let line = &mut self.sets[way];
-            if line.tag == Some(line_tag) {
+            if line.gen == gen && line.tag == Some(line_tag) {
                 line.last_use = tick;
                 if write {
-                    line.sector_dirty |= sector_bit;
+                    let dirty = if line.dirty_gen == dirty_gen { line.sector_dirty } else { 0 };
+                    if dirty & sector_bit == 0 {
+                        self.dirty_sectors += 1;
+                    }
+                    line.sector_dirty = dirty | sector_bit;
+                    line.dirty_gen = dirty_gen;
                 }
                 return if line.sector_valid & sector_bit != 0 {
                     line.sector_valid |= sector_bit;
@@ -116,15 +168,21 @@ impl Cache {
 
         // Miss: find victim (invalid way first, else LRU).
         let victim = (lo..hi)
-            .min_by_key(|&w| match self.sets[w].tag {
-                None => (0, 0),
-                Some(_) => (1, self.sets[w].last_use),
+            .min_by_key(|&w| {
+                let l = &self.sets[w];
+                if l.gen != gen || l.tag.is_none() {
+                    (0, 0)
+                } else {
+                    (1, l.last_use)
+                }
             })
             .expect("set has at least one way");
         let sectored = self.cfg.sectored;
         let line = &mut self.sets[victim];
-        if line.tag.is_some() && line.sector_dirty != 0 {
-            self.writebacks += line.sector_dirty.count_ones() as u64;
+        if line.gen == gen && line.tag.is_some() && line.dirty_gen == dirty_gen {
+            let evicted = line.sector_dirty.count_ones() as u64;
+            self.writebacks += evicted;
+            self.dirty_sectors -= evicted;
         }
         let valid = if sectored {
             sector_bit
@@ -137,11 +195,16 @@ impl Cache {
                 (1u32 << sectors_per_line) - 1
             }
         };
+        if write {
+            self.dirty_sectors += 1;
+        }
         *line = Line {
             tag: Some(line_tag),
             sector_valid: valid,
             sector_dirty: if write { sector_bit } else { 0 },
             last_use: tick,
+            gen,
+            dirty_gen,
         };
         SectorOutcome::LineMiss
     }
@@ -153,14 +216,14 @@ impl Cache {
 
     /// Flush all dirty sectors, returning the number of dirty sectors that
     /// would be written back (and counting them into `writebacks`).
+    ///
+    /// O(1): the resident dirty count is maintained incrementally and the
+    /// per-line dirty bits are invalidated by bumping the dirty generation
+    /// rather than clearing each line.
     pub fn flush(&mut self) -> u64 {
-        let mut flushed = 0;
-        for line in &mut self.sets {
-            if line.tag.is_some() {
-                flushed += line.sector_dirty.count_ones() as u64;
-                line.sector_dirty = 0;
-            }
-        }
+        let flushed = self.dirty_sectors;
+        self.dirty_sectors = 0;
+        self.dirty_gen += 1;
         self.writebacks += flushed;
         flushed
     }

@@ -57,6 +57,11 @@ where
 {
     out.sectors.clear();
     let mut lanes = 0u32;
+    // Track sortedness while pushing: per-lane sector ranges are ascending,
+    // and most warp accesses arrive in ascending lane-address order (strided
+    // k-mer reads, scalar walk loads), so the common case skips the sort
+    // entirely. The final sorted+deduped vector is identical either way.
+    let mut sorted = true;
     for (addr, len) in accesses {
         lanes += 1;
         if len == 0 {
@@ -64,11 +69,16 @@ where
         }
         let first = addr / SECTOR_BYTES;
         let last = (addr + len as u64 - 1) / SECTOR_BYTES;
+        if sorted && out.sectors.last().is_some_and(|&prev| prev > first) {
+            sorted = false;
+        }
         for s in first..=last {
             out.sectors.push(s);
         }
     }
-    out.sectors.sort_unstable();
+    if !sorted {
+        out.sectors.sort_unstable();
+    }
     out.sectors.dedup();
     out.lane_accesses = lanes;
 }

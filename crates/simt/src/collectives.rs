@@ -83,6 +83,24 @@ impl Warp {
         out
     }
 
+    /// `__match_any_sync` whose groups the kernel discards (the CUDA
+    /// dialect issues the collective for its cost; the CAS result already
+    /// resolves collisions). Charges exactly what [`Warp::match_any`]
+    /// charges — same counters, trace event and sanitizer checks. The
+    /// scalar reference path still materializes the keys and computes the
+    /// groups like the original interpreter; the vectorized path skips the
+    /// key construction and the O(width²) grouping, which no observable
+    /// state depends on.
+    pub fn match_any_discard(&mut self, mask: Mask, keys: impl FnOnce() -> LaneVec<u64>) {
+        if self.exec() == crate::ExecMode::Scalar {
+            let keys = keys();
+            let _ = self.match_any(mask, &keys);
+            return;
+        }
+        self.count_collective(1, "match_any");
+        self.san_collective("match_any", mask);
+    }
+
     /// `__all`: true iff every active lane's predicate is true. (HIP dialect
     /// termination test for the done-flag insertion loop.)
     pub fn all(&mut self, mask: Mask, preds: &LaneVec<bool>) -> bool {

@@ -49,7 +49,7 @@ pub use mask::Mask;
 pub use mem::{AllocError, GlobalMem};
 pub use san::{SanFinding, SanKind, SanReport, SanitizerConfig};
 pub use trace::{Event, EventKind, Span, TraceSink, WarpTrace};
-pub use warp::Warp;
+pub use warp::{ExecMode, Warp};
 
 /// Maximum number of lanes in a warp the simulator supports.
 pub const MAX_LANES: usize = 64;

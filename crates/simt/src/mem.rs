@@ -10,11 +10,18 @@
 //! can serve as a null/empty sentinel, like a null device pointer.
 //!
 //! Arenas are designed to be **reused**: [`GlobalMem::reset`] rewinds the
-//! bump pointer and re-zeroes the used region while keeping the backing
-//! buffer, so a pooled warp (see `crate::grid`) pays for its slab once and
-//! then serves many jobs without touching the host allocator — the same
-//! reserve-and-reuse discipline the paper's host pipeline applies to the
-//! real device slabs.
+//! bump pointer while keeping the backing buffer, so a pooled warp (see
+//! `crate::grid`) pays for its slab once and then serves many jobs without
+//! touching the host allocator — the same reserve-and-reuse discipline the
+//! paper's host pipeline applies to the real device slabs.
+//!
+//! Reset is **lazy**: instead of memsetting the whole used region on every
+//! reset (the per-warp overhead that made the pooled engine *slower* than
+//! fresh arenas), reset only records a dirty high-water mark and rewinds
+//! the bump pointer in O(1). Allocations that land below the mark re-zero
+//! exactly the bytes they hand out. Because every read is bounds-checked
+//! against the bump pointer, stale bytes above it are unobservable, so a
+//! lazily-reset arena stays observationally identical to a fresh one.
 
 use memhier::Addr;
 
@@ -49,6 +56,10 @@ pub struct GlobalMem {
     data: Vec<u8>,
     /// Bump pointer: all addresses below `next` are allocated.
     next: u64,
+    /// Lazy-reset high-water mark: bytes in `[NULL_PAGE, dirty_top)` may
+    /// hold stale nonzero data from a previous job and are re-zeroed on
+    /// allocation. Always `<= data.len()`.
+    dirty_top: u64,
     /// Times an allocation had to grow the backing buffer past its
     /// reserved size (0 for a correctly pre-sized arena).
     regrowths: u64,
@@ -63,6 +74,7 @@ impl GlobalMem {
         GlobalMem {
             data: vec![0; NULL_PAGE as usize],
             next: NULL_PAGE,
+            dirty_top: NULL_PAGE,
             regrowths: 0,
             fail_alloc_in: None,
         }
@@ -88,15 +100,17 @@ impl GlobalMem {
         }
     }
 
-    /// Rewind the arena for reuse: re-zero the used region, reset the bump
-    /// pointer to the top of the null page, keep the backing buffer.
+    /// Rewind the arena for reuse: reset the bump pointer to the top of
+    /// the null page, keep the backing buffer. O(1) — the used region is
+    /// *not* memset here; it is recorded in the dirty mark and re-zeroed
+    /// incrementally by the allocations that reuse it.
     ///
     /// After `reset` the arena is observationally identical to a fresh
-    /// [`GlobalMem::new`] (all-zero contents, same allocation behaviour) —
-    /// this is what makes pooled and fresh launches bit-identical.
+    /// [`GlobalMem::new`] (all-zero contents as far as any bounds-checked
+    /// access can see, same allocation behaviour) — this is what makes
+    /// pooled and fresh launches bit-identical.
     pub fn reset(&mut self) {
-        let used = (self.next as usize).min(self.data.len());
-        self.data[..used].fill(0);
+        self.dirty_top = self.dirty_top.max(self.next).min(self.data.len() as u64);
         self.next = NULL_PAGE;
         self.regrowths = 0;
         self.fail_alloc_in = None;
@@ -115,6 +129,23 @@ impl GlobalMem {
     /// overflow, or an armed [`GlobalMem::arm_alloc_failure`] countdown
     /// reaching zero. On failure the arena is unchanged (no partial bump).
     pub fn try_alloc_aligned(&mut self, len: u64, align: u64) -> Result<Addr, AllocError> {
+        self.alloc_inner(len, align, true)
+    }
+
+    /// [`GlobalMem::try_alloc_aligned`] for a buffer the caller promises to
+    /// overwrite in full before any read (staged sequence data, which is
+    /// memcpy'd in immediately after allocation). On a reused (pooled)
+    /// arena this skips the lazy re-zero of the buffer itself — only the
+    /// alignment padding below `base` is settled, since padding bytes stay
+    /// readable. Observationally identical to the zeroing allocator as
+    /// long as the caller keeps its promise; a caller that reads a byte it
+    /// never wrote gets stale (but bounds-checked) data, exactly like
+    /// reading a `cudaMalloc` buffer without initializing it.
+    pub fn try_alloc_overwritten(&mut self, len: u64) -> Result<Addr, AllocError> {
+        self.alloc_inner(len, DEFAULT_ALIGN, false)
+    }
+
+    fn alloc_inner(&mut self, len: u64, align: u64, zero_reused: bool) -> Result<Addr, AllocError> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
         if let Some(n) = self.fail_alloc_in.as_mut() {
             *n -= 1;
@@ -133,6 +164,17 @@ impl GlobalMem {
         if end as usize > self.data.len() {
             self.regrowths += 1;
             self.data.resize(end as usize, 0);
+        }
+        // Lazy-reset settlement: if this region (alignment padding
+        // included — padding bytes below `end` are readable) dips below
+        // the dirty mark, re-zero exactly that overlap so the caller sees
+        // the same all-zero memory a fresh arena would hand out. Callers
+        // that overwrite the whole buffer settle only the padding.
+        let start = self.next;
+        let zero_to = if zero_reused { end } else { base };
+        if start < self.dirty_top && start < zero_to {
+            let top = zero_to.min(self.dirty_top);
+            self.data[start as usize..top as usize].fill(0);
         }
         self.next = end;
         Ok(base)
@@ -428,6 +470,66 @@ mod tests {
         let err = m.try_alloc(u64::MAX - 32).unwrap_err();
         assert_eq!(err.requested, u64::MAX - 32);
         assert!(err.to_string().contains("arena capacity"));
+    }
+
+    #[test]
+    fn lazy_reset_zeroes_alignment_padding_too() {
+        let mut m = GlobalMem::with_capacity(1024);
+        // Dirty a large region, including bytes a later job will only
+        // cover as alignment padding.
+        let a = m.alloc(256);
+        m.fill(a, 256, 0xff);
+        m.reset();
+        // Small unaligned allocation followed by a 32-aligned one: the
+        // padding gap between them is readable and must be zero.
+        let b = m.alloc_aligned(5, 8);
+        let c = m.alloc_aligned(8, 32);
+        assert!(c > b + 5, "test needs an actual padding gap");
+        assert_eq!(m.read_bytes(b, (c + 8) - b), vec![0u8; ((c + 8) - b) as usize]);
+    }
+
+    #[test]
+    fn overwritten_alloc_skips_the_re_zero_but_settles_padding() {
+        let mut m = GlobalMem::with_capacity(1024);
+        let a = m.alloc(256);
+        m.fill(a, 256, 0xff);
+        m.reset();
+        // Unaligned bump so the next allocation needs padding.
+        let b = m.try_alloc(5).unwrap();
+        assert_eq!(m.read_bytes(b, 5), &[0u8; 5]);
+        let c = m.try_alloc_overwritten(16).unwrap();
+        // The padding gap [b+5, c) is readable and must be settled...
+        assert_eq!(m.read_bytes(b + 5, c - (b + 5)), vec![0u8; (c - (b + 5)) as usize]);
+        // ...while the buffer itself keeps its stale bytes until the
+        // caller's promised overwrite lands.
+        assert_eq!(m.read_bytes(c, 16), &[0xffu8; 16]);
+        m.write_bytes(c, &[7u8; 16]);
+        assert_eq!(m.read_bytes(c, 16), &[7u8; 16]);
+    }
+
+    #[test]
+    fn overwritten_alloc_bumps_identically_to_try_alloc() {
+        let mut a = GlobalMem::new();
+        let mut b = GlobalMem::new();
+        for len in [1u64, 8, 13, 200] {
+            assert_eq!(a.try_alloc(len), b.try_alloc_overwritten(len));
+        }
+        assert_eq!(a.allocated(), b.allocated());
+    }
+
+    #[test]
+    fn lazy_reset_survives_shrinking_jobs() {
+        let mut m = GlobalMem::with_capacity(1024);
+        let a = m.alloc(512);
+        m.fill(a, 512, 0xab);
+        m.reset();
+        // A smaller job leaves bytes dirty above its own watermark...
+        let b = m.alloc(16);
+        assert_eq!(m.read_bytes(b, 16), &[0u8; 16]);
+        m.reset();
+        // ...and a later, larger job must still see zeros everywhere.
+        let c = m.alloc(512);
+        assert_eq!(m.read_bytes(c, 512), vec![0u8; 512]);
     }
 
     #[test]

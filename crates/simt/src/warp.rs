@@ -22,10 +22,30 @@ use memhier::{
     coalesce_sectors_into, AccessKind, Addr, CoalesceResult, HierarchyConfig, MemHierarchy,
 };
 
+/// How a [`Warp`] executes its per-lane interpreter loops.
+///
+/// Both modes are **bit-identical** in everything a kernel can observe:
+/// results, counters, traces and sanitizer reports. They differ only in
+/// host-side simulation cost. `Scalar` keeps the reference implementation
+/// (every scalar helper expands to a whole-warp [`LaneVec`] operation with a
+/// one-lane mask) as a measurable baseline; `Vectorized` — the default —
+/// routes single-lane accesses through a direct fast path and resolves each
+/// warp-wide access in one batched pass over the coalesced sector set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Reference per-lane interpretation (the pre-vectorization baseline).
+    Scalar,
+    /// Batched whole-warp execution (the fast path).
+    #[default]
+    Vectorized,
+}
+
 /// Execution context for a single warp.
 #[derive(Debug)]
 pub struct Warp {
     width: u32,
+    /// Scalar-vs-batched dispatch for the interpreter hot path.
+    exec: ExecMode,
     /// The warp's slice of simulated device memory.
     pub mem: GlobalMem,
     hier: MemHierarchy,
@@ -55,6 +75,7 @@ impl Warp {
         );
         Warp {
             width,
+            exec: ExecMode::default(),
             mem: GlobalMem::new(),
             hier: MemHierarchy::new(hier_cfg),
             counters: WarpCounters::new(width),
@@ -77,12 +98,25 @@ impl Warp {
             "warp width {width} out of range"
         );
         self.width = width;
+        self.exec = ExecMode::default();
         self.mem.reset();
         self.hier.reconfigure(hier_cfg);
         self.counters = WarpCounters::new(width);
         self.trace = None;
         self.injected = InjectedFaults::default();
         self.san = None;
+    }
+
+    /// Select the interpreter execution mode (see [`ExecMode`]). Modes are
+    /// bit-identical in all modeled state; this only trades host-side
+    /// simulation speed.
+    pub fn set_exec(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// The current interpreter execution mode.
+    pub fn exec(&self) -> ExecMode {
+        self.exec
     }
 
     /// Arm the injected hash-table-full fault (see [`crate::fault`]).
@@ -277,13 +311,42 @@ impl Warp {
     fn mem_access(&mut self, mask: Mask, addrs: &LaneVec<Addr>, size: u32, kind: AccessKind) {
         let pre = self.hbm_pre();
         coalesce_sectors_into(&mut self.co_scratch, addrs.iter_masked(mask).map(|(_, a)| (a, size)));
-        self.hier.access(&self.co_scratch, kind);
+        match self.exec {
+            ExecMode::Scalar => self.hier.access(&self.co_scratch, kind),
+            ExecMode::Vectorized => self.hier.access_batched(&self.co_scratch, kind),
+        }
         self.counters.warp_instructions += 1;
         self.hbm_post(pre);
         if let Some(s) = self.san.as_deref_mut() {
             let at = self.counters.warp_instructions;
             s.lint_access(at, self.co_scratch.transactions(), self.co_scratch.lane_accesses);
             s.mem_op(at, mask, addrs.iter_masked(mask), size, kind == AccessKind::Write);
+            self.san_drain_events();
+        }
+    }
+
+    /// One single-lane memory access on the vectorized fast path.
+    ///
+    /// Models exactly what the whole-warp path does with a one-lane mask —
+    /// same coalescing, hierarchy traffic, instruction count, trace events
+    /// and sanitizer behaviour (for a single lane, `SanState::mem_op` and
+    /// `SanState::scalar_op` are equivalent, and the uncoalesced lint can
+    /// never fire below `LINT_MIN_LANES`) — without constructing the
+    /// `LaneVec`s the scalar reference path pays for per access.
+    fn scalar_access(&mut self, lane: u32, addr: Addr, size: u32, kind: AccessKind) {
+        debug_assert!((lane as usize) < crate::MAX_LANES, "lane index {lane} out of range");
+        let pre = self.hbm_pre();
+        coalesce_sectors_into(&mut self.co_scratch, [(addr, size)]);
+        match self.exec {
+            ExecMode::Scalar => self.hier.access(&self.co_scratch, kind),
+            ExecMode::Vectorized => self.hier.access_batched(&self.co_scratch, kind),
+        }
+        self.counters.warp_instructions += 1;
+        self.hbm_post(pre);
+        if let Some(s) = self.san.as_deref_mut() {
+            let at = self.counters.warp_instructions;
+            s.lint_access(at, self.co_scratch.transactions(), self.co_scratch.lane_accesses);
+            s.scalar_op(at, lane, addr, size, kind == AccessKind::Write);
             self.san_drain_events();
         }
     }
@@ -296,6 +359,44 @@ impl Warp {
             out[l] = self.mem.read_u32(a);
         }
         out
+    }
+
+    /// Warp-wide 32-bit load whose value the kernel discards (the access
+    /// is issued for its modeled memory traffic; the semantic bytes are
+    /// read elsewhere host-side). Models exactly what [`Warp::load_u32`]
+    /// models — same instruction count, coalescing, hierarchy traffic,
+    /// trace and sanitizer behaviour. The scalar reference path still
+    /// materializes the lane values like the original interpreter; the
+    /// vectorized path skips the dead value assembly.
+    pub fn touch_u32(&mut self, mask: Mask, addrs: &LaneVec<Addr>) {
+        if self.exec == ExecMode::Scalar {
+            let _ = self.load_u32(mask, addrs);
+            return;
+        }
+        self.mem_access(mask, addrs, 4, AccessKind::Read);
+    }
+
+    /// [`Warp::touch_u32`] with a per-lane address function instead of a
+    /// materialized [`LaneVec`]. The vectorized path streams `addr_of`
+    /// straight into the coalescer — no 8-byte-per-lane vector is built for
+    /// an access whose value the kernel discards; the scalar reference path
+    /// (and any sanitized run, which wants the full per-lane address view)
+    /// materializes the vector and takes the [`Warp::touch_u32`] route,
+    /// charging identical modeled state either way.
+    pub fn touch_u32_with(&mut self, mask: Mask, addr_of: impl Fn(u32) -> Addr) {
+        if self.exec == ExecMode::Scalar || self.san.is_some() {
+            let addrs = LaneVec::from_fn(self.width, &addr_of);
+            self.touch_u32(mask, &addrs);
+            return;
+        }
+        let pre = self.hbm_pre();
+        coalesce_sectors_into(&mut self.co_scratch, mask.lanes().map(|l| (addr_of(l), 4)));
+        match self.exec {
+            ExecMode::Scalar => self.hier.access(&self.co_scratch, AccessKind::Read),
+            ExecMode::Vectorized => self.hier.access_batched(&self.co_scratch, AccessKind::Read),
+        }
+        self.counters.warp_instructions += 1;
+        self.hbm_post(pre);
     }
 
     /// Warp-wide 32-bit store.
@@ -326,76 +427,78 @@ impl Warp {
 
     /// Single-lane 32-bit load (a divergent branch where one lane walks).
     pub fn load_u32_scalar(&mut self, lane: u32, addr: Addr) -> u32 {
-        let addrs = {
-            let mut a = LaneVec::splat(0u64);
-            a[lane] = addr;
-            a
-        };
-        let out = self.load_u32(Mask::lane(lane), &addrs);
-        out[lane]
+        if self.exec == ExecMode::Scalar {
+            let addrs = {
+                let mut a = LaneVec::splat(0u64);
+                a[lane] = addr;
+                a
+            };
+            let out = self.load_u32(Mask::lane(lane), &addrs);
+            return out[lane];
+        }
+        self.scalar_access(lane, addr, 4, AccessKind::Read);
+        self.mem.read_u32(addr)
     }
 
     /// Single-lane byte load.
     pub fn load_u8_scalar(&mut self, lane: u32, addr: Addr) -> u8 {
-        let addrs = {
-            let mut a = LaneVec::splat(0u64);
-            a[lane] = addr;
-            a
-        };
-        let out = self.load_u8(Mask::lane(lane), &addrs);
-        out[lane]
+        if self.exec == ExecMode::Scalar {
+            let addrs = {
+                let mut a = LaneVec::splat(0u64);
+                a[lane] = addr;
+                a
+            };
+            let out = self.load_u8(Mask::lane(lane), &addrs);
+            return out[lane];
+        }
+        self.scalar_access(lane, addr, 1, AccessKind::Read);
+        self.mem.read_u8(addr)
     }
 
     /// Single-lane 32-bit store.
     pub fn store_u32_scalar(&mut self, lane: u32, addr: Addr, v: u32) {
-        let addrs = {
-            let mut a = LaneVec::splat(0u64);
-            a[lane] = addr;
-            a
-        };
-        let mut vals = LaneVec::splat(0u32);
-        vals[lane] = v;
-        self.store_u32(Mask::lane(lane), &addrs, &vals);
+        if self.exec == ExecMode::Scalar {
+            let addrs = {
+                let mut a = LaneVec::splat(0u64);
+                a[lane] = addr;
+                a
+            };
+            let mut vals = LaneVec::splat(0u32);
+            vals[lane] = v;
+            self.store_u32(Mask::lane(lane), &addrs, &vals);
+            return;
+        }
+        self.scalar_access(lane, addr, 4, AccessKind::Write);
+        self.mem.write_u32(addr, v);
     }
 
     /// Single-lane 64-bit load (one instruction, 8-byte access).
     pub fn load_u64_scalar(&mut self, lane: u32, addr: Addr) -> u64 {
-        let pre = self.hbm_pre();
-        coalesce_sectors_into(&mut self.co_scratch, [(addr, 8u32)]);
-        self.hier.access(&self.co_scratch, AccessKind::Read);
-        self.counters.warp_instructions += 1;
-        self.hbm_post(pre);
-        if let Some(s) = self.san.as_deref_mut() {
-            s.scalar_op(self.counters.warp_instructions, lane, addr, 8, false);
-            self.san_drain_events();
-        }
+        self.scalar_access(lane, addr, 8, AccessKind::Read);
         self.mem.read_u64(addr)
     }
 
     /// Single-lane 64-bit store (one instruction, 8-byte access).
     pub fn store_u64_scalar(&mut self, lane: u32, addr: Addr, v: u64) {
-        let pre = self.hbm_pre();
-        coalesce_sectors_into(&mut self.co_scratch, [(addr, 8u32)]);
-        self.hier.access(&self.co_scratch, AccessKind::Write);
-        self.counters.warp_instructions += 1;
-        self.hbm_post(pre);
-        if let Some(s) = self.san.as_deref_mut() {
-            s.scalar_op(self.counters.warp_instructions, lane, addr, 8, true);
-            self.san_drain_events();
-        }
+        self.scalar_access(lane, addr, 8, AccessKind::Write);
         self.mem.write_u64(addr, v);
     }
 
     /// Single-lane byte store.
     pub fn store_u8_scalar(&mut self, lane: u32, addr: Addr, v: u8) {
-        let addrs = {
-            let mut a = LaneVec::splat(0u64);
-            a[lane] = addr;
-            a
-        };
-        let mut vals = LaneVec::splat(0u8);
-        vals[lane] = v;
-        self.store_u8(Mask::lane(lane), &addrs, &vals);
+        if self.exec == ExecMode::Scalar {
+            let addrs = {
+                let mut a = LaneVec::splat(0u64);
+                a[lane] = addr;
+                a
+            };
+            let mut vals = LaneVec::splat(0u8);
+            vals[lane] = v;
+            self.store_u8(Mask::lane(lane), &addrs, &vals);
+            return;
+        }
+        self.scalar_access(lane, addr, 1, AccessKind::Write);
+        self.mem.write_u8(addr, v);
     }
 
     /// `atomicCAS` on 32-bit words: for each active lane, if `*addr == cmp`
@@ -439,6 +542,24 @@ impl Warp {
             out[l] = old;
         }
         out
+    }
+
+    /// `atomicAdd` whose return value the kernel discards (counter bumps,
+    /// vote accumulation). Models exactly what [`Warp::atomic_add_u32`]
+    /// models — same traffic, serialization replays and memory effects.
+    /// The scalar reference path still materializes the old values like
+    /// the original interpreter; the vectorized path skips the dead
+    /// result assembly.
+    pub fn atomic_add_u32_discard(&mut self, mask: Mask, addrs: &LaneVec<Addr>, vals: &LaneVec<u32>) {
+        if self.exec == ExecMode::Scalar {
+            let _ = self.atomic_add_u32(mask, addrs, vals);
+            return;
+        }
+        self.atomic_traffic(mask, addrs);
+        for (l, a) in addrs.iter_masked(mask) {
+            let old = self.mem.read_u32(a);
+            self.mem.write_u32(a, old.wrapping_add(vals[l]));
+        }
     }
 
     fn atomic_traffic(&mut self, mask: Mask, addrs: &LaneVec<Addr>) {
@@ -605,6 +726,34 @@ mod tests {
     #[should_panic(expected = "width")]
     fn zero_width_rejected() {
         Warp::new(0, HierarchyConfig::tiny());
+    }
+
+    #[test]
+    fn exec_modes_are_bit_identical() {
+        // Same instruction stream under Scalar and Vectorized dispatch:
+        // results, counters, traces and sanitizer reports must all match.
+        let run = |exec: ExecMode| {
+            let mut w = warp();
+            w.set_exec(exec);
+            w.enable_trace(7);
+            w.enable_sanitizer(SanitizerConfig::all());
+            let base = w.mem.alloc(4 * 32);
+            let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+            let vals = LaneVec::from_fn(32, |l| l * 3);
+            w.store_u32(w.full_mask(), &addrs, &vals);
+            let loaded = w.load_u32(w.full_mask(), &addrs);
+            w.store_u32_scalar(0, base, 9);
+            let a = w.load_u32_scalar(0, base);
+            w.store_u8_scalar(1, base + 40, 5);
+            let b = w.load_u8_scalar(1, base + 40);
+            w.store_u64_scalar(2, base + 48, 77);
+            let c = w.load_u64_scalar(2, base + 48);
+            let counters = w.finish();
+            (loaded, a, b, c, counters, w.take_trace(), w.take_san_report())
+        };
+        let scalar = run(ExecMode::Scalar);
+        let vectorized = run(ExecMode::Vectorized);
+        assert_eq!(scalar, vectorized);
     }
 
     #[test]
