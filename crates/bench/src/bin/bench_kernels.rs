@@ -5,24 +5,31 @@
 //! * `BENCH_hotpath.json` — scalar vs pooled vs vectorized warp
 //!   throughput for all three dialects on their native devices, with the
 //!   `warps_per_sec` headline and speedup ratios.
+//! * `BENCH_sched.json` — analytic vs scheduled modeled kernel time for
+//!   all three dialects, with the replay's occupancy and latency-hiding
+//!   counters. Unlike the other two, this report is fully deterministic
+//!   (modeled quantities only) and reproduces bit for bit on any host.
 //!
 //! ```text
-//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT]]
+//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT]]]
 //! ```
 //!
-//! Paths default to `BENCH_kernels.json` / `BENCH_hotpath.json` in the
-//! current directory (run from the repo root to refresh the checked-in
-//! copies).
+//! Paths default to `BENCH_kernels.json` / `BENCH_hotpath.json` /
+//! `BENCH_sched.json` in the current directory (run from the repo root to
+//! refresh the checked-in copies).
 
 use gpu_specs::DeviceId;
 use locassm_bench::cli::require_ok;
 use locassm_bench::poolbench::{hotpath_bench, pool_bench};
+use locassm_bench::schedbench::sched_bench;
 
 fn main() {
     let path =
         std::env::args().nth(1).unwrap_or_else(|| "BENCH_kernels.json".to_string());
     let hot_path =
         std::env::args().nth(2).unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let sched_path =
+        std::env::args().nth(3).unwrap_or_else(|| "BENCH_sched.json".to_string());
 
     let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3, 5);
     let json = r.to_json();
@@ -70,4 +77,28 @@ fn main() {
         );
     }
     eprintln!("  wrote {hot_path}");
+
+    // Larger scale than the wall-clock reports: the replay's occupancy and
+    // latency-hiding behaviour only shows once every SM holds several
+    // resident warps, and the report is modeled (deterministic), so the
+    // extra dataset size costs regeneration time only.
+    let s = sched_bench(21, 0.02, 11);
+    let sched_json = s.to_json();
+    require_ok(std::fs::write(&sched_path, &sched_json), &format!("write report {sched_path}"));
+
+    eprintln!("scheduled execution, k={} ({} contigs, modeled):", s.k, s.contigs);
+    for d in &s.dialects {
+        eprintln!(
+            "  {:>8} ({:<4}): analytic {:.4}s  scheduled {:.4}s ({:.2}x)  \
+             occupancy {:.2}  hidden {:.2}",
+            d.device.spec().short_name,
+            d.dialect.to_string(),
+            d.analytic_seconds,
+            d.scheduled_seconds,
+            d.time_ratio(),
+            d.sched.occupancy(),
+            d.sched.latency_hidden_fraction()
+        );
+    }
+    eprintln!("  wrote {sched_path}");
 }

@@ -32,6 +32,8 @@ struct Args {
     csv_dir: Option<std::path::PathBuf>,
     trace: Option<std::path::PathBuf>,
     sanitize: bool,
+    sched: bool,
+    sched_trace: Option<std::path::PathBuf>,
     artifacts: Vec<String>,
 }
 
@@ -43,6 +45,8 @@ fn parse_args() -> Args {
         csv_dir: None,
         trace: None,
         sanitize: false,
+        sched: false,
+        sched_trace: None,
         artifacts: vec![],
     };
     let mut it = std::env::args().skip(1);
@@ -60,6 +64,14 @@ fn parse_args() -> Args {
             }
             "--serial" => args.parallel = false,
             "--sanitize" => args.sanitize = true,
+            "--sched" => args.sched = true,
+            "--sched-trace" => {
+                args.sched = true;
+                args.sched_trace = Some(std::path::PathBuf::from(require_arg(
+                    it.next(),
+                    "--sched-trace <path.json>",
+                )));
+            }
             "--csv" => {
                 args.csv_dir =
                     Some(std::path::PathBuf::from(require_arg(it.next(), "--csv <dir>")));
@@ -73,7 +85,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--scale S] [--seed N] [--serial] [--csv DIR] \
-                     [--trace PATH.json] [--sanitize] \
+                     [--trace PATH.json] [--sanitize] [--sched] [--sched-trace PATH.json] \
                      <table1..table7|fig5..fig9|ablation|whatif|divergence|scaling|adept|packed|all>..."
                 );
                 std::process::exit(0);
@@ -81,7 +93,7 @@ fn parse_args() -> Args {
             other => args.artifacts.push(other.to_string()),
         }
     }
-    if args.artifacts.is_empty() && args.trace.is_none() && !args.sanitize {
+    if args.artifacts.is_empty() && args.trace.is_none() && !args.sanitize && !args.sched {
         args.artifacts.push("all".to_string());
     }
     const KNOWN: [&str; 16] = [
@@ -779,6 +791,82 @@ fn sanitize_run(args: &Args) {
     );
 }
 
+/// `--sched`: run every dialect in scheduled-execution mode and print the
+/// analytic-vs-replayed timing comparison with the replay's occupancy and
+/// latency-hiding counters. With `--sched-trace PATH.json`, also write the
+/// A100 run's SM issue-port timeline as Chrome `trace_event` JSON (plus a
+/// flat CSV next to it). See EXPERIMENTS.md § "Scheduled execution &
+/// occupancy" and docs/TIMING.md for what each column means.
+fn sched_run(args: &Args) {
+    use locassm_bench::schedbench::sched_bench;
+
+    // Timelines record one event per memory touch; cap the dataset so a
+    // default full-scale invocation stays in memory-friendly territory.
+    let scale = args.scale.min(0.02);
+    if scale < args.scale {
+        eprintln!(
+            "[repro] scheduled mode caps the dataset at scale {scale} \
+             (full-scale timelines would be GB-sized)"
+        );
+    }
+    let r = sched_bench(21, scale, args.seed);
+    println!(
+        "## Scheduled execution — k={}, {} contigs (modeled, deterministic)\n",
+        r.k, r.contigs
+    );
+    let mut t = Table::new("Analytic vs scheduled modeled time, with replay counters").header([
+        "device",
+        "analytic (s)",
+        "scheduled (s)",
+        "ratio",
+        "SMs",
+        "residency",
+        "occupancy",
+        "hidden",
+    ]);
+    for d in &r.dialects {
+        t.row([
+            format!("{} ({})", d.device, d.dialect),
+            f(d.analytic_seconds, 6),
+            f(d.scheduled_seconds, 6),
+            format!("{:.2}x", d.time_ratio()),
+            d.sched.sms_used.to_string(),
+            d.sched.residency.to_string(),
+            pct(d.sched.occupancy()),
+            pct(d.sched.latency_hidden_fraction()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "(ratio < 1: the replay hid more memory latency behind other warps than the\n \
+         analytic queueing term assumed; `hidden` is the stall time overlapped away)\n"
+    );
+
+    if let Some(path) = &args.sched_trace {
+        let ds = paper_dataset(21, scale, args.seed);
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.parallel = args.parallel;
+        cfg.exec = simt::ExecMode::Scheduled;
+        cfg.sched_tracks = true;
+        let run = run_local_assembly(&ds, &cfg);
+        require_ok(
+            std::fs::write(path, perfmodel::sched_trace(&run.sched_tracks)),
+            &format!("write SM-lane trace {}", path.display()),
+        );
+        let csv_path = path.with_extension("slices.csv");
+        require_ok(
+            std::fs::write(&csv_path, perfmodel::sched_csv(&run.sched_tracks).render()),
+            &format!("write SM-slice CSV {}", csv_path.display()),
+        );
+        eprintln!(
+            "[repro] {} SM slices -> {} (per-slice CSV: {})",
+            run.sched_tracks.len(),
+            path.display(),
+            csv_path.display()
+        );
+    }
+}
+
 /// Dump the underlying per-run data as CSV files for external plotting.
 fn write_csvs(dir: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
@@ -873,6 +961,9 @@ fn main() {
     }
     if args.sanitize {
         sanitize_run(&args);
+    }
+    if args.sched {
+        sched_run(&args);
     }
     if wants("table1") {
         table1();

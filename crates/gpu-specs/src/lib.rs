@@ -11,12 +11,20 @@
 //! plus an occupancy model that turns the shared caches into effective
 //! per-warp slices for the `memhier` simulator, and an analytic timing model
 //! that converts simulated instruction/byte counts into estimated kernel
-//! time (compute, bandwidth, and latency terms).
+//! time (compute, bandwidth, and latency terms). The latency term can be
+//! replaced by a simulated one from the scheduled-execution replay
+//! (`simt::sched`): [`timing::sched_config`] builds the replay
+//! configuration from a device spec, and
+//! [`TimeEstimate::with_latency_override`] swaps the measured exposure in.
+//! The counters→seconds pipeline is documented end to end in
+//! `docs/TIMING.md`.
+
+#![warn(missing_docs)]
 
 pub mod occupancy;
 pub mod spec;
 pub mod timing;
 
-pub use occupancy::{effective_hierarchy, resident_warps};
+pub use occupancy::{effective_hierarchy, resident_warps, scheduled_residency};
 pub use spec::{DeviceId, DeviceSpec, ProgrammingModel, Vendor};
-pub use timing::{Bound, ModelParams, TimeEstimate};
+pub use timing::{sched_config, ticks_to_seconds, Bound, ModelParams, TimeEstimate};

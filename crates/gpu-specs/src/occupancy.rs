@@ -20,6 +20,20 @@ pub fn resident_warps(spec: &DeviceSpec, total_warps: u64) -> u64 {
     total_warps.clamp(1, max_resident)
 }
 
+/// Warps the scheduled replay keeps resident per SM for a kernel whose
+/// per-warp device footprint is `footprint_bytes`.
+///
+/// The hardware occupancy limit (`resident_warps_per_cu`) caps residency;
+/// below that, the L2 share available to one compute unit must cover the
+/// resident warps' working sets, or latency hiding backfires into cache
+/// thrashing — so residency is also bounded by how many footprints fit in
+/// `l2_bytes / compute_units`. Always at least 1.
+pub fn scheduled_residency(spec: &DeviceSpec, footprint_bytes: u64) -> u32 {
+    let l2_per_cu = spec.l2_bytes / spec.compute_units as u64;
+    let fit = l2_per_cu / footprint_bytes.max(1);
+    (spec.resident_warps_per_cu as u64).min(fit.max(1)) as u32
+}
+
 /// Build the effective per-warp hierarchy for a launch of `total_warps`.
 pub fn effective_hierarchy(spec: &DeviceSpec, total_warps: u64) -> HierarchyConfig {
     let resident = resident_warps(spec, total_warps);
@@ -80,6 +94,21 @@ mod tests {
         let few = effective_hierarchy(&MI250X, 8);
         let many = effective_hierarchy(&MI250X, 10_000);
         assert!(few.l2.capacity_bytes > many.l2.capacity_bytes);
+    }
+
+    #[test]
+    fn scheduled_residency_tracks_footprint() {
+        // Tiny footprints run at the hardware occupancy limit.
+        assert_eq!(scheduled_residency(&A100, 1024), 8);
+        assert_eq!(scheduled_residency(&A100, 0), 8);
+        // A100: 40 MB / 108 CUs ≈ 379 KB of L2 per CU. A 100 KB footprint
+        // fits 3 warps; a huge one still keeps a single warp resident.
+        assert_eq!(scheduled_residency(&A100, 100 * 1024), 3);
+        assert_eq!(scheduled_residency(&A100, 1 << 30), 1);
+        // The MI250X's small L2 share throttles residency at footprints
+        // the Max 1550 shrugs off — the paper's central asymmetry.
+        let footprint = 64 * 1024;
+        assert!(scheduled_residency(&MI250X, footprint) < scheduled_residency(&MAX1550, footprint));
     }
 
     #[test]

@@ -6,16 +6,22 @@ use std::fmt;
 /// GPU vendor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Vendor {
+    /// NVIDIA (A100).
     Nvidia,
+    /// AMD (MI250X).
     Amd,
+    /// Intel (Data Center GPU Max 1550).
     Intel,
 }
 
 /// Programming model the kernel dialect is written in (paper Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ProgrammingModel {
+    /// NVIDIA CUDA.
     Cuda,
+    /// AMD HIP.
     Hip,
+    /// Intel oneAPI SYCL / DPC++.
     Sycl,
 }
 
@@ -45,6 +51,7 @@ impl DeviceId {
     /// All devices in paper order (NVIDIA, AMD, Intel).
     pub const ALL: [DeviceId; 3] = [DeviceId::A100, DeviceId::Mi250x, DeviceId::Max1550];
 
+    /// The static [`DeviceSpec`] for this device.
     pub fn spec(self) -> &'static DeviceSpec {
         match self {
             DeviceId::A100 => &A100,
@@ -64,7 +71,9 @@ impl fmt::Display for DeviceId {
 /// one GCD of the MI250X, one tile of the Max 1550).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeviceSpec {
+    /// Which device this spec describes.
     pub id: DeviceId,
+    /// Hardware vendor.
     pub vendor: Vendor,
     /// The programming model the kernel dialect for this device uses.
     pub model: ProgrammingModel,
@@ -94,8 +103,14 @@ pub struct DeviceSpec {
     /// Warps resident per compute unit at this kernel's occupancy.
     pub resident_warps_per_cu: u32,
     /// Average HBM access latency, seconds (used by the latency term of
-    /// the timing model).
+    /// the timing model and the scheduled-execution replay).
     pub hbm_latency_sec: f64,
+    /// Load-to-use latency of an L1 hit, seconds (calibration estimate;
+    /// used only by the scheduled-execution replay — see `docs/TIMING.md`).
+    pub l1_latency_sec: f64,
+    /// Load-to-use latency of an L2 hit, seconds (calibration estimate;
+    /// used only by the scheduled-execution replay).
+    pub l2_latency_sec: f64,
     /// Fraction of peak issue rate this kernel class sustains (calibration
     /// constant; see `timing`).
     pub sustained_issue_frac: f64,
@@ -144,6 +159,8 @@ pub static A100: DeviceSpec = DeviceSpec {
     peak_intops_per_sec: 358.0e9,
     resident_warps_per_cu: 8,
     hbm_latency_sec: 480e-9,
+    l1_latency_sec: 20e-9,
+    l2_latency_sec: 140e-9,
     sustained_issue_frac: 0.16,
     sustained_bw_frac: 0.65,
     mlp_per_warp: 3.0,
@@ -169,6 +186,8 @@ pub static MI250X: DeviceSpec = DeviceSpec {
     peak_intops_per_sec: 374.0e9,
     resident_warps_per_cu: 8,
     hbm_latency_sec: 600e-9,
+    l1_latency_sec: 30e-9,
+    l2_latency_sec: 170e-9,
     // Divergence-heavy integer kernels sustain a lower fraction of peak
     // issue on the 64-wide CDNA2 wavefront (calibration; EXPERIMENTS.md).
     sustained_issue_frac: 0.13,
@@ -197,6 +216,8 @@ pub static MAX1550: DeviceSpec = DeviceSpec {
     peak_intops_per_sec: 105.0e9,
     resident_warps_per_cu: 8,
     hbm_latency_sec: 550e-9,
+    l1_latency_sec: 25e-9,
+    l2_latency_sec: 160e-9,
     sustained_issue_frac: 0.16,
     sustained_bw_frac: 0.60,
     mlp_per_warp: 3.0,

@@ -16,17 +16,68 @@
 //! roofline rather than near 100%). `sustained_*` fractions on
 //! [`DeviceSpec`] are the calibration constants and are reported in
 //! EXPERIMENTS.md.
+//!
+//! The analytic latency term can be *replaced* by a simulated one: the
+//! scheduled-execution mode (`simt::sched`) replays per-warp instruction
+//! timelines through per-SM issue ports and reports the latency the
+//! resident warps could not hide. [`sched_config`] builds the replay
+//! configuration from a [`DeviceSpec`] (tick = 1 picosecond), and
+//! [`TimeEstimate::with_latency_override`] swaps the simulated exposure in
+//! for the analytic `t_latency`. The full pipeline is documented in
+//! `docs/TIMING.md`.
 
 use crate::occupancy::resident_warps;
 use crate::spec::DeviceSpec;
 use serde::{Deserialize, Serialize};
-use simt::AggCounters;
+use simt::{AggCounters, SchedConfig};
+
+/// Scheduler-replay ticks per second: one tick is a picosecond, fine
+/// enough that an A100 warp instruction (~60 ns of one SM's issue port)
+/// and an L1 hit (~20 ns) are both exactly representable.
+pub const TICKS_PER_SEC: f64 = 1e12;
+
+/// Convert scheduler-replay ticks to seconds.
+pub fn ticks_to_seconds(ticks: u64) -> f64 {
+    ticks as f64 / TICKS_PER_SEC
+}
+
+/// Issue-port occupancy of one warp instruction on one SM, in ticks.
+///
+/// The device retires lane-slots at `peak_intops_per_sec ×
+/// sustained_issue_frac` spread over `compute_units` SMs, and one warp
+/// instruction is `warp_width` lane-slots — so the per-SM issue cost is
+/// `width × CUs / (peak × sustained)` seconds. Using the *sustained* rate
+/// keeps the replay's stall-free busy time equal to the analytic compute
+/// term (pinned by a test below): the scheduler refines only the latency
+/// term, never double-counting issue throughput.
+pub fn issue_ticks(spec: &DeviceSpec) -> u64 {
+    let per_sm_lane_rate =
+        spec.peak_intops_per_sec * spec.sustained_issue_frac / spec.compute_units as f64;
+    (spec.warp_width as f64 / per_sm_lane_rate * TICKS_PER_SEC).round() as u64
+}
+
+/// Build the scheduled-replay configuration for `spec` at the given
+/// residency (warps per SM — see `occupancy::scheduled_residency`).
+pub fn sched_config(spec: &DeviceSpec, residency: u32) -> SchedConfig {
+    SchedConfig {
+        sms: spec.compute_units,
+        residency: residency.max(1),
+        issue_ticks: issue_ticks(spec),
+        l1_ticks: (spec.l1_latency_sec * TICKS_PER_SEC).round() as u64,
+        l2_ticks: (spec.l2_latency_sec * TICKS_PER_SEC).round() as u64,
+        hbm_ticks: (spec.hbm_latency_sec * TICKS_PER_SEC).round() as u64,
+        record_tracks: false,
+    }
+}
 
 /// Which ceiling dominated the estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Bound {
+    /// The issue-rate (compute) term dominated.
     Compute,
+    /// The HBM-bandwidth term dominated.
     Bandwidth,
+    /// The memory-latency term dominated.
     Latency,
 }
 
@@ -47,6 +98,7 @@ pub struct ModelParams {
 }
 
 impl ModelParams {
+    /// Extract model inputs from a launch's aggregated counters.
     pub fn from_counters(c: &AggCounters) -> Self {
         ModelParams {
             width: c.width,
@@ -61,10 +113,17 @@ impl ModelParams {
 /// Time estimate with per-term breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimeEstimate {
+    /// Total estimated kernel time (sum of the three terms).
     pub seconds: f64,
+    /// Compute term: lane-slots over the sustained issue rate.
     pub compute_seconds: f64,
+    /// Bandwidth term: HBM bytes over sustained bandwidth.
     pub bandwidth_seconds: f64,
+    /// Latency term: analytic (transactions over the latency-limited
+    /// request rate) or, after [`TimeEstimate::with_latency_override`],
+    /// the scheduled replay's exposed-latency measurement.
     pub latency_seconds: f64,
+    /// Which term dominated.
     pub bound: Bound,
 }
 
@@ -112,6 +171,28 @@ impl TimeEstimate {
     /// Achieved warp-level INTOPs per second given total INTOPs.
     pub fn achieved_intops_per_sec(&self, intops: u64) -> f64 {
         intops as f64 / self.seconds
+    }
+
+    /// Replace the analytic latency term with a simulated one (the
+    /// scheduled replay's per-SM exposed latency, already converted to
+    /// seconds). Compute and bandwidth terms are kept; the total and the
+    /// dominating bound are recomputed.
+    pub fn with_latency_override(self, latency_seconds: f64) -> TimeEstimate {
+        let bound = if self.compute_seconds >= self.bandwidth_seconds
+            && self.compute_seconds >= latency_seconds
+        {
+            Bound::Compute
+        } else if self.bandwidth_seconds >= latency_seconds {
+            Bound::Bandwidth
+        } else {
+            Bound::Latency
+        };
+        TimeEstimate {
+            seconds: self.compute_seconds + self.bandwidth_seconds + latency_seconds,
+            latency_seconds,
+            bound,
+            ..self
+        }
     }
 }
 
@@ -183,5 +264,48 @@ mod tests {
     fn zero_work_is_zero_time() {
         let t = TimeEstimate::estimate(&A100, &params(0, 0, 1));
         assert_eq!(t.seconds, 0.0);
+    }
+
+    #[test]
+    fn issue_ticks_match_the_sustained_rate() {
+        // A100: 32 lanes × 108 SMs / (358 G × 0.16) ≈ 60.3 ns per warp
+        // instruction per SM — ticks are picoseconds.
+        let t = issue_ticks(&A100);
+        assert_eq!(t, 60_335);
+        // The round trip must reproduce the analytic compute term: N warp
+        // instructions spread evenly over the SMs take N×issue/CUs seconds.
+        let n = 1_000_000u64;
+        let p = params(n, 0, 1000);
+        let analytic = TimeEstimate::estimate(&A100, &p).compute_seconds;
+        let replayed = ticks_to_seconds(n * t) / A100.compute_units as f64;
+        assert!((replayed - analytic).abs() / analytic < 1e-4, "{replayed} vs {analytic}");
+    }
+
+    #[test]
+    fn sched_config_orders_latencies_shallow_to_deep() {
+        for spec in [&A100, &MI250X, &MAX1550] {
+            let c = sched_config(spec, spec.resident_warps_per_cu);
+            assert_eq!(c.sms, spec.compute_units);
+            assert!(c.issue_ticks > 0);
+            assert!(0 < c.l1_ticks && c.l1_ticks < c.l2_ticks && c.l2_ticks < c.hbm_ticks);
+            assert_eq!(c.hbm_ticks, (spec.hbm_latency_sec * 1e12).round() as u64);
+            assert!(!c.record_tracks);
+        }
+        assert_eq!(sched_config(&A100, 0).residency, 1, "residency floors at 1");
+    }
+
+    #[test]
+    fn latency_override_replaces_only_the_latency_term() {
+        let t = TimeEstimate::estimate(&A100, &params(1_000, 1_000_000_000, 4));
+        assert_eq!(t.bound, Bound::Latency);
+        let o = t.with_latency_override(0.0);
+        assert_eq!(o.compute_seconds, t.compute_seconds);
+        assert_eq!(o.bandwidth_seconds, t.bandwidth_seconds);
+        assert_eq!(o.latency_seconds, 0.0);
+        assert_eq!(o.seconds, t.compute_seconds + t.bandwidth_seconds);
+        assert_ne!(o.bound, Bound::Latency, "bound recomputed after override");
+        let worse = t.with_latency_override(t.seconds * 10.0);
+        assert_eq!(worse.bound, Bound::Latency);
+        assert!(worse.seconds > t.seconds);
     }
 }

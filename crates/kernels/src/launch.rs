@@ -12,10 +12,13 @@
 
 use crate::fault::{JobOutcome, KernelFault};
 use crate::kernel::{extension_kernel, Dialect, KernelJob, KernelOut};
-use crate::layout::arena_footprint;
+use crate::layout::{arena_footprint, stage_footprint};
 use crate::probe::ProbeStrategy;
-use crate::profile::{BatchProfile, KernelProfile, PhaseCounters};
-use gpu_specs::{effective_hierarchy, DeviceId, DeviceSpec, ModelParams, TimeEstimate};
+use crate::profile::{BatchProfile, KernelProfile, PhaseCounters, SchedProfile};
+use gpu_specs::{
+    effective_hierarchy, sched_config, scheduled_residency, ticks_to_seconds, DeviceId,
+    DeviceSpec, ModelParams, TimeEstimate,
+};
 use locassm_core::io::Dataset;
 use locassm_core::walk::WalkConfig;
 use locassm_core::{bin_contigs, BinningPolicy, ExtensionResult, RetryPolicy};
@@ -83,6 +86,11 @@ pub struct GpuConfig {
     /// (`effective_hierarchy`). `None` launches whole sides, the paper's
     /// batching. Run-global job/fault ids are unaffected by chunking.
     pub max_batch: Option<usize>,
+    /// Record per-warp execution slices during the scheduled replay and
+    /// collect them in [`GpuRunResult::sched_tracks`] (for Chrome-trace
+    /// SM-occupancy lanes — see `perfmodel::export`). Off by default;
+    /// only meaningful with `exec: ExecMode::Scheduled`.
+    pub sched_tracks: bool,
 }
 
 /// Adapt a sanitizer configuration to a kernel dialect's execution-
@@ -123,6 +131,7 @@ impl GpuConfig {
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
             max_batch: None,
+            sched_tracks: false,
         }
     }
 
@@ -157,6 +166,11 @@ pub struct GpuRunResult {
     /// {right, left} × job order, escalation retries appended in place).
     /// Empty — and free — unless [`GpuConfig::sanitize`] enables a check.
     pub san: SanReport,
+    /// Scheduled-replay execution slices, on a run-global tick clock
+    /// (each launch's slices are offset by the makespan accumulated
+    /// before it). Empty unless [`GpuConfig::sched_tracks`] was set on a
+    /// `Scheduled`-mode run.
+    pub sched_tracks: Vec<simt::SmSlice>,
 }
 
 /// The per-warp kernel body every launch runs: the extension kernel plus
@@ -265,6 +279,9 @@ fn escalate_job(
             san.merge(r);
         }
         total.merge(&out.counters);
+        // Retries replay too (a single resident warp hides nothing), so
+        // the run's scheduled profile covers every launched instruction.
+        schedule_launch(spec, &out.timelines, 1, false, phases, &mut Vec::new());
         let instr = out.warp_instruction_counts;
         let results = out.results;
         fold_phases(phases, cfg.width, &results, &instr, &out.counters);
@@ -290,6 +307,47 @@ fn escalate_job(
         }
     }
     (JobOutcome::Failed { fault }, None)
+}
+
+/// Replay a `Scheduled`-mode launch's recorded timelines through the
+/// event-driven per-SM scheduler and fold the outcome into the run's
+/// [`SchedProfile`]. Track slices, when requested, are shifted onto the
+/// run-global tick clock (launches replay back-to-back, so each one
+/// starts at the makespan accumulated so far). Returns the per-launch
+/// replay for the walk-latency override; `None` when the launch recorded
+/// no timelines (any non-`Scheduled` mode).
+fn schedule_launch(
+    spec: &DeviceSpec,
+    timelines: &[simt::WarpTimeline],
+    residency: u32,
+    record_tracks: bool,
+    phases: &mut PhaseCounters,
+    tracks: &mut Vec<simt::SmSlice>,
+) -> Option<simt::SchedResult> {
+    if timelines.is_empty() {
+        return None;
+    }
+    let mut sc = sched_config(spec, residency);
+    sc.record_tracks = record_tracks;
+    let r = simt::schedule(timelines, &sc);
+    let offset = phases.sched.map_or(0, |s| s.makespan_ticks);
+    tracks.extend(
+        r.tracks.iter().map(|s| simt::SmSlice { start: s.start + offset, end: s.end + offset, ..*s }),
+    );
+    let p = SchedProfile::from_result(&r);
+    match phases.sched.as_mut() {
+        Some(s) => s.merge(&p),
+        None => phases.sched = Some(p),
+    }
+    Some(r)
+}
+
+/// The simulated walk latency term: the replay's un-hidden (exposed) walk
+/// stall ticks, averaged over the SMs that ran warps — the per-SM port
+/// idle time the analytic `t_latency` approximates.
+fn walk_latency_override(r: &simt::SchedResult) -> f64 {
+    let exposed = r.phase("walk").map_or(0, |p| p.exposed_ticks);
+    ticks_to_seconds(exposed) / r.sms_used.max(1) as f64
 }
 
 /// Split a launch's counters at the construct/walk phase boundary and
@@ -351,6 +409,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
     let mut jobs_launched: u64 = 0;
     let mut outcomes: Vec<JobOutcome> = vec![JobOutcome::Ok; ds.jobs.len()];
     let mut san = SanReport::default();
+    let mut sched_tracks: Vec<simt::SmSlice> = Vec::new();
     let sanitize = dialect_sanitizer(cfg.sanitize, cfg.dialect);
 
     // Results indexed by job position.
@@ -474,16 +533,49 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                     &out.counters,
                 );
 
+                // Scheduled replay: interleave the recorded warp timelines
+                // through per-SM issue ports at a residency the chunk's
+                // staged footprint supports in its L2 share. Non-Scheduled
+                // runs record no timelines and skip this entirely.
+                let sched = {
+                    let footprint = jobs_chunk
+                        .iter()
+                        .map(|j| {
+                            stage_footprint(
+                                j.contig.len(),
+                                &j.reads,
+                                j.k,
+                                j.walk,
+                                j.slot_reserve,
+                            )
+                        })
+                        .max()
+                        .unwrap_or(0);
+                    schedule_launch(
+                        spec,
+                        &out.timelines,
+                        scheduled_residency(spec, footprint),
+                        cfg.sched_tracks,
+                        &mut phases,
+                        &mut sched_tracks,
+                    )
+                };
+
                 // Per-phase timing: construction overlaps memory at the
                 // device's MLP; the mer-walk is a single-lane dependence chain
                 // (MLP ≈ 1).
                 let t_construct =
                     TimeEstimate::estimate(spec, &ModelParams::from_counters(&construct));
-                let t_walk = TimeEstimate::estimate_with_mlp(
+                let mut t_walk = TimeEstimate::estimate_with_mlp(
                     spec,
                     &ModelParams::from_counters(&walk_agg),
                     1.0,
                 );
+                if let Some(r) = &sched {
+                    // Replace the analytic walk latency term with the
+                    // replay's measured un-hidden stall time.
+                    t_walk = t_walk.with_latency_override(walk_latency_override(r));
+                }
                 let time = TimeEstimate {
                     seconds: t_construct.seconds + t_walk.seconds,
                     compute_seconds: t_construct.compute_seconds + t_walk.compute_seconds,
@@ -562,6 +654,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
         traces,
         outcomes,
         san,
+        sched_tracks,
     }
 }
 

@@ -135,7 +135,7 @@ impl DeviceJob {
         // compares can reject mismatches without touching the key bytes;
         // the Scalar baseline skips the shadow entirely.
         let fps = match warp.exec() {
-            ExecMode::Vectorized => intern_fingerprints(reads, total, k),
+            ExecMode::Vectorized | ExecMode::Scheduled => intern_fingerprints(reads, total, k),
             ExecMode::Scalar => Vec::new(),
         };
 

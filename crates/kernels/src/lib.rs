@@ -41,4 +41,4 @@ pub use probe::ProbeStrategy;
 pub use tune::{tune, tune_with, TuneSpace, TunedChoice};
 pub use multi_gpu::{run_multi_gpu, MultiGpuResult, Partition};
 pub use pipeline::{run_pipeline_gpu, GpuPipelineResult, GpuRoundReport};
-pub use profile::{KernelProfile, PhaseCounters, PhaseStats, TraceProfile};
+pub use profile::{KernelProfile, PhaseCounters, PhaseStats, SchedProfile, TraceProfile};

@@ -3,7 +3,7 @@
 
 use gpu_specs::{Bound, DeviceId, ModelParams, TimeEstimate};
 use crate::kernel::Dialect;
-use simt::{AggCounters, WarpTrace};
+use simt::{AggCounters, PhaseSched, SchedResult, WarpTrace};
 
 /// Counters split at the construct/walk phase boundary.
 ///
@@ -30,6 +30,116 @@ pub struct PhaseCounters {
     /// Walk watchdog trips observed across the run, escalation retries
     /// included (each one is a `WalkBudgetExceeded` fault).
     pub watchdog_trips: u64,
+    /// Scheduled-replay summary, merged across every launch of the run
+    /// (chunks, sides, batches and escalation retries). `None` unless the
+    /// run executed under [`simt::ExecMode::Scheduled`].
+    pub sched: Option<SchedProfile>,
+}
+
+/// `Copy` summary of the scheduled replay (`simt::sched`) for one run,
+/// with the per-phase tick breakdown resolved to the kernel's three fixed
+/// pipeline phases. Launches merge back-to-back: makespans add, tick sums
+/// add, `sms_used`/`residency` take the maximum seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedProfile {
+    /// SMs that received warps in the largest launch.
+    pub sms_used: u32,
+    /// Residency limit (warps per SM) of the deepest launch.
+    pub residency: u32,
+    /// Summed makespan of the replays, in ticks (launches run
+    /// back-to-back on one device).
+    pub makespan_ticks: u64,
+    /// Issue-port busy ticks, summed over used SMs and launches.
+    pub busy_ticks: u64,
+    /// Warp-residency slot occupancy in ticks (admission → retirement,
+    /// summed over warps).
+    pub resident_ticks: u64,
+    /// Staging phase (reads → fingerprints) tick breakdown.
+    pub stage: PhaseSched,
+    /// Hash-table construction tick breakdown.
+    pub construct: PhaseSched,
+    /// Mer-walk tick breakdown — `walk.exposed_ticks` is the simulated
+    /// latency term that replaces the analytic `t_latency`.
+    pub walk: PhaseSched,
+    /// Instructions outside the three pipeline phases (kernel prologue/
+    /// epilogue) plus any phase name the kernel does not use.
+    pub other: PhaseSched,
+}
+
+impl SchedProfile {
+    /// Collapse one launch's replay into the fixed-phase summary.
+    pub fn from_result(r: &SchedResult) -> Self {
+        let mut p = SchedProfile {
+            sms_used: r.sms_used,
+            residency: r.residency,
+            makespan_ticks: r.makespan_ticks,
+            busy_ticks: r.busy_ticks,
+            resident_ticks: r.resident_ticks,
+            ..SchedProfile::default()
+        };
+        for (name, ph) in &r.phases {
+            match *name {
+                "stage" => p.stage.merge(ph),
+                "construct" => p.construct.merge(ph),
+                "walk" => p.walk.merge(ph),
+                _ => p.other.merge(ph),
+            }
+        }
+        p
+    }
+
+    /// Merge another launch's summary into this one (back-to-back
+    /// launches: makespans and tick sums add, limits take the max).
+    pub fn merge(&mut self, o: &SchedProfile) {
+        self.sms_used = self.sms_used.max(o.sms_used);
+        self.residency = self.residency.max(o.residency);
+        self.makespan_ticks += o.makespan_ticks;
+        self.busy_ticks += o.busy_ticks;
+        self.resident_ticks += o.resident_ticks;
+        self.stage.merge(&o.stage);
+        self.construct.merge(&o.construct);
+        self.walk.merge(&o.walk);
+        self.other.merge(&o.other);
+    }
+
+    fn phase_sum(&self, f: impl Fn(&PhaseSched) -> u64) -> u64 {
+        [&self.stage, &self.construct, &self.walk, &self.other].iter().map(|p| f(p)).sum()
+    }
+
+    /// Total issue-port ticks across phases.
+    pub fn issue_ticks(&self) -> u64 {
+        self.phase_sum(|p| p.issue_ticks)
+    }
+
+    /// Total memory-stall (hideable) ticks across phases.
+    pub fn stall_ticks(&self) -> u64 {
+        self.phase_sum(|p| p.stall_ticks)
+    }
+
+    /// Total exposed (un-hidden) stall ticks across phases.
+    pub fn exposed_ticks(&self) -> u64 {
+        self.phase_sum(|p| p.exposed_ticks)
+    }
+
+    /// Achieved occupancy: mean fraction of residency slots holding a
+    /// live warp over the summed makespan (0 when nothing ran).
+    pub fn occupancy(&self) -> f64 {
+        let slots = self.residency as u64 * self.sms_used as u64;
+        if slots == 0 || self.makespan_ticks == 0 {
+            return 0.0;
+        }
+        self.resident_ticks as f64 / (slots * self.makespan_ticks) as f64
+    }
+
+    /// Fraction of memory-stall ticks hidden by warp interleaving
+    /// (1.0 with no stalls at all).
+    pub fn latency_hidden_fraction(&self) -> f64 {
+        let stall = self.stall_ticks();
+        if stall == 0 {
+            return 1.0;
+        }
+        1.0 - (self.exposed_ticks().min(stall) as f64 / stall as f64)
+    }
 }
 
 /// Profile of one batch (one kernel call in the Fig. 3 pipeline).

@@ -25,6 +25,22 @@ impl AccessKind {
     }
 }
 
+/// The deepest level of the hierarchy a memory access had to reach —
+/// the latency class of the access, consumed by the scheduled-execution
+/// mode (`simt::sched`) to pick a completion latency for the issuing
+/// warp. Ordered shallow → deep so `max` folds a multi-sector access to
+/// its slowest sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MemLevel {
+    /// Served by the warp's private L1 slice.
+    L1,
+    /// Missed L1 (or bypassed it — writes and atomics) and hit in the L2
+    /// slice.
+    L2,
+    /// Missed all the way to HBM.
+    Hbm,
+}
+
 /// A per-warp memory hierarchy with traffic counters.
 #[derive(Debug, Clone)]
 pub struct MemHierarchy {
@@ -86,14 +102,20 @@ impl MemHierarchy {
     /// L1 → L2 → HBM. Writes model the GPU's write-through, no-write-allocate
     /// L1: they are sent directly to the (write-back) L2, whose dirty
     /// evictions are charged as HBM write transactions.
-    pub fn access(&mut self, coalesced: &CoalesceResult, kind: AccessKind) {
+    ///
+    /// Returns the deepest [`MemLevel`] any sector reached — the access's
+    /// latency class (the slowest sector gates the warp).
+    pub fn access(&mut self, coalesced: &CoalesceResult, kind: AccessKind) -> MemLevel {
         self.stats.mem_instructions += 1;
+        let mut level = MemLevel::L1;
         for &sector in &coalesced.sectors {
-            match kind {
+            let l = match kind {
                 AccessKind::Read => self.read_sector(sector),
                 AccessKind::Write => self.write_sector(sector),
-            }
+            };
+            level = level.max(l);
         }
+        level
     }
 
     /// Batched variant of [`MemHierarchy::access`]: one pass over the
@@ -106,74 +128,88 @@ impl MemHierarchy {
     /// (write-backs, whole-line overfetch) into the stats, and those
     /// deltas are monotone — syncing once after the loop charges exactly
     /// the transactions the per-sector syncs would have charged.
-    pub fn access_batched(&mut self, coalesced: &CoalesceResult, kind: AccessKind) {
+    ///
+    /// Returns the deepest [`MemLevel`] reached, like [`MemHierarchy::access`].
+    pub fn access_batched(&mut self, coalesced: &CoalesceResult, kind: AccessKind) -> MemLevel {
         self.stats.mem_instructions += 1;
+        let mut level = MemLevel::L1;
         match kind {
             AccessKind::Read => {
                 for &sector in &coalesced.sectors {
-                    self.read_sector_unsynced(sector);
+                    level = level.max(self.read_sector_unsynced(sector));
                 }
             }
             AccessKind::Write => {
                 for &sector in &coalesced.sectors {
-                    self.l2_request(sector, true);
+                    level = level.max(self.l2_request(sector, true));
                 }
             }
         }
         self.sync_writebacks();
+        level
     }
 
     /// Route one warp-wide atomic access: atomics bypass L1 on real GPUs
     /// and resolve in the L2/memory partition. One memory instruction,
-    /// however many unique sectors the warp's lanes touch.
-    pub fn access_atomic(&mut self, coalesced: &CoalesceResult) {
+    /// however many unique sectors the warp's lanes touch. Returns the
+    /// deepest [`MemLevel`] reached (never [`MemLevel::L1`]).
+    pub fn access_atomic(&mut self, coalesced: &CoalesceResult) -> MemLevel {
         self.stats.mem_instructions += 1;
+        let mut level = MemLevel::L2;
         for &sector in &coalesced.sectors {
-            self.l2_request(sector, true);
+            level = level.max(self.l2_request(sector, true));
         }
         self.sync_writebacks();
+        level
     }
 
     /// Route a single atomic sector (convenience over [`Self::access_atomic`]).
-    pub fn access_atomic_sector(&mut self, sector: u64) {
+    /// Returns the level the sector resolved at (L2 or HBM).
+    pub fn access_atomic_sector(&mut self, sector: u64) -> MemLevel {
         self.stats.mem_instructions += 1;
-        self.l2_request(sector, true);
+        let level = self.l2_request(sector, true);
         self.sync_writebacks();
+        level
     }
 
-    fn read_sector(&mut self, sector: u64) {
-        self.read_sector_unsynced(sector);
+    fn read_sector(&mut self, sector: u64) -> MemLevel {
+        let level = self.read_sector_unsynced(sector);
         self.sync_writebacks();
+        level
     }
 
-    fn read_sector_unsynced(&mut self, sector: u64) {
+    fn read_sector_unsynced(&mut self, sector: u64) -> MemLevel {
         self.stats.l1.requests += 1;
         let l1_out = self.l1.access_sector(sector, false);
         if l1_out.is_miss() {
             self.stats.l1.misses += 1;
-            self.l2_request(sector, false);
+            self.l2_request(sector, false)
         } else {
             self.stats.l1.hits += 1;
+            MemLevel::L1
         }
     }
 
-    fn write_sector(&mut self, sector: u64) {
+    fn write_sector(&mut self, sector: u64) -> MemLevel {
         // Write-through / no-write-allocate L1: the write goes straight to
         // L2 and marks the sector dirty there. A write miss at L2 allocates
         // the line with a sector fill from HBM (our writes are narrower than
         // a sector, so the fill is required for correctness on hardware).
-        self.l2_request(sector, true);
+        let level = self.l2_request(sector, true);
         self.sync_writebacks();
+        level
     }
 
-    fn l2_request(&mut self, sector: u64, write: bool) {
+    fn l2_request(&mut self, sector: u64, write: bool) -> MemLevel {
         self.stats.l2.requests += 1;
         let out = self.l2.access_sector(sector, write);
         if out.is_miss() {
             self.stats.l2.misses += 1;
             self.stats.hbm_read_transactions += 1;
+            MemLevel::Hbm
         } else {
             self.stats.l2.hits += 1;
+            MemLevel::L2
         }
     }
 
@@ -228,7 +264,7 @@ mod tests {
     fn cold_read_reaches_hbm() {
         let mut h = hier();
         let acc = coalesce_sectors([(0u64, 4u32)]);
-        h.access(&acc, AccessKind::Read);
+        assert_eq!(h.access(&acc, AccessKind::Read), MemLevel::Hbm);
         let s = h.stats();
         assert_eq!(s.l1.misses, 1);
         assert_eq!(s.l2.misses, 1);
@@ -240,12 +276,53 @@ mod tests {
     fn warm_read_stays_in_l1() {
         let mut h = hier();
         let acc = coalesce_sectors([(0u64, 4u32)]);
-        h.access(&acc, AccessKind::Read);
-        h.access(&acc, AccessKind::Read);
+        assert_eq!(h.access(&acc, AccessKind::Read), MemLevel::Hbm);
+        assert_eq!(h.access(&acc, AccessKind::Read), MemLevel::L1);
         let s = h.stats();
         assert_eq!(s.l1.hits, 1);
         assert_eq!(s.hbm_read_transactions, 1, "second access must not re-fetch");
         assert_eq!(s.mem_instructions, 2);
+    }
+
+    #[test]
+    fn mem_level_orders_shallow_to_deep() {
+        assert!(MemLevel::L1 < MemLevel::L2);
+        assert!(MemLevel::L2 < MemLevel::Hbm);
+        assert_eq!(MemLevel::L1.max(MemLevel::Hbm), MemLevel::Hbm);
+    }
+
+    /// The batched path reports the same latency class as the reference
+    /// path — the slowest sector of the warp-wide access.
+    #[test]
+    fn access_levels_agree_across_paths() {
+        let cfg = HierarchyConfig::tiny();
+        let mut a = MemHierarchy::new(cfg);
+        let mut b = MemHierarchy::new(cfg);
+        for round in 0..3u64 {
+            for line in 0..24u64 {
+                let addr = line * 128 + round * 32;
+                let acc = coalesce_sectors([(addr, 64u32), (addr + 2048, 4u32)]);
+                let kind =
+                    if (line + round) % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+                assert_eq!(a.access(&acc, kind), b.access_batched(&acc, kind));
+            }
+        }
+    }
+
+    /// L2-resident data reads back at `MemLevel::L2` after the L1 evicts
+    /// it; atomics never report L1 (they bypass it by construction).
+    #[test]
+    fn levels_reflect_the_serving_cache() {
+        let mut h = hier();
+        // Fill 16 lines (2 KiB): overflows the 1-KiB L1, fits the L2.
+        for line in 0..16u64 {
+            let acc = coalesce_sectors([(line * 128, 4u32)]);
+            assert_eq!(h.access(&acc, AccessKind::Read), MemLevel::Hbm);
+        }
+        let first = coalesce_sectors([(0u64, 4u32)]);
+        assert_eq!(h.access(&first, AccessKind::Read), MemLevel::L2, "L1-evicted, L2-resident");
+        assert_eq!(h.access_atomic_sector(0), MemLevel::L2);
+        assert_eq!(h.access_atomic_sector(1 << 20), MemLevel::Hbm);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! many bytes moved between each pair of levels for this access stream",
 //! which is exactly the quantity the paper extracts from `ncu`
 //! (`dram__bytes.sum`), `rocprof` (`TCC_EA_*` request counts × 32/64 B) and
-//! Intel Advisor. Timing is layered on top by `gpu-specs`.
+//! Intel Advisor. Timing is layered on top by `gpu-specs` — each access
+//! additionally reports the deepest [`MemLevel`] it reached, the latency
+//! class the scheduled-execution mode (`simt::sched`) converts into a
+//! completion time.
 //!
 //! ## Structure
 //!
@@ -29,7 +32,7 @@ pub mod stats;
 pub use cache::Cache;
 pub use coalesce::{coalesce_sectors, coalesce_sectors_into, CoalesceResult};
 pub use config::{CacheConfig, HierarchyConfig};
-pub use hierarchy::{AccessKind, MemHierarchy};
+pub use hierarchy::{AccessKind, MemHierarchy, MemLevel};
 pub use mrc::SectorTrace;
 pub use stats::{LevelStats, MemStats};
 

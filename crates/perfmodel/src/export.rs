@@ -154,6 +154,59 @@ pub fn chrome_trace(traces: &[WarpTrace]) -> String {
     format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
 }
 
+/// Render scheduled-execution SM tracks as Chrome `trace_event` JSON.
+///
+/// One timeline thread per SM issue port (`pid` 1, `tid` = SM index), so a
+/// scheduled-mode export can be loaded alongside [`chrome_trace`] warp
+/// lanes (pid 0) in the same viewer. Each [`simt::SmSlice`] becomes an
+/// `"X"` complete event named after its kernel phase, carrying the issuing
+/// warp id in `args`. The time axis is the replay's tick clock: 1 tick =
+/// 1 ps (see `docs/TIMING.md`), reported as microseconds so Perfetto
+/// renders real durations (`ts` = ticks / 1e6).
+pub fn sched_trace(slices: &[simt::SmSlice]) -> String {
+    let mut ev: Vec<String> = Vec::new();
+    let mut seen_sms: Vec<u32> = slices.iter().map(|s| s.sm).collect();
+    seen_sms.sort_unstable();
+    seen_sms.dedup();
+    for sm in seen_sms {
+        ev.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{sm},\
+             \"args\":{{\"name\":\"SM {sm}\"}}}}"
+        ));
+    }
+    for s in slices {
+        ev.push(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":1,\"tid\":{sm},\
+             \"ts\":{ts},\"dur\":{dur},\"args\":{{\"warp\":{warp}}}}}",
+            name = json_escape(s.phase),
+            sm = s.sm,
+            ts = num(s.start as f64 / 1e6),
+            dur = num((s.end - s.start) as f64 / 1e6),
+            warp = s.warp,
+        ));
+    }
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", ev.join(",\n"))
+}
+
+/// Flatten SM tracks into a per-slice CSV (one row per issue-port slice).
+///
+/// Columns mirror the `args` of [`sched_trace`]; `start_ticks`/`end_ticks`
+/// are on the run-global picosecond clock.
+pub fn sched_csv(slices: &[simt::SmSlice]) -> Csv {
+    let mut csv = Csv::new(["sm", "warp", "phase", "start_ticks", "end_ticks", "duration_ticks"]);
+    for s in slices {
+        csv.row([
+            s.sm.to_string(),
+            s.warp.to_string(),
+            s.phase.to_string(),
+            s.start.to_string(),
+            s.end.to_string(),
+            (s.end - s.start).to_string(),
+        ]);
+    }
+    csv
+}
+
 /// Flatten warp traces into a per-span CSV (one row per phase span).
 ///
 /// Columns mirror the `args` of [`chrome_trace`] so the two exports can
@@ -285,6 +338,39 @@ mod trace_export_tests {
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn sched_trace_renders_sm_lanes() {
+        let slices = vec![
+            simt::SmSlice { sm: 0, warp: 0, start: 0, end: 2_000_000, phase: "stage" },
+            simt::SmSlice { sm: 0, warp: 1, start: 2_000_000, end: 5_000_000, phase: "walk" },
+            simt::SmSlice { sm: 1, warp: 2, start: 0, end: 1_500_000, phase: "walk" },
+        ];
+        let s = sched_trace(&slices);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        // One metadata event per distinct SM, on pid 1.
+        assert_eq!(s.matches("\"ph\":\"M\"").count(), 2);
+        assert!(s.contains("\"args\":{\"name\":\"SM 0\"}"));
+        assert!(s.contains("\"args\":{\"name\":\"SM 1\"}"));
+        // Ticks (ps) are reported as µs.
+        assert!(s.contains("\"name\":\"stage\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0,\"dur\":2"));
+        assert!(s.contains("\"ts\":2,\"dur\":3,\"args\":{\"warp\":1}"));
+        assert!(s.contains("\"ts\":0,\"dur\":1.5,\"args\":{\"warp\":2}"));
+        assert_eq!(sched_trace(&[]), "{\"traceEvents\":[\n\n]}\n");
+    }
+
+    #[test]
+    fn sched_csv_one_row_per_slice() {
+        let slices = vec![
+            simt::SmSlice { sm: 3, warp: 7, start: 10, end: 25, phase: "construct" },
+        ];
+        let csv = sched_csv(&slices);
+        assert_eq!(csv.len(), 1);
+        let s = csv.render();
+        assert!(s.starts_with("sm,warp,phase,start_ticks,end_ticks,duration_ticks\n"));
+        assert!(s.contains("3,7,construct,10,25,15"));
+        assert!(sched_csv(&[]).is_empty());
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod table;
 pub mod theoretical;
 
 pub use efficiency::{algorithm_efficiency, architectural_efficiency};
-pub use export::{chrome_trace, phase_csv, Csv};
+pub use export::{chrome_trace, phase_csv, sched_csv, sched_trace, Csv};
 pub use pennycook::performance_portability;
 pub use roofline::{roofline_ceiling, RooflinePoint};
 pub use speedup::SpeedupPoint;

@@ -26,6 +26,7 @@
 use crate::counters::AggCounters;
 use crate::fault::FaultPlan;
 use crate::san::{SanReport, SanitizerConfig};
+use crate::sched::WarpTimeline;
 use crate::trace::WarpTrace;
 use crate::warp::{ExecMode, Warp};
 use memhier::HierarchyConfig;
@@ -77,8 +78,10 @@ pub struct LaunchConfig {
     pub sanitize: SanitizerConfig,
     /// Interpreter execution mode for every warp of the launch (see
     /// [`ExecMode`]). `Vectorized` by default; `Scalar` keeps the
-    /// reference per-lane path as a benchmarkable baseline. Bit-identical
-    /// in all modeled state either way.
+    /// reference per-lane path as a benchmarkable baseline; `Scheduled`
+    /// additionally records per-warp timelines in
+    /// [`LaunchOutput::timelines`] for the event-driven scheduler replay
+    /// ([`crate::sched`]). Bit-identical in all modeled state either way.
     pub exec: ExecMode,
 }
 
@@ -117,6 +120,10 @@ pub struct LaunchOutput<R> {
     /// Per-warp sanitizer reports in job order; empty unless
     /// [`LaunchConfig::sanitize`] arms a check family.
     pub san: Vec<SanReport>,
+    /// Per-warp instruction timelines in job order (`warp_id` = job
+    /// index); empty unless [`LaunchConfig::exec`] is
+    /// [`ExecMode::Scheduled`]. Feed to [`crate::sched::schedule`].
+    pub timelines: Vec<WarpTimeline>,
 }
 
 /// The process-wide pool of idle warps behind the pooled launch engine.
@@ -202,11 +209,15 @@ where
     R: Send,
     F: Fn(&mut Warp, &J) -> R + Sync,
 {
-    type PerWarp<R> = (R, crate::WarpCounters, Option<WarpTrace>, Option<SanReport>);
+    type PerWarp<R> =
+        (R, crate::WarpCounters, Option<WarpTrace>, Option<SanReport>, Option<WarpTimeline>);
     let run_one = |(idx, job): (usize, &J)| -> PerWarp<R> {
         let mut warp = acquire_warp(&cfg);
         if cfg.trace {
             warp.enable_trace(idx as u64);
+        }
+        if cfg.exec == ExecMode::Scheduled {
+            warp.enable_recorder(idx as u64);
         }
         warp.enable_sanitizer(cfg.sanitize);
         if let Some(plan) = &cfg.fault {
@@ -216,8 +227,9 @@ where
         let counters = warp.finish();
         let trace = warp.take_trace();
         let san = warp.take_san_report();
+        let timeline = warp.take_timeline();
         release_warp(&cfg, warp);
-        (r, counters, trace, san)
+        (r, counters, trace, san, timeline)
     };
 
     let per_warp: Vec<PerWarp<R>> = if cfg.parallel {
@@ -231,14 +243,16 @@ where
     let mut traces = Vec::new();
     let mut warp_instruction_counts = Vec::with_capacity(per_warp.len());
     let mut san = Vec::new();
-    for (r, c, t, s) in per_warp {
+    let mut timelines = Vec::new();
+    for (r, c, t, s, tl) in per_warp {
         agg.absorb(&c);
         results.push(r);
         traces.extend(t);
         warp_instruction_counts.push(c.warp_instructions);
         san.extend(s);
+        timelines.extend(tl);
     }
-    LaunchOutput { results, counters: agg, traces, warp_instruction_counts, san }
+    LaunchOutput { results, counters: agg, traces, warp_instruction_counts, san, timelines }
 }
 
 #[cfg(test)]
@@ -427,6 +441,56 @@ mod tests {
             assert_eq!(a.traces, b.traces, "parallel={parallel}");
             assert_eq!(a.san, b.san, "parallel={parallel}");
         }
+    }
+
+    #[test]
+    fn scheduled_launches_are_bit_identical_and_collect_timelines() {
+        let jobs: Vec<u32> = (0..96).collect();
+        for parallel in [true, false] {
+            let mut vec = cfg(parallel);
+            vec.trace = true;
+            vec.sanitize = SanitizerConfig::all();
+            vec.exec = ExecMode::Vectorized;
+            let mut sched = vec;
+            sched.exec = ExecMode::Scheduled;
+            let a = launch_warps(vec, &jobs, stateful_body);
+            let b = launch_warps(sched, &jobs, stateful_body);
+            assert_eq!(a.results, b.results, "parallel={parallel}");
+            assert_eq!(a.counters, b.counters, "parallel={parallel}");
+            assert_eq!(a.traces, b.traces, "parallel={parallel}");
+            assert_eq!(a.san, b.san, "parallel={parallel}");
+            assert!(a.timelines.is_empty(), "no timelines outside Scheduled mode");
+            assert_eq!(b.timelines.len(), 96, "one timeline per warp");
+            for (i, t) in b.timelines.iter().enumerate() {
+                assert_eq!(t.warp_id, i as u64, "timelines arrive in job order");
+                assert_eq!(t.total_instructions, b.warp_instruction_counts[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn timelines_merge_deterministically_parallel_vs_serial() {
+        let jobs: Vec<u32> = (0..200).collect();
+        let mut par = cfg(true);
+        par.exec = ExecMode::Scheduled;
+        let mut ser = par;
+        ser.parallel = false;
+        let a = launch_warps(par, &jobs, stateful_body);
+        let b = launch_warps(ser, &jobs, stateful_body);
+        assert_eq!(a.timelines, b.timelines, "rayon scheduling must not leak into timelines");
+    }
+
+    #[test]
+    fn recorder_state_does_not_leak_through_the_pool() {
+        let jobs: Vec<u32> = (0..6).collect();
+        let mut sched = cfg(false);
+        sched.exec = ExecMode::Scheduled;
+        let recorded = launch_warps(sched, &jobs, stateful_body);
+        assert_eq!(recorded.timelines.len(), 6);
+        // The same pooled warps, re-acquired in the default mode, record
+        // nothing — and report nothing stale.
+        let clean = launch_warps(cfg(false), &jobs, stateful_body);
+        assert!(clean.timelines.is_empty());
     }
 
     #[test]

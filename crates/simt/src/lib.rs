@@ -27,6 +27,15 @@
 //! correctness counterpart is the opt-in warp sanitizer ([`san`]): lane-race
 //! detection, barrier-divergence and shuffle-source checks, access-pattern
 //! lints and hash-table invariants, all at zero modeled-instruction cost.
+//!
+//! A third opt-in layer is the event-driven scheduler ([`sched`]), enabled
+//! through [`ExecMode::Scheduled`]: warps record per-instruction timelines
+//! (memory touches annotated with the hierarchy level they resolved at)
+//! that are replayed after the launch through per-SM event time-queues
+//! with limited residency — modeling how resident warps hide memory
+//! latency. Like tracing and sanitizing, scheduling never perturbs modeled
+//! state: a Scheduled run is bit-identical to a Scalar/Vectorized one in
+//! results, counters, traces and sanitizer reports.
 
 #![warn(missing_docs)]
 
@@ -38,6 +47,7 @@ pub mod lanevec;
 pub mod mask;
 pub mod mem;
 pub mod san;
+pub mod sched;
 pub mod trace;
 pub mod warp;
 
@@ -48,6 +58,10 @@ pub use lanevec::LaneVec;
 pub use mask::Mask;
 pub use mem::{AllocError, GlobalMem};
 pub use san::{SanFinding, SanKind, SanReport, SanitizerConfig};
+pub use sched::{
+    schedule, PhaseSched, SchedConfig, SchedResult, SmSlice, TimeQueue, TimelineEvent,
+    TimelineRecorder, WarpTimeline,
+};
 pub use trace::{Event, EventKind, Span, TraceSink, WarpTrace};
 pub use warp::{ExecMode, Warp};
 

@@ -17,6 +17,7 @@ use crate::lanevec::LaneVec;
 use crate::mask::Mask;
 use crate::mem::GlobalMem;
 use crate::san::{SanKind, SanReport, SanState, SanitizerConfig};
+use crate::sched::{TimelineRecorder, WarpTimeline};
 use crate::trace::{EventKind, TraceSink, WarpTrace};
 use memhier::{
     coalesce_sectors_into, AccessKind, Addr, CoalesceResult, HierarchyConfig, MemHierarchy,
@@ -24,13 +25,18 @@ use memhier::{
 
 /// How a [`Warp`] executes its per-lane interpreter loops.
 ///
-/// Both modes are **bit-identical** in everything a kernel can observe:
+/// All modes are **bit-identical** in everything a kernel can observe:
 /// results, counters, traces and sanitizer reports. They differ only in
-/// host-side simulation cost. `Scalar` keeps the reference implementation
-/// (every scalar helper expands to a whole-warp [`LaneVec`] operation with a
-/// one-lane mask) as a measurable baseline; `Vectorized` — the default —
-/// routes single-lane accesses through a direct fast path and resolves each
-/// warp-wide access in one batched pass over the coalesced sector set.
+/// host-side simulation cost and in what is *additionally* observed.
+/// `Scalar` keeps the reference implementation (every scalar helper expands
+/// to a whole-warp [`LaneVec`] operation with a one-lane mask) as a
+/// measurable baseline; `Vectorized` — the default — routes single-lane
+/// accesses through a direct fast path and resolves each warp-wide access
+/// in one batched pass over the coalesced sector set. `Scheduled` executes
+/// exactly like `Vectorized` but additionally records a per-warp
+/// [`crate::sched::WarpTimeline`] (memory instructions annotated with the
+/// hierarchy level they resolved at) for the post-launch event-driven
+/// scheduler replay (see [`crate::sched`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
     /// Reference per-lane interpretation (the pre-vectorization baseline).
@@ -38,6 +44,9 @@ pub enum ExecMode {
     /// Batched whole-warp execution (the fast path).
     #[default]
     Vectorized,
+    /// Batched execution plus timeline recording for the event-driven
+    /// multi-warp scheduler ([`crate::sched`]).
+    Scheduled,
 }
 
 /// Execution context for a single warp.
@@ -64,6 +73,9 @@ pub struct Warp {
     /// Optional warp sanitizer; `None` (the default) costs one branch per
     /// instrumented call site and models zero instructions, like `trace`.
     san: Option<Box<SanState>>,
+    /// Optional timeline recorder for [`ExecMode::Scheduled`]; like `trace`
+    /// and `san`, purely observational — zero modeled instructions.
+    recorder: Option<Box<TimelineRecorder>>,
 }
 
 impl Warp {
@@ -83,6 +95,7 @@ impl Warp {
             co_scratch: CoalesceResult::default(),
             injected: InjectedFaults::default(),
             san: None,
+            recorder: None,
         }
     }
 
@@ -105,6 +118,7 @@ impl Warp {
         self.trace = None;
         self.injected = InjectedFaults::default();
         self.san = None;
+        self.recorder = None;
     }
 
     /// Select the interpreter execution mode (see [`ExecMode`]). Modes are
@@ -148,23 +162,30 @@ impl Warp {
         self.trace.is_some()
     }
 
-    /// Enter a named phase (no-op without a sink). Phases nest; every
-    /// enter must be matched by a [`Warp::phase_exit`] with the same name.
+    /// Enter a named phase (no-op without a sink or recorder). Phases nest;
+    /// every enter must be matched by a [`Warp::phase_exit`] with the same
+    /// name.
     pub fn phase_enter(&mut self, name: &'static str) {
         if self.trace.is_some() {
             let now = self.counters.warp_instructions;
             let snap = self.snapshot();
             self.trace.as_mut().unwrap().enter(name, now, snap);
         }
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record_phase_enter(name, self.counters.warp_instructions);
+        }
     }
 
     /// Exit the innermost phase, which must be named `name` (no-op
-    /// without a sink).
+    /// without a sink or recorder).
     pub fn phase_exit(&mut self, name: &'static str) {
         if self.trace.is_some() {
             let now = self.counters.warp_instructions;
             let snap = self.snapshot();
             self.trace.as_mut().unwrap().exit(name, now, snap);
+        }
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record_phase_exit(self.counters.warp_instructions);
         }
     }
 
@@ -181,6 +202,26 @@ impl Warp {
     pub fn take_trace(&mut self) -> Option<WarpTrace> {
         let width = self.width;
         self.trace.take().map(|t| t.finish(width))
+    }
+
+    /// Attach a [`TimelineRecorder`], enabling per-instruction timeline
+    /// recording for the scheduler replay. The grid launcher attaches one
+    /// automatically when launching under [`ExecMode::Scheduled`].
+    pub fn enable_recorder(&mut self, warp_id: u64) {
+        self.recorder = Some(Box::new(TimelineRecorder::new(warp_id)));
+    }
+
+    /// Whether a timeline recorder is attached.
+    pub fn recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Detach and seal the recorded timeline, if a recorder was attached.
+    /// The timeline's total instruction count is the warp clock at this
+    /// moment, so call after the kernel body completes.
+    pub fn take_timeline(&mut self) -> Option<WarpTimeline> {
+        let total = self.counters.warp_instructions;
+        self.recorder.take().map(|r| r.finish(total))
     }
 
     /// Attach the warp sanitizer (see [`crate::san`]). A config with no
@@ -311,11 +352,16 @@ impl Warp {
     fn mem_access(&mut self, mask: Mask, addrs: &LaneVec<Addr>, size: u32, kind: AccessKind) {
         let pre = self.hbm_pre();
         coalesce_sectors_into(&mut self.co_scratch, addrs.iter_masked(mask).map(|(_, a)| (a, size)));
-        match self.exec {
+        let level = match self.exec {
             ExecMode::Scalar => self.hier.access(&self.co_scratch, kind),
-            ExecMode::Vectorized => self.hier.access_batched(&self.co_scratch, kind),
-        }
+            ExecMode::Vectorized | ExecMode::Scheduled => {
+                self.hier.access_batched(&self.co_scratch, kind)
+            }
+        };
         self.counters.warp_instructions += 1;
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record_mem(self.counters.warp_instructions, level);
+        }
         self.hbm_post(pre);
         if let Some(s) = self.san.as_deref_mut() {
             let at = self.counters.warp_instructions;
@@ -337,11 +383,16 @@ impl Warp {
         debug_assert!((lane as usize) < crate::MAX_LANES, "lane index {lane} out of range");
         let pre = self.hbm_pre();
         coalesce_sectors_into(&mut self.co_scratch, [(addr, size)]);
-        match self.exec {
+        let level = match self.exec {
             ExecMode::Scalar => self.hier.access(&self.co_scratch, kind),
-            ExecMode::Vectorized => self.hier.access_batched(&self.co_scratch, kind),
-        }
+            ExecMode::Vectorized | ExecMode::Scheduled => {
+                self.hier.access_batched(&self.co_scratch, kind)
+            }
+        };
         self.counters.warp_instructions += 1;
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record_mem(self.counters.warp_instructions, level);
+        }
         self.hbm_post(pre);
         if let Some(s) = self.san.as_deref_mut() {
             let at = self.counters.warp_instructions;
@@ -391,11 +442,16 @@ impl Warp {
         }
         let pre = self.hbm_pre();
         coalesce_sectors_into(&mut self.co_scratch, mask.lanes().map(|l| (addr_of(l), 4)));
-        match self.exec {
+        let level = match self.exec {
             ExecMode::Scalar => self.hier.access(&self.co_scratch, AccessKind::Read),
-            ExecMode::Vectorized => self.hier.access_batched(&self.co_scratch, AccessKind::Read),
-        }
+            ExecMode::Vectorized | ExecMode::Scheduled => {
+                self.hier.access_batched(&self.co_scratch, AccessKind::Read)
+            }
+        };
         self.counters.warp_instructions += 1;
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record_mem(self.counters.warp_instructions, level);
+        }
         self.hbm_post(pre);
     }
 
@@ -566,13 +622,19 @@ impl Warp {
         let pre = self.hbm_pre();
         coalesce_sectors_into(&mut self.co_scratch, addrs.iter_masked(mask).map(|(_, a)| (a, 4)));
         let unique_sectors = self.co_scratch.transactions();
-        self.hier.access_atomic(&self.co_scratch);
+        let level = self.hier.access_atomic(&self.co_scratch);
         self.counters.atomic_instructions += 1;
         self.counters.warp_instructions += 1;
         if unique_sectors > 1 {
             let replays = unique_sectors - 1;
             self.counters.atomic_replays += replays;
             self.counters.warp_instructions += replays;
+        }
+        // Record after replay accounting: the atomic (plus its serialization
+        // replays) occupies the issue port until the final post-increment
+        // clock, then the warp stalls for the returned level's latency.
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.record_mem(self.counters.warp_instructions, level);
         }
         self.hbm_post(pre);
         // Atomics are exempt from the race shadow (the machine serializes
@@ -753,7 +815,49 @@ mod tests {
         };
         let scalar = run(ExecMode::Scalar);
         let vectorized = run(ExecMode::Vectorized);
+        let scheduled = run(ExecMode::Scheduled);
         assert_eq!(scalar, vectorized);
+        assert_eq!(scalar, scheduled);
+    }
+
+    #[test]
+    fn recorder_captures_mem_events_and_phases() {
+        let mut w = warp();
+        w.set_exec(ExecMode::Scheduled);
+        w.enable_recorder(3);
+        assert!(w.recording());
+        let base = w.mem.alloc(4 * 32);
+        let addrs = LaneVec::from_fn(32, |l| base + 4 * l as u64);
+        w.phase_enter("io");
+        let _ = w.load_u32(w.full_mask(), &addrs); // cold → HBM
+        let _ = w.load_u32(w.full_mask(), &addrs); // warm → L1
+        w.phase_exit("io");
+        w.iop(w.full_mask(), 5);
+        w.finish();
+        let t = w.take_timeline().unwrap();
+        assert_eq!(t.warp_id, 3);
+        assert_eq!(t.total_instructions, w.counters.warp_instructions);
+        let mems: Vec<_> = t
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                crate::sched::TimelineEvent::Mem { at, level } => Some((at, level)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(mems.len(), 2);
+        assert_eq!(mems[0], (1, memhier::MemLevel::Hbm), "cold load misses to HBM");
+        assert_eq!(mems[1], (2, memhier::MemLevel::L1), "warm load hits in L1");
+        assert!(w.take_timeline().is_none(), "recorder detaches on take");
+    }
+
+    #[test]
+    fn reset_detaches_the_recorder() {
+        let mut w = warp();
+        w.enable_recorder(0);
+        w.reset(32, HierarchyConfig::tiny());
+        assert!(!w.recording());
+        assert!(w.take_timeline().is_none());
     }
 
     #[test]
