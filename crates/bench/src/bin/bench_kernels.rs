@@ -7,19 +7,24 @@
 //!   `warps_per_sec` headline and speedup ratios.
 //! * `BENCH_sched.json` — analytic vs scheduled modeled kernel time for
 //!   all three dialects, with the replay's occupancy and latency-hiding
-//!   counters. Unlike the other two, this report is fully deterministic
+//!   counters. Unlike the first two, this report is fully deterministic
 //!   (modeled quantities only) and reproduces bit for bit on any host.
+//! * `BENCH_layouts.json` — every table layout (linear, bucketed,
+//!   iceberg) on every native dialect: modeled time and traffic plus the
+//!   aggregate slots / sustained load factor summary. Fully deterministic
+//!   like the sched report.
 //!
 //! ```text
-//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT]]]
+//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT [LAYOUT_OUT]]]]
 //! ```
 //!
 //! Paths default to `BENCH_kernels.json` / `BENCH_hotpath.json` /
-//! `BENCH_sched.json` in the current directory (run from the repo root to
-//! refresh the checked-in copies).
+//! `BENCH_sched.json` / `BENCH_layouts.json` in the current directory
+//! (run from the repo root to refresh the checked-in copies).
 
 use gpu_specs::DeviceId;
 use locassm_bench::cli::require_ok;
+use locassm_bench::layoutbench::layout_bench;
 use locassm_bench::poolbench::{hotpath_bench, pool_bench};
 use locassm_bench::schedbench::sched_bench;
 
@@ -30,6 +35,8 @@ fn main() {
         std::env::args().nth(2).unwrap_or_else(|| "BENCH_hotpath.json".to_string());
     let sched_path =
         std::env::args().nth(3).unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let layout_path =
+        std::env::args().nth(4).unwrap_or_else(|| "BENCH_layouts.json".to_string());
 
     let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3, 5);
     let json = r.to_json();
@@ -101,4 +108,25 @@ fn main() {
         );
     }
     eprintln!("  wrote {sched_path}");
+
+    let l = layout_bench(21, 0.005, 11);
+    let layout_json = l.to_json();
+    require_ok(
+        std::fs::write(&layout_path, &layout_json),
+        &format!("write report {layout_path}"),
+    );
+
+    eprintln!("table layouts, k={} ({} contigs, modeled):", l.k, l.contigs);
+    for row in &l.layouts {
+        let a100 = &row.runs[0];
+        eprintln!(
+            "  {:>8}: {:>7} slots  load {:.2}  A100 {:.4}s  ({} runs)",
+            row.layout.to_string(),
+            row.slots,
+            row.load_factor(),
+            a100.seconds,
+            row.runs.len()
+        );
+    }
+    eprintln!("  wrote {layout_path}");
 }

@@ -50,20 +50,22 @@ pub fn construct_hash_table(
             for j in 0..chunks {
                 warp.touch_u32_with(mask, |l| job.reads + key_off[l] as u64 + 4 * j);
             }
-            // Hash it (Table V's INTOP1) and reduce mod table size. The
-            // simulated kernel pays the murmur iops either way; the host
-            // reads the value from the interned shadow when one exists
-            // (Vectorized staging) and recomputes it otherwise.
+            // Hash it (Table V's INTOP1). The raw 32-bit hash is handed
+            // to the insert dialect; the job's table layout reduces it to
+            // a start slot (mod table size for linear probing, a bucket
+            // index otherwise) — the reduction's iops are charged here
+            // either way. The simulated kernel pays the murmur iops too;
+            // the host reads the value from the interned shadow when one
+            // exists (Vectorized staging) and recomputes it otherwise.
             warp.iop(mask, murmur_intops(job.k));
             warp.iop(mask, 2);
             let hash = LaneVec::from_fn(width, |l| {
                 if mask.contains(l) {
-                    let h = job.key_fp(key_off[l]).unwrap_or_else(|| {
+                    job.key_fp(key_off[l]).unwrap_or_else(|| {
                         let key =
                             warp.mem.read_bytes(job.reads + key_off[l] as u64, job.k as u64);
                         murmur_hash_aligned2(key, DEFAULT_SEED)
-                    });
-                    h % job.slots
+                    })
                 } else {
                     0
                 }

@@ -10,17 +10,22 @@
 
 use crate::fault::KernelFault;
 use crate::layout::{table_occupancy, DeviceJob, EMPTY};
-use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
+use crate::probe::{
+    advance, bucket_crossing_vote, cas_claim, compare_stored_keys, publish_key, start_slots,
+    InsertArgs, SlotVec,
+};
 use simt::{LaneVec, Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
 /// index per lane, or `HashTableFull` if a probe chain wraps the table.
 ///
 /// The wrap guard is uniform across the three dialects: a chain may probe
-/// at most `job.slots` rounds (one full wrap, the listings'
-/// `hash_val == orig_hash` condition); the round that would revisit its
-/// origin faults instead. A successful insert never needs more than
-/// `slots` rounds, so fault-free runs are unaffected.
+/// at most the layout's probe bound (one full wrap of the probe sequence —
+/// `job.slots` rounds for linear probing, the listings'
+/// `hash_val == orig_hash` condition; two buckets for the bucketed layout;
+/// front bucket + backyard for iceberg); the round that would revisit its
+/// origin faults instead. A successful insert never needs more rounds, so
+/// fault-free runs are unaffected.
 pub fn ht_get_atomic(
     warp: &mut Warp,
     job: &DeviceJob,
@@ -33,7 +38,8 @@ pub fn ht_get_atomic(
         });
     }
     let warp_width = warp.width();
-    let mut slot = args.hash;
+    let probe_bound = job.layout.as_layout().probe_bound(job);
+    let mut slot = start_slots(warp, job, args);
     let mut searching = args.mask;
 
     // The CUDA listing detects `hash_val == orig_hash` after wrapping and
@@ -42,7 +48,7 @@ pub fn ht_get_atomic(
     let mut rounds = 0u32;
     while !searching.is_empty() {
         rounds += 1;
-        if rounds > job.slots {
+        if rounds > probe_bound {
             warp.san_record(simt::SanKind::ProbeWrap { rounds, slots: job.slots });
             return Err(KernelFault::HashTableFull {
                 capacity: job.slots,
@@ -94,8 +100,12 @@ pub fn ht_get_atomic(
         }
         searching = still;
 
-        // hash_val = (hash_val + 1) % max_size for the lanes that continue.
-        advance(warp, job, searching, &mut slot);
+        // Leaving a bucket? The continuing lanes vote before the warp
+        // jumps regions together (no-op on single-region layouts).
+        bucket_crossing_vote(warp, job, searching, rounds - 1);
+        // hash_val = (hash_val + 1) % max_size for the lanes that continue
+        // — positionally, the `rounds`-th slot of each lane's sequence.
+        advance(warp, job, searching, &args.hash, rounds, &mut slot);
     }
     warp.trace_event(simt::EventKind::ProbeChain { rounds });
     Ok(slot)

@@ -9,7 +9,10 @@
 
 use crate::fault::KernelFault;
 use crate::layout::{table_occupancy, DeviceJob, EMPTY};
-use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
+use crate::probe::{
+    advance, bucket_crossing_vote, cas_claim, compare_stored_keys, publish_key, start_slots,
+    InsertArgs, SlotVec,
+};
 use simt::{LaneVec, Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
@@ -19,7 +22,8 @@ use simt::{LaneVec, Mask, Warp};
 /// dialects: a loop-top `__all(done)` that terminates the warp is not a
 /// probe, so `rounds` only advances once lanes actually claim/compare.
 /// All three dialects fault on the round that would revisit the probe's
-/// origin (`rounds > job.slots`).
+/// origin (`rounds` past the layout's probe bound — `job.slots` for
+/// linear probing).
 pub fn ht_get_atomic(
     warp: &mut Warp,
     job: &DeviceJob,
@@ -31,7 +35,8 @@ pub fn ht_get_atomic(
             occupancy: table_occupancy(warp, job),
         });
     }
-    let mut slot = args.hash;
+    let probe_bound = job.layout.as_layout().probe_bound(job);
+    let mut slot = start_slots(warp, job, args);
     let mut done = LaneVec::from_fn(warp.width(), |l| !args.mask.contains(l));
 
     // Wrap guard: the table is sized host-side, so a full wrap means the
@@ -45,7 +50,7 @@ pub fn ht_get_atomic(
             return Ok(slot);
         }
         rounds += 1;
-        if rounds > job.slots {
+        if rounds > probe_bound {
             warp.san_record(simt::SanKind::ProbeWrap { rounds, slots: job.slots });
             return Err(KernelFault::HashTableFull {
                 capacity: job.slots,
@@ -111,7 +116,8 @@ pub fn ht_get_atomic(
             }
             m
         };
-        advance(warp, job, still, &mut slot);
+        bucket_crossing_vote(warp, job, still, rounds - 1);
+        advance(warp, job, still, &args.hash, rounds, &mut slot);
     }
 }
 

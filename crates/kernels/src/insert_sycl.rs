@@ -9,13 +9,16 @@
 
 use crate::fault::KernelFault;
 use crate::layout::{table_occupancy, DeviceJob, EMPTY};
-use crate::probe::{advance, cas_claim, compare_stored_keys, publish_key, InsertArgs, SlotVec};
+use crate::probe::{
+    advance, bucket_crossing_vote, cas_claim, compare_stored_keys, publish_key, start_slots,
+    InsertArgs, SlotVec,
+};
 use simt::{Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
 /// index per lane, or `HashTableFull` if a probe chain wraps the table
-/// (the guard is uniform across the three dialects: at most `job.slots`
-/// probing rounds).
+/// (the guard is uniform across the three dialects: at most the layout's
+/// probe bound rounds — `job.slots` for linear probing).
 pub fn ht_get_atomic(
     warp: &mut Warp,
     job: &DeviceJob,
@@ -27,14 +30,15 @@ pub fn ht_get_atomic(
             occupancy: table_occupancy(warp, job),
         });
     }
-    let mut slot = args.hash;
+    let probe_bound = job.layout.as_layout().probe_bound(job);
+    let mut slot = start_slots(warp, job, args);
     let mut searching = args.mask;
 
     // Wrap guard ("*hashtable full*" in the listings).
     let mut rounds = 0u32;
     while !searching.is_empty() {
         rounds += 1;
-        if rounds > job.slots {
+        if rounds > probe_bound {
             warp.san_record(simt::SanKind::ProbeWrap { rounds, slots: job.slots });
             return Err(KernelFault::HashTableFull {
                 capacity: job.slots,
@@ -75,7 +79,8 @@ pub fn ht_get_atomic(
             }
         }
         searching = still;
-        advance(warp, job, searching, &mut slot);
+        bucket_crossing_vote(warp, job, searching, rounds - 1);
+        advance(warp, job, searching, &args.hash, rounds, &mut slot);
     }
     warp.trace_event(simt::EventKind::ProbeChain { rounds });
     Ok(slot)

@@ -4,6 +4,7 @@ use crate::construct::construct_hash_table;
 use crate::fault::KernelFault;
 use crate::layout::DeviceJob;
 use crate::probe::{InsertArgs, ProbeStrategy, SlotVec};
+use crate::table::TableLayoutKind;
 use crate::walk::mer_walk_kernel;
 use gpu_specs::{DeviceId, ProgrammingModel};
 use locassm_core::walk::{WalkConfig, WalkState};
@@ -84,6 +85,10 @@ pub struct KernelJob<'a> {
     /// Probe-cursor strategy for every table access of the job (a tuning
     /// dimension — see [`crate::tune`](mod@crate::tune); extensions are invariant).
     pub probe: ProbeStrategy,
+    /// Table organization for every hash-table access of the job (see
+    /// [`crate::table`]); like `probe`, a pure tuning dimension —
+    /// extensions are invariant across layouts.
+    pub layout: TableLayoutKind,
 }
 
 impl<'a> KernelJob<'a> {
@@ -105,6 +110,7 @@ impl<'a> KernelJob<'a> {
             dialect,
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
+            layout: TableLayoutKind::default(),
         }
     }
 
@@ -128,6 +134,7 @@ impl<'a> KernelJob<'a> {
             dialect,
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
+            layout: TableLayoutKind::default(),
         }
     }
 
@@ -149,6 +156,7 @@ impl<'a> KernelJob<'a> {
             dialect,
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
+            layout: TableLayoutKind::default(),
         }
     }
 }
@@ -206,8 +214,15 @@ pub fn extension_kernel(
             });
         }
         warp.phase_enter("stage");
-        let staged =
-            DeviceJob::stage(warp, &job.contig, &job.reads, k, job.walk, job.slot_reserve);
+        let staged = DeviceJob::stage_with_layout(
+            warp,
+            &job.contig,
+            &job.reads,
+            k,
+            job.walk,
+            job.slot_reserve,
+            job.layout,
+        );
         warp.phase_exit("stage");
         let mut dev = staged?;
         // The probe strategy travels on the job, not the stage call, so

@@ -15,6 +15,7 @@ use crate::kernel::{extension_kernel, Dialect, KernelJob, KernelOut};
 use crate::layout::{arena_footprint, stage_footprint};
 use crate::probe::ProbeStrategy;
 use crate::profile::{BatchProfile, KernelProfile, PhaseCounters, SchedProfile};
+use crate::table::TableLayoutKind;
 use gpu_specs::{
     effective_hierarchy, sched_config, scheduled_residency, ticks_to_seconds, DeviceId,
     DeviceSpec, ModelParams, TimeEstimate,
@@ -81,6 +82,11 @@ pub struct GpuConfig {
     /// it). Extensions are invariant across strategies — only the probe
     /// order, and thus counters and modeled time, change.
     pub probe: ProbeStrategy,
+    /// Table layout for every job's hash table (see [`crate::table`]):
+    /// linear probing (the paper's), bucketed power-of-two-choices, or
+    /// iceberg two-level. Extensions are invariant across layouts — only
+    /// capacity, probe order, counters and modeled time change.
+    pub layout: TableLayoutKind,
     /// Cap on jobs per launch: each batch side is split into chunks of at
     /// most this many warps, each chunk launched with its own L2 share
     /// (`effective_hierarchy`). `None` launches whole sides, the paper's
@@ -130,6 +136,7 @@ impl GpuConfig {
             exec: ExecMode::default(),
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
+            layout: TableLayoutKind::default(),
             max_batch: None,
             sched_tracks: false,
         }
@@ -256,6 +263,7 @@ fn escalate_job(
             &retry_schedule,
             retry.walk,
             reserve,
+            retry.layout,
         );
         let armed = cfg.fault.is_some_and(|p| attempts < p.attempts);
         let launch_cfg = LaunchConfig {
@@ -463,11 +471,13 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                         )
                     }
                 };
-                // Tuned knobs ride on the job: base table reserve and
-                // probe strategy (escalation grows the reserve further).
+                // Tuned knobs ride on the job: base table reserve, probe
+                // strategy and table layout (escalation grows the reserve
+                // further).
                 let mut job = job;
                 job.slot_reserve = cfg.slot_reserve.max(1);
                 job.probe = cfg.probe;
+                job.layout = cfg.layout;
                 indices.push(idx);
                 kernel_jobs.push(job);
             }
@@ -492,7 +502,14 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                 let arena_hint = jobs_chunk
                     .iter()
                     .map(|j| {
-                        arena_footprint(j.contig.len(), &j.reads, &schedule, j.walk, j.slot_reserve)
+                        arena_footprint(
+                            j.contig.len(),
+                            &j.reads,
+                            &schedule,
+                            j.walk,
+                            j.slot_reserve,
+                            j.layout,
+                        )
                     })
                     .max()
                     .unwrap_or(0);
@@ -547,6 +564,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                                 j.k,
                                 j.walk,
                                 j.slot_reserve,
+                                j.layout,
                             )
                         })
                         .max()

@@ -11,11 +11,13 @@
 
 use crate::fault::KernelFault;
 use crate::probe::ProbeStrategy;
+use crate::table::TableLayoutKind;
 use locassm_core::murmur::{murmur_hash_aligned2, murmur_intops, DEFAULT_SEED};
 use locassm_core::walk::WalkConfig;
-use locassm_core::{estimate_slots, Read};
+use locassm_core::Read;
 use memhier::Addr;
 use simt::{ExecMode, Warp};
+use std::collections::HashMap;
 
 /// Hash-table entry layout (stride and field offsets, bytes).
 ///
@@ -61,6 +63,17 @@ pub struct DeviceJob {
     /// Hash-table slab.
     pub ht: Addr,
     pub slots: u32,
+    /// Slots in the table's front (direct-indexed) region; equal to
+    /// `slots` for single-region layouts, smaller for an iceberg table
+    /// whose backyard occupies `front_slots..slots`.
+    pub front_slots: u32,
+    /// Table organization governing probe order and sizing (see
+    /// [`crate::table`]). Never changes what the kernel computes — only
+    /// where keys live and how long chains may get.
+    pub layout: TableLayoutKind,
+    /// Total bytes in the concatenated reads buffer — the clamp bound for
+    /// tail-chunk key loads (see [`DeviceJob::key_chunk_addr`]).
+    pub reads_len: u32,
     /// Visited-fingerprint list (u32 per potential walk step).
     pub visited: Addr,
     /// Output extension buffer.
@@ -101,6 +114,26 @@ impl DeviceJob {
         walk: WalkConfig,
         slot_reserve: u32,
     ) -> Result<Self, KernelFault> {
+        Self::stage_with_layout(warp, contig, reads, k, walk, slot_reserve, TableLayoutKind::default())
+    }
+
+    /// [`DeviceJob::stage`] with an explicit table layout: the layout owns
+    /// the hash-table geometry (slot count, region split) and later the
+    /// probe sequence; everything else about staging is identical.
+    ///
+    /// An armed [`simt::InjectedFaults::table_squeeze`] divides the
+    /// layout's main region here — the table is staged genuinely
+    /// under-sized, so whether the kernel overflows depends on the
+    /// layout's real headroom.
+    pub fn stage_with_layout(
+        warp: &mut Warp,
+        contig: &[u8],
+        reads: &[Read],
+        k: usize,
+        walk: WalkConfig,
+        slot_reserve: u32,
+        layout: TableLayoutKind,
+    ) -> Result<Self, KernelFault> {
         // The three staging buffers are memcpy'd in full right here (the
         // read/qual spans pack contiguously over [0, total)), so a pooled
         // arena need not lazily re-zero them — cudaMemcpyHostToDevice
@@ -121,12 +154,13 @@ impl DeviceJob {
         }
 
         let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
-        let slots = (estimate_slots(insertions) as u32).saturating_mul(slot_reserve.max(1)) | 1;
+        let squeeze = warp.injected_faults().table_squeeze;
+        let geo = layout.as_layout().geometry(insertions, slot_reserve, squeeze);
         // GPU Initialize (Fig. 3): the table must be zero (EMPTY) before
         // launch. The arena guarantees zeroed bytes on every allocation
         // (pooled resets zero lazily on the next alloc), so the cudaMemset
         // is modeled by the allocation itself — no second pass here.
-        let ht = warp.mem.try_alloc_aligned(slots as u64 * ENTRY_STRIDE, 32)?;
+        let ht = warp.mem.try_alloc_aligned(geo.slots as u64 * ENTRY_STRIDE, 32)?;
 
         let visited = warp.mem.try_alloc(walk.max_walk_len as u64 * 4)?;
         let out = warp.mem.try_alloc(walk.max_walk_len as u64)?;
@@ -139,7 +173,7 @@ impl DeviceJob {
             ExecMode::Scalar => Vec::new(),
         };
 
-        Ok(DeviceJob {
+        let mut job = DeviceJob {
             k,
             walk,
             contig: contig_addr,
@@ -148,19 +182,40 @@ impl DeviceJob {
             quals: quals_addr,
             spans,
             ht,
-            slots,
+            slots: geo.slots,
+            front_slots: geo.front_slots,
+            layout,
+            reads_len: total as u32,
             visited,
             out,
-            walk_budget: walk_budget(k, slots, walk),
+            walk_budget: 0,
             probe: ProbeStrategy::default(),
             fps,
-        })
+        };
+        // The watchdog ceiling tracks the layout's probe bound, not the
+        // raw slot count: a bucketed table's longest legal chain is two
+        // buckets, so its runaway bound is commensurately tighter.
+        let bound = layout.as_layout().probe_bound(&job);
+        job.walk_budget = walk_budget(k, bound, walk);
+        Ok(job)
     }
 
     /// Address of entry `slot`'s field at `field_off`.
     #[inline]
     pub fn entry_field(&self, slot: u32, field_off: u64) -> Addr {
         self.ht + slot as u64 * ENTRY_STRIDE + field_off
+    }
+
+    /// Address of the `j`-th 4-byte chunk of the key at reads-buffer
+    /// offset `off`, clamped so the final (partial) chunk of a key ending
+    /// within 3 bytes of the buffer end re-reads the last whole word
+    /// instead of running past the allocation — the same clamp the contig
+    /// tail load applies. Without it, modeled traffic for a tail k-mer
+    /// lands in the neighboring buffer's sectors.
+    #[inline]
+    pub fn key_chunk_addr(&self, off: u32, j: u64) -> Addr {
+        let clamp = (self.reads_len as u64).saturating_sub(4);
+        self.reads + (off as u64 + 4 * j).min(clamp)
     }
 
     /// The interned hash of the k-mer at reads-buffer offset `off`, or
@@ -208,16 +263,20 @@ fn intern_fingerprints(reads: &[Read], total: usize, k: usize) -> Vec<u32> {
 ///
 /// Derived from the same layout quantities the footprint estimates use:
 /// at most `max_walk_len + 1` steps, each hashing a k-mer, scanning at
-/// most `max_walk_len` visited fingerprints, probing at most `slots` table
-/// entries (`⌈k/4⌉` chunk loads each) and scoring the vote. The result is
-/// doubled for slack: the budget is a runaway bound, not a tight
-/// estimate, and must never fire on a terminating walk.
-pub fn walk_budget(k: usize, slots: u32, walk: WalkConfig) -> u64 {
+/// most `max_walk_len` visited fingerprints, probing at most `probe_bound`
+/// table entries (`⌈k/4⌉` chunk loads each) and scoring the vote —
+/// `probe_bound` is the staged layout's chain ceiling
+/// ([`crate::table::TableLayout::probe_bound`]): the full slot count for
+/// linear probing, two buckets for the bucketed layout, front bucket plus
+/// backyard for iceberg. The result is doubled for slack: the budget is a
+/// runaway bound, not a tight estimate, and must never fire on a
+/// terminating walk.
+pub fn walk_budget(k: usize, probe_bound: u32, walk: WalkConfig) -> u64 {
     let chunks = k.div_ceil(4) as u64;
     let steps = walk.max_walk_len as u64 + 1;
     let per_step = murmur_intops(k)              // k-mer hash
         + walk.max_walk_len as u64 * 2           // visited scan: load + compare
-        + slots as u64 * (chunks * 2 + 5)        // probe: key compare + cursor math
+        + probe_bound as u64 * (chunks * 2 + 5)  // probe: key compare + cursor math
         + 32;                                    // vote loads, scoring, bookkeeping
     2 * (chunks * 2 + steps * per_step + 8)
 }
@@ -235,14 +294,27 @@ pub fn table_occupancy(warp: &Warp, job: &DeviceJob) -> u32 {
 /// `invariants` check family. Verifies that every occupied slot holds a
 /// *distinct* key (duplicate keys mean two lanes both won a claim for the
 /// same k-mer — the exact corruption `__match_any_sync`/done-flag retry
-/// loops exist to prevent) and that the table is not completely full (a
+/// loops exist to prevent), that the table is not completely full (a
 /// full open-addressed table cannot terminate unmatched probes, so the
-/// staging load-factor estimate was violated). Host-side direct reads,
-/// like [`table_occupancy`]: not charged to the kernel.
+/// staging load-factor estimate was violated), and — for region-restricted
+/// layouts — that every stored key is *reachable*: it sits on the probe
+/// sequence its own hash generates under the job's layout
+/// ([`crate::table::TableLayout::key_reachable`]). A misplaced key is
+/// silent data loss: inserts of the same k-mer open a fresh slot and
+/// lookups never find the stray's counts. Host-side direct reads, like
+/// [`table_occupancy`]: not charged to the kernel.
+///
+/// The duplicate scan is a `HashMap` keyed by the key bytes — O(occupancy)
+/// where the old `Vec::iter().find` was O(occupancy²), which matters once
+/// iceberg tables raise sustainable occupancy. First-slot-wins reporting
+/// is preserved: every duplicate pairs the *first* slot holding the key
+/// with the offending later slot.
 pub fn check_table_invariants(warp: &Warp, job: &DeviceJob) -> Vec<simt::SanKind> {
     let mut found = Vec::new();
-    let mut seen: Vec<(Vec<u8>, u32)> = Vec::new();
+    let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
     let mut occupancy = 0u32;
+    let lay = job.layout.as_layout();
+    let check_reachable = job.layout != TableLayoutKind::LinearProbe;
     for s in 0..job.slots {
         let len = warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN));
         if len == EMPTY {
@@ -251,10 +323,13 @@ pub fn check_table_invariants(warp: &Warp, job: &DeviceJob) -> Vec<simt::SanKind
         occupancy += 1;
         let off = warp.mem.read_u32(job.entry_field(s, OFF_KEY_OFF));
         let key = warp.mem.read_bytes(job.reads + off as u64, len as u64);
-        if let Some(&(_, slot_a)) = seen.iter().find(|(k2, _)| *k2 == key) {
+        if let Some(&slot_a) = seen.get(key) {
             found.push(simt::SanKind::DuplicateKey { slot_a, slot_b: s });
         } else {
-            seen.push((key.to_vec(), s));
+            seen.insert(key.to_vec(), s);
+        }
+        if check_reachable && !lay.key_reachable(job, key_hash(key), s) {
+            found.push(simt::SanKind::MisplacedKey { slot: s });
         }
     }
     if occupancy >= job.slots {
@@ -273,12 +348,12 @@ pub fn stage_footprint(
     k: usize,
     walk: WalkConfig,
     slot_reserve: u32,
+    layout: TableLayoutKind,
 ) -> u64 {
     const A: u64 = simt::mem::DEFAULT_ALIGN - 1; // worst-case pad per default alloc
     let total: u64 = reads.iter().map(|r| r.len() as u64).sum();
     let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
-    let slots =
-        ((estimate_slots(insertions) as u32).saturating_mul(slot_reserve.max(1)) | 1) as u64;
+    let slots = layout.as_layout().geometry(insertions, slot_reserve, 0).slots as u64;
     (contig_len as u64 + A)               // contig
         + 2 * (total + A)                 // read sequences + qualities
         + (slots * ENTRY_STRIDE + 31)     // hash-table slab (32-aligned)
@@ -296,11 +371,12 @@ pub fn arena_footprint(
     schedule: &[usize],
     walk: WalkConfig,
     slot_reserve: u32,
+    layout: TableLayoutKind,
 ) -> u64 {
     schedule
         .iter()
         .filter(|&&k| contig_len >= k)
-        .map(|&k| stage_footprint(contig_len, reads, k, walk, slot_reserve))
+        .map(|&k| stage_footprint(contig_len, reads, k, walk, slot_reserve, layout))
         .sum()
 }
 
@@ -408,7 +484,7 @@ mod tests {
             let before = warp.mem.allocated();
             let _ = DeviceJob::stage(&mut warp, contig, &reads(), k, walk, 1).unwrap();
             let actual = warp.mem.allocated() - before;
-            let bound = stage_footprint(contig.len(), &reads(), k, walk, 1);
+            let bound = stage_footprint(contig.len(), &reads(), k, walk, 1, TableLayoutKind::LinearProbe);
             assert!(actual <= bound, "actual {actual} > bound {bound} (k={k})");
             assert!(bound <= actual + 256, "bound {bound} is not tight around {actual}");
         }
@@ -418,9 +494,10 @@ mod tests {
     fn arena_footprint_sums_over_the_viable_schedule() {
         let walk = WalkConfig::default();
         let contig_len = 8;
-        let single = stage_footprint(contig_len, &reads(), 4, walk, 1);
+        let single = stage_footprint(contig_len, &reads(), 4, walk, 1, TableLayoutKind::LinearProbe);
         // k = 9 exceeds the contig and is skipped, just as the kernel skips it.
-        let laddered = arena_footprint(contig_len, &reads(), &[4, 9, 4], walk, 1);
+        let laddered =
+            arena_footprint(contig_len, &reads(), &[4, 9, 4], walk, 1, TableLayoutKind::LinearProbe);
         assert_eq!(laddered, 2 * single);
     }
 
@@ -444,7 +521,8 @@ mod tests {
                     .unwrap();
             assert!(grown.slots > base.slots, "reserve {reserve}");
             assert_eq!(grown.slots % 2, 1, "grown table stays odd");
-            let bound = stage_footprint(8, &reads(), 4, WalkConfig::default(), reserve);
+            let bound =
+                stage_footprint(8, &reads(), 4, WalkConfig::default(), reserve, TableLayoutKind::LinearProbe);
             assert!(bound >= grown.slots as u64 * ENTRY_STRIDE, "footprint tracks the reserve");
         }
     }
@@ -504,6 +582,60 @@ mod tests {
             matches!(found[0], simt::SanKind::DuplicateKey { slot_a: 1, slot_b: 6 }),
             "{found:?}"
         );
+    }
+
+    /// A key parked outside its hash's probe region is invisible to
+    /// lookups under a region-restricted layout — the sanitizer must flag
+    /// it. Linear tables reach every slot, so the same stray is legal
+    /// there (covered by `table_invariants_detect_duplicate_keys` never
+    /// reporting `MisplacedKey`).
+    #[test]
+    fn table_invariants_flag_misplaced_keys_on_bucketed_layouts() {
+        use crate::table::{TableLayoutKind, BUCKET_SLOTS};
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = DeviceJob::stage_with_layout(
+            &mut warp,
+            b"ACGTACGT",
+            &reads(),
+            4,
+            WalkConfig::default(),
+            4, // reserve up the bucket count so an out-of-region slot exists
+            TableLayoutKind::Bucketed,
+        )
+        .unwrap();
+        assert!(check_table_invariants(&warp, &job).is_empty());
+        let lay = job.layout.as_layout();
+        let h = key_hash(warp.mem.read_bytes(job.reads, 4));
+        // Park the key at offset 0 in the first slot of a bucket its hash
+        // cannot reach.
+        let stray = (0..job.slots / BUCKET_SLOTS)
+            .map(|b| b * BUCKET_SLOTS)
+            .find(|&s| !lay.key_reachable(&job, h, s))
+            .expect("a 4×-reserved bucketed table has unreachable buckets");
+        warp.mem.write_u32(job.entry_field(stray, OFF_KEY_LEN), 4);
+        warp.mem.write_u32(job.entry_field(stray, OFF_KEY_OFF), 0);
+        let found = check_table_invariants(&warp, &job);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(matches!(found[0], simt::SanKind::MisplacedKey { slot } if slot == stray));
+        // The same key in a reachable slot is clean.
+        let home = lay.slot_at(&job, h, 0);
+        warp.mem.write_u32(job.entry_field(stray, OFF_KEY_LEN), EMPTY);
+        warp.mem.write_u32(job.entry_field(home, OFF_KEY_LEN), 4);
+        warp.mem.write_u32(job.entry_field(home, OFF_KEY_OFF), 0);
+        assert!(check_table_invariants(&warp, &job).is_empty());
+    }
+
+    #[test]
+    fn key_chunk_addr_clamps_the_tail_chunk() {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let job = stage_ok(&mut warp, b"ACGTACGT", &reads(), 4);
+        assert_eq!(job.reads_len, 20);
+        // An in-bounds chunk is untouched…
+        assert_eq!(job.key_chunk_addr(4, 0), job.reads + 4);
+        // …but the last chunk of a key ending at the buffer end re-reads
+        // the final whole word instead of running 3 bytes past it.
+        assert_eq!(job.key_chunk_addr(14, 1), job.reads + 16);
+        assert_eq!(job.key_chunk_addr(18, 0), job.reads + 16);
     }
 
     #[test]

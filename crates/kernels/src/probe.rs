@@ -43,12 +43,24 @@ impl ProbeStrategy {
 
 /// Arguments to one warp-cooperative batch of hash-table claims: each
 /// active lane wants the entry for the k-mer at `key_off` in the reads
-/// buffer, starting its linear probe at `hash` (already reduced mod slots).
+/// buffer. `hash` is the *raw* 32-bit table hash — the job's
+/// [`TableLayout`](crate::table::TableLayout) reduces it to a probe
+/// sequence ([`slot_at`](crate::table::TableLayout::slot_at)), so the same
+/// arguments drive any layout.
 #[derive(Debug, Clone)]
 pub struct InsertArgs {
     pub mask: Mask,
     pub key_off: LaneVec<u32>,
     pub hash: LaneVec<u32>,
+}
+
+/// The per-lane starting slot (probe index 0) of `args.hash` under the
+/// job's layout. Free of modeled charge: the dialects charge the cursor
+/// arithmetic exactly where the listings do (`construct` pays the initial
+/// reduction, [`advance`] pays each step).
+pub fn start_slots(warp: &Warp, job: &DeviceJob, args: &InsertArgs) -> SlotVec {
+    let lay = job.layout.as_layout();
+    LaneVec::from_fn(warp.width(), |l| lay.slot_at(job, args.hash[l], 0))
 }
 
 /// Result: the slot index each active lane ended up owning/finding.
@@ -94,7 +106,10 @@ pub fn compare_stored_keys(
     let k = job.k;
     let chunks = k.div_ceil(4) as u64;
     for j in 0..chunks {
-        warp.touch_u32_with(mask, |l| job.reads + stored_off[l] as u64 + 4 * j);
+        // Clamped: the final chunk of a key ending within 3 bytes of the
+        // reads buffer's end re-reads the last whole word, like the contig
+        // tail load — never the neighboring buffer's sectors.
+        warp.touch_u32_with(mask, |l| job.key_chunk_addr(stored_off[l], j));
         warp.iop(mask, 1); // chunk compare
     }
     warp.iop(mask, 2); // tail handling / result reduction
@@ -120,11 +135,38 @@ pub fn compare_stored_keys(
     eq
 }
 
-/// Advance the probe cursor for the lanes still searching.
-pub fn advance(warp: &mut Warp, job: &DeviceJob, mask: Mask, slot: &mut LaneVec<u32>) {
+/// Advance the probe cursor for the lanes still searching: move each to
+/// position `idx` (0-based) of its hash's probe sequence under the job's
+/// layout. For the linear layout this is exactly the historical
+/// `(slot + step) % slots` cursor, computed positionally; bucketed and
+/// iceberg sequences jump regions at their bucket boundaries.
+pub fn advance(
+    warp: &mut Warp,
+    job: &DeviceJob,
+    mask: Mask,
+    hash: &LaneVec<u32>,
+    idx: u32,
+    slot: &mut LaneVec<u32>,
+) {
     warp.iop(mask, 2); // increment + modulo
-    let step = job.probe.step(job.slots);
-    slot.update_masked(mask, |_, s| (s + step) % job.slots);
+    let lay = job.layout.as_layout();
+    slot.update_masked(mask, |l, _| lay.slot_at(job, hash[l], idx));
+}
+
+/// Warp-wide bucket-crossing vote: when advancing past probe index `idx`
+/// leaves a bucket ([`bucket_crossing`](crate::table::TableLayout::bucket_crossing)),
+/// the still-searching lanes ballot before the warp jumps to the next
+/// region together — the warp-cooperative bucket scan of the bucketed and
+/// iceberg layouts. Single-region layouts never cross, so the linear
+/// dialects stay bit-identical (no ballot, no charge).
+pub fn bucket_crossing_vote(warp: &mut Warp, job: &DeviceJob, mask: Mask, idx: u32) {
+    if mask.is_empty() {
+        return;
+    }
+    if job.layout.as_layout().bucket_crossing(job, idx) {
+        let preds = LaneVec::splat(true);
+        warp.ballot(mask, &preds);
+    }
 }
 
 #[cfg(test)]
@@ -178,9 +220,22 @@ mod tests {
     #[test]
     fn advance_wraps() {
         let (mut warp, job) = setup();
-        let mut slot = LaneVec::splat(job.slots - 1);
-        advance(&mut warp, &job, Mask::lane(0), &mut slot);
+        let hash = LaneVec::splat(job.slots - 1);
+        let mut slot = hash.clone();
+        advance(&mut warp, &job, Mask::lane(0), &hash, 1, &mut slot);
         assert_eq!(slot[0], 0);
+    }
+
+    #[test]
+    fn start_slots_reduce_raw_hashes() {
+        let (warp, job) = setup();
+        let args = InsertArgs {
+            mask: Mask::lane(0),
+            key_off: LaneVec::splat(0u32),
+            hash: LaneVec::splat(job.slots + 3), // raw hash past the table size
+        };
+        let slot = start_slots(&warp, &job, &args);
+        assert_eq!(slot[0], 3, "the layout reduces the raw hash");
     }
 
     #[test]
@@ -195,11 +250,12 @@ mod tests {
         let (mut warp, mut job) = setup();
         job.probe = ProbeStrategy::Stride2;
         assert_eq!(job.slots % 2, 1, "staged tables are odd");
+        let hash = LaneVec::splat(0u32);
         let mut slot = LaneVec::splat(0u32);
         let mut seen = vec![false; job.slots as usize];
-        for _ in 0..job.slots {
+        for idx in 0..job.slots {
             seen[slot[0] as usize] = true;
-            advance(&mut warp, &job, Mask::lane(0), &mut slot);
+            advance(&mut warp, &job, Mask::lane(0), &hash, idx + 1, &mut slot);
         }
         assert!(seen.iter().all(|&s| s), "stride 2 is coprime with an odd table");
         assert_eq!(slot[0], 0, "a full cycle returns to the origin");

@@ -15,6 +15,7 @@
 
 use crate::launch::{run_local_assembly, GpuConfig};
 use crate::probe::ProbeStrategy;
+use crate::table::TableLayoutKind;
 use locassm_core::io::Dataset;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -29,6 +30,8 @@ pub struct TuneSpace {
     pub max_batches: Vec<Option<usize>>,
     /// Probe-cursor strategies to try.
     pub probes: Vec<ProbeStrategy>,
+    /// Table layouts to try (see [`crate::table`]).
+    pub layouts: Vec<TableLayoutKind>,
 }
 
 impl Default for TuneSpace {
@@ -37,6 +40,7 @@ impl Default for TuneSpace {
             slot_reserves: vec![1, 2],
             max_batches: vec![None, Some(32), Some(128)],
             probes: vec![ProbeStrategy::Linear, ProbeStrategy::Stride2],
+            layouts: TableLayoutKind::ALL.to_vec(),
         }
     }
 }
@@ -47,6 +51,7 @@ pub struct TunedChoice {
     pub slot_reserve: u32,
     pub max_batch: Option<usize>,
     pub probe: ProbeStrategy,
+    pub layout: TableLayoutKind,
     /// Modeled seconds of the winner on the calibration dataset.
     pub predicted_seconds: f64,
 }
@@ -57,6 +62,7 @@ impl TunedChoice {
         cfg.slot_reserve = self.slot_reserve;
         cfg.max_batch = self.max_batch;
         cfg.probe = self.probe;
+        cfg.layout = self.layout;
     }
 }
 
@@ -66,9 +72,24 @@ fn cache() -> &'static Mutex<HashMap<String, TunedChoice>> {
 }
 
 /// Cache key: the full device spec (so a custom what-if spec tunes
-/// separately from the stock device) plus the dataset shape.
-fn cache_key(cfg: &GpuConfig, ds: &Dataset) -> String {
-    format!("{:?}|{:?}|k={} jobs={}", cfg.spec(), cfg.dialect, ds.k, ds.jobs.len())
+/// separately from the stock device), the dataset shape — job count is
+/// not enough on its own: two datasets with the same contig count but
+/// different read depths want different winners, so the key carries the
+/// total reads and total insertions (Σ bases − k + 1 per read) too —
+/// and the swept layout axis, so a sweep restricted to a subset of
+/// layouts never replays a winner that subset cannot express.
+fn cache_key(cfg: &GpuConfig, ds: &Dataset, space: &TuneSpace) -> String {
+    let layouts: Vec<&str> = space.layouts.iter().map(|l| l.name()).collect();
+    format!(
+        "{:?}|{:?}|k={} jobs={} reads={} insertions={}|layouts={}",
+        cfg.spec(),
+        cfg.dialect,
+        ds.k,
+        ds.jobs.len(),
+        ds.total_reads(),
+        ds.total_insertions(),
+        layouts.join(",")
+    )
 }
 
 /// Tune `cfg` in place on a calibration dataset with the default space.
@@ -84,7 +105,7 @@ pub fn tune(ds: &Dataset, cfg: &mut GpuConfig) -> TunedChoice {
 /// ties go to the earliest candidate (strict `<` improvement), so the
 /// paper-default configuration wins unless something genuinely beats it.
 pub fn tune_with(ds: &Dataset, cfg: &GpuConfig, space: &TuneSpace) -> TunedChoice {
-    let key = cache_key(cfg, ds);
+    let key = cache_key(cfg, ds, space);
     if let Some(hit) = cache().lock().unwrap().get(&key) {
         return *hit;
     }
@@ -92,13 +113,23 @@ pub fn tune_with(ds: &Dataset, cfg: &GpuConfig, space: &TuneSpace) -> TunedChoic
     for &slot_reserve in &space.slot_reserves {
         for &max_batch in &space.max_batches {
             for &probe in &space.probes {
-                let mut candidate = cfg.clone();
-                candidate.slot_reserve = slot_reserve;
-                candidate.max_batch = max_batch;
-                candidate.probe = probe;
-                let predicted_seconds = run_local_assembly(ds, &candidate).profile.seconds();
-                if best.is_none_or(|b| predicted_seconds < b.predicted_seconds) {
-                    best = Some(TunedChoice { slot_reserve, max_batch, probe, predicted_seconds });
+                for &layout in &space.layouts {
+                    let mut candidate = cfg.clone();
+                    candidate.slot_reserve = slot_reserve;
+                    candidate.max_batch = max_batch;
+                    candidate.probe = probe;
+                    candidate.layout = layout;
+                    let predicted_seconds =
+                        run_local_assembly(ds, &candidate).profile.seconds();
+                    if best.is_none_or(|b| predicted_seconds < b.predicted_seconds) {
+                        best = Some(TunedChoice {
+                            slot_reserve,
+                            max_batch,
+                            probe,
+                            layout,
+                            predicted_seconds,
+                        });
+                    }
                 }
             }
         }
@@ -153,16 +184,19 @@ mod tests {
         for &slot_reserve in &space.slot_reserves {
             for &max_batch in &space.max_batches {
                 for &probe in &space.probes {
-                    let mut cfg = base_cfg.clone();
-                    cfg.slot_reserve = slot_reserve;
-                    cfg.max_batch = max_batch;
-                    cfg.probe = probe;
-                    let r = run_local_assembly(&ds, &cfg);
-                    assert_eq!(
-                        r.extensions, base.extensions,
-                        "reserve={slot_reserve} batch={max_batch:?} probe={probe:?}"
-                    );
-                    assert!(r.outcomes.iter().all(|o| o.succeeded()));
+                    for &layout in &space.layouts {
+                        let mut cfg = base_cfg.clone();
+                        cfg.slot_reserve = slot_reserve;
+                        cfg.max_batch = max_batch;
+                        cfg.probe = probe;
+                        cfg.layout = layout;
+                        let r = run_local_assembly(&ds, &cfg);
+                        assert_eq!(
+                            r.extensions, base.extensions,
+                            "reserve={slot_reserve} batch={max_batch:?} probe={probe:?} layout={layout}"
+                        );
+                        assert!(r.outcomes.iter().all(|o| o.succeeded()));
+                    }
                 }
             }
         }
@@ -176,5 +210,35 @@ mod tests {
         assert_eq!(cfg.slot_reserve, choice.slot_reserve);
         assert_eq!(cfg.max_batch, choice.max_batch);
         assert_eq!(cfg.probe, choice.probe);
+        assert_eq!(cfg.layout, choice.layout);
+    }
+
+    #[test]
+    fn shape_distinct_datasets_tune_independently() {
+        // Same job count, different read depth: before the cache key
+        // carried totals these two collided and the second dataset
+        // replayed the first's winner. A tiny layout-only space keeps the
+        // sweep fast while still proving both keys score their own runs.
+        let shallow = paper_dataset(21, 0.002, 42);
+        let mut deep = paper_dataset(21, 0.002, 42);
+        for job in &mut deep.jobs {
+            let extra: Vec<_> = job.right_reads.clone();
+            job.right_reads.extend(extra);
+        }
+        assert_eq!(shallow.jobs.len(), deep.jobs.len());
+        assert_ne!(shallow.total_reads(), deep.total_reads());
+        let cfg = GpuConfig::for_device(DeviceId::A100);
+        let space = TuneSpace {
+            slot_reserves: vec![1],
+            max_batches: vec![None],
+            probes: vec![ProbeStrategy::Linear],
+            layouts: vec![TableLayoutKind::LinearProbe],
+        };
+        let a = tune_with(&shallow, &cfg, &space);
+        let b = tune_with(&deep, &cfg, &space);
+        assert_ne!(
+            a.predicted_seconds, b.predicted_seconds,
+            "deeper dataset must be scored on its own runs, not replayed from cache"
+        );
     }
 }

@@ -40,6 +40,14 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
     let watchdog_start = warp.counters.warp_instructions;
     let budget = if warp.injected_faults().watchdog { 0 } else { job.walk_budget };
 
+    // A contig shorter than the k-mer (or than one 4-byte chunk) has no
+    // terminal window to slice: the unsigned tail arithmetic below would
+    // wrap to the top of the address space. Malformed input is a
+    // structured, non-retryable fault — never an address-space walk.
+    if (job.contig_len as usize) < k || job.contig_len < 4 {
+        return Err(KernelFault::MalformedJob { reason: "contig shorter than the walk window" });
+    }
+
     // Slice the terminal k-mer out of the contig (Algorithm 2 line 4).
     let tail = job.contig + job.contig_len as u64 - k as u64;
     for j in 0..chunks {
@@ -52,9 +60,11 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
     let mut visited = 0u64;
     let mut extension: Vec<u8> = Vec::new();
     let mut steps = 0u32;
-    // Probe-cursor increment: 1 for linear, 2 for double-stride on the
-    // odd staged tables.
-    let probe_step = job.probe.step(job.slots);
+    // Probe order and wrap bound come from the job's table layout — the
+    // same sequence insertion walked, which is what lets the lookup stop
+    // at the first EMPTY slot it meets.
+    let lay = job.layout.as_layout();
+    let probe_bound = lay.probe_bound(job);
 
     let walk = 'walk: loop {
         let spent = warp.counters.warp_instructions - watchdog_start;
@@ -84,16 +94,18 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
 
         steps += 1;
 
-        // ext = k-mer_ht.lookup(k-mer): probe from murmur % slots. `fp`
-        // is the window's table hash, so in Vectorized runs (which carry
-        // an interned hash shadow) the probe loop can reject mismatched
-        // stored keys against it without the k-byte compare. Modeled
-        // loads/iops are charged identically either way.
-        let mut slot = fp % job.slots;
+        // ext = k-mer_ht.lookup(k-mer): probe the layout's sequence for
+        // the window's hash. `fp` is the window's table hash, so in
+        // Vectorized runs (which carry an interned hash shadow) the probe
+        // loop can reject mismatched stored keys against it without the
+        // k-byte compare. Modeled loads/iops are charged identically
+        // either way. The walk is single-lane, so no bucket-crossing
+        // votes are issued — collectives are the dialect loops' cost.
+        let mut slot = lay.slot_at(job, fp, 0);
         warp.iop(lm, 2);
         let mut found = None;
         let mut probes = 0u32;
-        for _probe in 0..job.slots {
+        for probe in 0..probe_bound {
             probes += 1;
             let len_v = warp.load_u32_scalar(lane, job.entry_field(slot, OFF_KEY_LEN));
             warp.iop(lm, 1);
@@ -102,7 +114,10 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
             }
             let off = warp.load_u32_scalar(lane, job.entry_field(slot, OFF_KEY_OFF));
             for j in 0..chunks {
-                let _ = warp.load_u32_scalar(lane, job.reads + off as u64 + 4 * j);
+                // Clamped like the contig tail: a key ending within 3
+                // bytes of the reads buffer's end re-reads the last whole
+                // word instead of touching the next buffer's sectors.
+                let _ = warp.load_u32_scalar(lane, job.key_chunk_addr(off, j));
                 warp.iop(lm, 1);
             }
             let matches = match job.key_fp(off) {
@@ -113,7 +128,7 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
                 found = Some(slot);
                 break;
             }
-            slot = (slot + probe_step) % job.slots;
+            slot = lay.slot_at(job, fp, probe + 1);
             warp.iop(lm, 2);
         }
         warp.trace_event(simt::EventKind::WalkStep { probes });

@@ -17,7 +17,7 @@
 //! analytic formula) and `phases.sched` itself (absent in counter mode).
 
 use gpu_specs::DeviceId;
-use locassm_kernels::{run_local_assembly, GpuConfig, GpuRunResult};
+use locassm_kernels::{run_local_assembly, GpuConfig, GpuRunResult, TableLayoutKind};
 use simt::{ExecMode, SanitizerConfig};
 use workloads::paper_dataset;
 
@@ -123,6 +123,37 @@ fn exec_modes_bit_identical_remaining_k_presets() {
         let ds = paper_dataset(k, 0.002, seed);
         for device in DEVICES {
             assert_bit_identical(&ds, device, false, &format!("k={k} {device}"));
+        }
+    }
+}
+
+/// The table-layout axis of the matrix: every layout × every dialect must
+/// hold the same Scalar/Vectorized/Scheduled bit-identity the linear
+/// default does — the vectorized fast path's fingerprint rejection and
+/// the scheduled recorder know nothing about bucket boundaries, so a
+/// divergence here means a layout leaked into modeled state.
+#[test]
+fn exec_modes_bit_identical_across_table_layouts() {
+    let ds = paper_dataset(21, 0.002, 42);
+    for layout in TableLayoutKind::ALL {
+        for device in DEVICES {
+            let tag = format!("layout={layout} {device}");
+            let run = |exec| {
+                let mut cfg = GpuConfig::for_device(device);
+                cfg.parallel = false;
+                cfg.trace = true;
+                cfg.sanitize = SanitizerConfig::all();
+                cfg.exec = exec;
+                cfg.layout = layout;
+                run_local_assembly(&ds, &cfg)
+            };
+            let sca = run(ExecMode::Scalar);
+            let vec = run(ExecMode::Vectorized);
+            assert_modeled_state_identical(&vec, &sca, &format!("{tag} vectorized"));
+            assert_eq!(vec.profile.seconds(), sca.profile.seconds(), "{tag}: seconds");
+            let schd = run(ExecMode::Scheduled);
+            assert_modeled_state_identical(&schd, &sca, &format!("{tag} scheduled"));
+            assert_sched_profile_sane(&schd, &format!("{tag} scheduled"));
         }
     }
 }

@@ -26,6 +26,14 @@ pub struct InjectedFaults {
     pub table_full: bool,
     /// Force the walk watchdog to trip on its first budget check.
     pub watchdog: bool,
+    /// Divide the staged hash table's main region by this factor (0 or 1
+    /// = no squeeze). Unlike [`InjectedFaults::table_full`], which
+    /// short-circuits the insert path, a squeeze simulates a *violated
+    /// host-side slot estimate*: the kernel probes a genuinely
+    /// under-sized table, so whether it overflows depends on the table
+    /// layout's real headroom (an iceberg backyard can absorb what a
+    /// squeezed linear table cannot).
+    pub table_squeeze: u32,
 }
 
 /// A deterministic, seedable single-fault injection plan.
@@ -42,6 +50,10 @@ pub struct FaultPlan {
     pub alloc_fail: Option<(u64, u64)>,
     /// Trip the walk watchdog on this job's first budget check.
     pub watchdog_at: Option<u64>,
+    /// `(job, divisor)` — stage this job's hash-table main region at
+    /// `1/divisor` of its estimated size (a simulated estimate
+    /// violation; see [`InjectedFaults::table_squeeze`]).
+    pub squeeze_at: Option<(u64, u32)>,
     /// How many attempts of the victim job observe the fault. `1` (the
     /// default) models a transient fault: the first retry runs clean.
     /// `2` also faults the first (grown-table) retry, pushing recovery
@@ -64,6 +76,13 @@ impl FaultPlan {
     /// Trip the walk watchdog at run-global job index `job`.
     pub fn watchdog(job: u64) -> Self {
         Self { watchdog_at: Some(job), attempts: 1, ..Self::default() }
+    }
+
+    /// Stage job `job`'s hash table at `1/divisor` of its estimated main
+    /// region — a simulated host-estimate violation that exercises the
+    /// real overflow paths instead of short-circuiting them.
+    pub fn table_squeeze(job: u64, divisor: u32) -> Self {
+        Self { squeeze_at: Some((job, divisor.max(2))), attempts: 1, ..Self::default() }
     }
 
     /// Make the fault persist for the victim's first `attempts` attempts
@@ -98,6 +117,7 @@ impl FaultPlan {
         self.table_full_at == Some(job)
             || self.watchdog_at == Some(job)
             || matches!(self.alloc_fail, Some((j, _)) if j == job)
+            || matches!(self.squeeze_at, Some((j, _)) if j == job)
     }
 
     /// Arm this plan on `warp` if it targets run-global job index `job`.
@@ -113,6 +133,11 @@ impl FaultPlan {
         if let Some((j, nth)) = self.alloc_fail {
             if j == job {
                 arm_alloc(&mut warp.mem, nth);
+            }
+        }
+        if let Some((j, divisor)) = self.squeeze_at {
+            if j == job {
+                warp.inject_table_squeeze(divisor);
             }
         }
     }

@@ -107,7 +107,9 @@ impl SanitizerConfig {
             | SanKind::ShuffleSourceOutOfRange { .. }
             | SanKind::ShuffleInactiveSource { .. } => self.sync,
             SanKind::Uncoalesced { .. } | SanKind::ProbeWrap { .. } => self.lint,
-            SanKind::DuplicateKey { .. } | SanKind::TableOverflow { .. } => self.invariants,
+            SanKind::DuplicateKey { .. }
+            | SanKind::TableOverflow { .. }
+            | SanKind::MisplacedKey { .. } => self.invariants,
         }
     }
 }
@@ -194,6 +196,15 @@ pub enum SanKind {
         /// Table capacity in slots.
         capacity: u32,
     },
+    /// Post-construct invariant violation: a stored key occupies a slot
+    /// its own hash's probe sequence can never visit under the job's
+    /// table layout — lookups for that key would miss it. Only layouts
+    /// with position-restricted probe sequences (bucketed, iceberg) can
+    /// violate this; a linear probe reaches every slot.
+    MisplacedKey {
+        /// Slot holding the unreachable key.
+        slot: u32,
+    },
 }
 
 impl SanKind {
@@ -210,6 +221,7 @@ impl SanKind {
             SanKind::ProbeWrap { .. } => "probe_wrap",
             SanKind::DuplicateKey { .. } => "duplicate_key",
             SanKind::TableOverflow { .. } => "table_overflow",
+            SanKind::MisplacedKey { .. } => "misplaced_key",
         }
     }
 }

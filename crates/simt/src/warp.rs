@@ -143,6 +143,12 @@ impl Warp {
         self.injected.watchdog = true;
     }
 
+    /// Arm the injected table squeeze: staging divides the hash table's
+    /// main region by `divisor` (see [`crate::fault`]).
+    pub fn inject_table_squeeze(&mut self, divisor: u32) {
+        self.injected.table_squeeze = divisor.max(2);
+    }
+
     /// Current injected-fault flags. Kernel fault checks read these; they
     /// cost nothing on the fault-free path beyond one branch per check
     /// site (never per instruction).

@@ -5,7 +5,7 @@
 
 use gpu_specs::DeviceId;
 use locassm_core::io::Dataset;
-use locassm_core::{assemble_all, bin_contigs, AssemblyConfig, RetryPolicy};
+use locassm_core::{assemble_all, bin_contigs, AssemblyConfig, ContigJob, Read, RetryPolicy};
 use locassm_kernels::{run_local_assembly, GpuConfig, GpuRunResult, JobOutcome, KernelFault};
 use proptest::prelude::*;
 use simt::FaultPlan;
@@ -170,6 +170,97 @@ proptest! {
         } else {
             prop_assert_eq!(&v.left, &oracle[0].left);
         }
+    }
+}
+
+/// A deterministic pseudo-random DNA sequence (fixed data, no RNG): its
+/// k-mers are effectively all distinct, so insertions ≈ occupied slots
+/// and a squeezed table's overflow behaviour is predictable.
+fn scrambled_seq(len: usize) -> Vec<u8> {
+    let mut x = 0x2545_f491u32;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            b"ACGT"[(x % 4) as usize]
+        })
+        .collect()
+}
+
+/// One contig whose single right read carries ~`n_kmers` distinct k-mers
+/// — the minimal workload whose hash table genuinely fills up when its
+/// host-side slot estimate is violated.
+fn squeeze_dataset(k: usize, n_kmers: usize) -> Dataset {
+    let seq = scrambled_seq(n_kmers + k - 1);
+    let contig = seq[..k.max(8)].to_vec();
+    let job = ContigJob::new(0, contig, vec![Read::with_uniform_qual(&seq, b'I')], vec![]);
+    Dataset::new(k, vec![job])
+}
+
+/// A contig shorter than one 4-byte chunk (but long enough for k) is a
+/// structured `MalformedJob`: the walk's tail arithmetic would wrap, so
+/// the kernel refuses it outright — and escalation must not retry it,
+/// nor may it disturb the healthy job sharing the run.
+#[test]
+fn sub_chunk_contig_is_malformed_and_not_retried() {
+    let jobs = vec![
+        ContigJob::new(0, b"ACG".to_vec(), vec![Read::with_uniform_qual(b"ACGTAC", b'I')], vec![]),
+        ContigJob::new(
+            1,
+            b"ACGTACGT".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGTAC", b'I')],
+            vec![],
+        ),
+    ];
+    let ds = Dataset::new(3, jobs);
+    // A retry ladder is armed on purpose: MalformedJob must bypass it.
+    let r = run_local_assembly(&ds, &config(RetryPolicy::ladder(3)));
+    match r.outcomes[0] {
+        JobOutcome::Failed { fault: KernelFault::MalformedJob { .. } } => {}
+        other => panic!("expected Failed(MalformedJob), got {other:?}"),
+    }
+    assert!(r.extensions[0].right.is_empty());
+    assert_eq!(r.outcomes[1], JobOutcome::Ok, "the healthy job is untouched");
+}
+
+/// A table squeeze (simulated violated host estimate) on the default
+/// linear layout genuinely overflows the under-sized table — no
+/// short-circuit — and the grown-reserve escalation recovers the job
+/// bit-exactly on the first retry.
+#[test]
+fn table_squeeze_enters_the_grown_reserve_ladder_on_linear() {
+    let ds = squeeze_dataset(21, 80);
+    let cfg = config(RetryPolicy::none());
+    let clean = run_local_assembly(&ds, &cfg);
+    assert_eq!(clean.outcomes[0], JobOutcome::Ok, "unsqueezed run must be clean");
+
+    let mut squeezed_cfg = cfg.clone();
+    squeezed_cfg.fault = Some(FaultPlan::table_squeeze(0, 3));
+    let squeezed = run_local_assembly(&ds, &squeezed_cfg);
+    assert_eq!(
+        squeezed.outcomes[0],
+        JobOutcome::Recovered { attempts: 1 },
+        "a squeezed linear table must overflow and recover via the grown reserve"
+    );
+    assert_eq!(squeezed.extensions, clean.extensions, "recovery is bit-exact");
+}
+
+/// A squeeze persisting through every escalation step exhausts the
+/// ladder with a real `HashTableFull` carrying the squeezed capacity.
+/// The divisor outpaces the doubled reserve of the grown retry (a ÷3
+/// squeeze alone would be rescued by it — see the transient test above).
+#[test]
+fn persistent_table_squeeze_exhausts_escalation() {
+    let ds = squeeze_dataset(21, 80);
+    let mut cfg = config(RetryPolicy::none());
+    cfg.fault = Some(FaultPlan::table_squeeze(0, 6).persist(u32::MAX));
+    let r = run_local_assembly(&ds, &cfg);
+    match r.outcomes[0] {
+        JobOutcome::Failed { fault: KernelFault::HashTableFull { capacity, .. } } => {
+            assert!(capacity > 0, "the overflow reports the squeezed table");
+        }
+        other => panic!("expected Failed(HashTableFull), got {other:?}"),
     }
 }
 

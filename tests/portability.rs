@@ -3,7 +3,7 @@
 //! check ("a test script that verifies the results for correctness
 //! against a result file").
 
-use locassm::kernels::{run_local_assembly, GpuConfig};
+use locassm::kernels::{run_local_assembly, GpuConfig, TableLayoutKind};
 use locassm::perfmodel::{performance_portability, RooflinePoint};
 use locassm::specs::DeviceId;
 use locassm::workloads::paper_dataset;
@@ -68,6 +68,32 @@ fn portability_metric_is_well_behaved_on_simulated_efficiencies() {
     let min = effs.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = effs.iter().cloned().fold(0.0f64, f64::max);
     assert!(p >= min - 1e-12 && p <= max + 1e-12);
+}
+
+#[test]
+fn portability_analysis_extends_across_table_layouts() {
+    // The layout axis joins the portability story: per layout, all three
+    // vendors agree on results, and the Pennycook metric computed over
+    // the three simulated efficiencies stays well-behaved.
+    let ds = paper_dataset(33, 0.005, 21);
+    for layout in TableLayoutKind::ALL {
+        let mut effs = Vec::new();
+        let mut extensions = None;
+        for dev in DeviceId::ALL {
+            let mut cfg = GpuConfig::for_device(dev);
+            cfg.layout = layout;
+            let run = run_local_assembly(&ds, &cfg);
+            match &extensions {
+                None => extensions = Some(run.extensions.clone()),
+                Some(e) => assert_eq!(&run.extensions, e, "{layout} on {dev}"),
+            }
+            let p = &run.profile;
+            let rp = RooflinePoint::new(p.intops(), p.hbm_bytes(), p.seconds());
+            effs.push(rp.fraction_of_roofline(dev.spec()).min(1.0));
+        }
+        let p = performance_portability(&effs);
+        assert!(p > 0.0 && p <= 1.0, "layout {layout}: portability {p}");
+    }
 }
 
 #[test]
