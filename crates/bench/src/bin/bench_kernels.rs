@@ -13,20 +13,28 @@
 //!   iceberg) on every native dialect: modeled time and traffic plus the
 //!   aggregate slots / sustained load factor summary. Fully deterministic
 //!   like the sched report.
+//! * `BENCH_service.json` — the assembly-as-a-service front-end's
+//!   latency percentiles and throughput versus offered load: a
+//!   closed-loop capacity calibration followed by an open-loop sweep at
+//!   0.5-4x capacity against a shallow queue, showing backpressure and
+//!   deadline timeouts past saturation. Fully deterministic (virtual
+//!   clock) like the sched and layout reports.
 //!
 //! ```text
-//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT [LAYOUT_OUT]]]]
+//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT [LAYOUT_OUT [SERVICE_OUT]]]]]
 //! ```
 //!
 //! Paths default to `BENCH_kernels.json` / `BENCH_hotpath.json` /
-//! `BENCH_sched.json` / `BENCH_layouts.json` in the current directory
-//! (run from the repo root to refresh the checked-in copies).
+//! `BENCH_sched.json` / `BENCH_layouts.json` / `BENCH_service.json` in
+//! the current directory (run from the repo root to refresh the
+//! checked-in copies).
 
 use gpu_specs::DeviceId;
 use locassm_bench::cli::require_ok;
 use locassm_bench::layoutbench::layout_bench;
 use locassm_bench::poolbench::{hotpath_bench, pool_bench};
 use locassm_bench::schedbench::sched_bench;
+use locassm_bench::servicebench::service_bench;
 
 fn main() {
     let path =
@@ -37,6 +45,8 @@ fn main() {
         std::env::args().nth(3).unwrap_or_else(|| "BENCH_sched.json".to_string());
     let layout_path =
         std::env::args().nth(4).unwrap_or_else(|| "BENCH_layouts.json".to_string());
+    let service_path =
+        std::env::args().nth(5).unwrap_or_else(|| "BENCH_service.json".to_string());
 
     let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3, 5);
     let json = r.to_json();
@@ -129,4 +139,30 @@ fn main() {
         );
     }
     eprintln!("  wrote {layout_path}");
+
+    let sv = service_bench(DeviceId::A100, 21, 0.005, 11);
+    let service_json = sv.to_json();
+    require_ok(
+        std::fs::write(&service_path, &service_json),
+        &format!("write report {service_path}"),
+    );
+
+    eprintln!(
+        "service front-end, {} k={} ({} requests, {} tenants, capacity {:.1} req/s):",
+        sv.device, sv.k, sv.requests, sv.tenants, sv.capacity_rps
+    );
+    for p in &sv.points {
+        eprintln!(
+            "  x{:<4}: {:>3} done {:>3} rejected {:>3} timed out  \
+             p50 {:.4}s  p99 {:.4}s  {:.1} req/s",
+            p.multiplier,
+            p.completed,
+            p.rejected,
+            p.timed_out,
+            p.p50_seconds,
+            p.p99_seconds,
+            p.throughput_rps
+        );
+    }
+    eprintln!("  wrote {service_path}");
 }

@@ -42,6 +42,7 @@ pub mod quality;
 pub mod read;
 pub mod retry;
 pub mod stats;
+pub mod tenant;
 pub mod walk;
 
 pub use assemble::{assemble_all, extend_contig, AssemblyConfig, ExtensionResult};
@@ -57,4 +58,5 @@ pub use packed::PackedKmer;
 pub use read::Read;
 pub use retry::RetryPolicy;
 pub use stats::AssemblyStats;
+pub use tenant::{RequestId, TenantId};
 pub use walk::{mer_walk, Walk, WalkConfig, WalkState};

@@ -104,22 +104,43 @@ pub enum JobOutcome {
     Failed {
         /// The fault that exhausted escalation.
         fault: KernelFault,
+        /// Extra attempts escalation spent before giving up (0 for a
+        /// non-retryable fault such as `MalformedJob`). Service-level
+        /// retry accounting needs the exact count: a request re-enqueued
+        /// by a front-end must charge its ladder walk against the
+        /// tenant's retry budget, not rediscover it.
+        attempts: u32,
     },
 }
 
 impl JobOutcome {
     /// Merge the outcomes of a job's two kernel runs (right and left
-    /// extension): `Failed` dominates, then `Recovered` (attempts
-    /// summed), then `Ok`.
+    /// extension): `Failed` dominates (keeping the first side's fault),
+    /// then `Recovered`, then `Ok`. Attempts always sum, so the combined
+    /// outcome charges every escalation retry either side spent.
     pub fn combine(self, other: JobOutcome) -> JobOutcome {
         match (self, other) {
-            (f @ JobOutcome::Failed { .. }, _) => f,
-            (_, f @ JobOutcome::Failed { .. }) => f,
+            (JobOutcome::Failed { fault, attempts }, o) => {
+                JobOutcome::Failed { fault, attempts: attempts + o.attempts() }
+            }
+            (o, JobOutcome::Failed { fault, attempts }) => {
+                JobOutcome::Failed { fault, attempts: attempts + o.attempts() }
+            }
             (JobOutcome::Recovered { attempts: a }, JobOutcome::Recovered { attempts: b }) => {
                 JobOutcome::Recovered { attempts: a + b }
             }
             (r @ JobOutcome::Recovered { .. }, JobOutcome::Ok) => r,
             (JobOutcome::Ok, r) => r,
+        }
+    }
+
+    /// Extra escalation attempts this outcome spent beyond the first run
+    /// (0 for `Ok`). Exact for `Failed` too — the field the service
+    /// layer's retry accounting consumes.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobOutcome::Ok => 0,
+            JobOutcome::Recovered { attempts } | JobOutcome::Failed { attempts, .. } => *attempts,
         }
     }
 
@@ -159,13 +180,28 @@ mod tests {
 
     #[test]
     fn outcome_combination_is_worst_wins() {
-        let fail = JobOutcome::Failed { fault: KernelFault::MalformedJob { reason: "x" } };
+        let fail = |n| JobOutcome::Failed {
+            fault: KernelFault::MalformedJob { reason: "x" },
+            attempts: n,
+        };
         let rec = |n| JobOutcome::Recovered { attempts: n };
         assert_eq!(JobOutcome::Ok.combine(JobOutcome::Ok), JobOutcome::Ok);
         assert_eq!(JobOutcome::Ok.combine(rec(2)), rec(2));
         assert_eq!(rec(1).combine(rec(2)), rec(3));
-        assert_eq!(rec(1).combine(fail), fail);
-        assert_eq!(fail.combine(JobOutcome::Ok), fail);
-        assert!(rec(1).succeeded() && JobOutcome::Ok.succeeded() && !fail.succeeded());
+        assert_eq!(rec(1).combine(fail(2)), fail(3), "attempts sum across sides");
+        assert_eq!(fail(2).combine(JobOutcome::Ok), fail(2));
+        assert_eq!(fail(1).combine(fail(2)), fail(3), "first side's fault wins, attempts sum");
+        assert!(rec(1).succeeded() && JobOutcome::Ok.succeeded() && !fail(0).succeeded());
+    }
+
+    #[test]
+    fn attempts_accessor_is_exact() {
+        assert_eq!(JobOutcome::Ok.attempts(), 0);
+        assert_eq!(JobOutcome::Recovered { attempts: 3 }.attempts(), 3);
+        let f = JobOutcome::Failed {
+            fault: KernelFault::HashTableFull { capacity: 1, occupancy: 1 },
+            attempts: 4,
+        };
+        assert_eq!(f.attempts(), 4);
     }
 }

@@ -314,7 +314,7 @@ fn escalate_job(
             }
         }
     }
-    (JobOutcome::Failed { fault }, None)
+    (JobOutcome::Failed { fault, attempts }, None)
 }
 
 /// Replay a `Scheduled`-mode launch's recorded timelines through the
@@ -1038,7 +1038,12 @@ mod tests {
         let r = run_local_assembly(&ds, &cfg);
         let (victim_idx, is_right) = dataset_index_of(&ds, &cfg, VICTIM);
         match r.outcomes[victim_idx] {
-            JobOutcome::Failed { fault: KernelFault::HashTableFull { .. } } => {}
+            JobOutcome::Failed { fault: KernelFault::HashTableFull { .. }, attempts } => {
+                assert!(
+                    attempts >= 2,
+                    "an exhausted ladder must report every attempt it spent, got {attempts}"
+                );
+            }
             other => panic!("expected Failed(HashTableFull), got {other:?}"),
         }
         assert!(!r.outcomes[victim_idx].succeeded());

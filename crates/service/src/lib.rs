@@ -1,0 +1,47 @@
+//! Assembly-as-a-service: an admission-controlled, multi-tenant batched
+//! front-end over the fault-tolerant launch engine.
+//!
+//! The kernel layers below answer "how fast and how correctly does one
+//! dataset run on one GPU". This crate answers the production question
+//! layered on top: many tenants submitting contig-extension requests
+//! concurrently against bounded resources. It adds, in order of a
+//! request's lifecycle:
+//!
+//! 1. **Admission** ([`AdmissionQueue`]) — bounded queues with explicit
+//!    backpressure: a request takes a slot or gets a structured
+//!    [`RejectReason`] back, per-tenant quotas isolating one tenant's
+//!    burst from another's headroom.
+//! 2. **Batching** ([`BatchPolicy`]) — a packer that fills warp batches
+//!    by weighted fair-share across tenants, costing each request with
+//!    the launch layer's own arena-footprint model so batch size tracks
+//!    the device's L2 budget.
+//! 3. **Execution** ([`run_service`]) — a virtual-clock event loop that
+//!    runs each packed batch through `run_local_assembly`, advancing
+//!    modeled time by the timing model's duration. No wall clock, no
+//!    randomness: replays are bit-identical.
+//! 4. **Recovery** ([`RequeuePolicy`]) — deadline timeouts at every
+//!    stage, retry-with-backoff layered on the kernel's escalation
+//!    ladder, and poison-job quarantine once both are exhausted. Fault
+//!    plans name victims by stable request uid and follow the victim
+//!    across re-enqueues.
+//!
+//! The governing invariant (number 9 in `docs/ARCHITECTURE.md`):
+//! **admission changes *when* a job runs, never its result** — every
+//! completed extension is bit-identical to a standalone run of the same
+//! job.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod queue;
+pub mod request;
+pub mod service;
+
+pub use batch::{request_footprint, BatchPolicy};
+pub use queue::{AdmissionQueue, QueueConfig, QueuedRequest, TenantQuota};
+pub use request::{
+    ExtensionRequest, RejectReason, ServiceOutcome, TimeoutStage,
+};
+pub use service::{
+    run_service, BatchRecord, RequestRecord, RequeuePolicy, ServiceConfig, ServiceReport,
+};

@@ -1,0 +1,370 @@
+//! Bounded multi-tenant admission queue with explicit backpressure and
+//! weighted fair-share dequeue.
+//!
+//! The queue holds one FIFO lane per tenant plus two global limits: a
+//! service-wide depth and a per-tenant quota. Admission is all-or-nothing
+//! and synchronous — a request either takes a slot or gets a structured
+//! [`RejectReason`] back; nothing ever grows without bound. Dequeue is a
+//! deficit-free weighted round-robin over the tenant lanes in tenant-id
+//! order from a rotating cursor: each packing round visits every lane,
+//! takes up to `weight` requests from its front, and remembers where it
+//! stopped so no tenant is systematically served first. All state is
+//! plain ordered containers (`BTreeMap`, `VecDeque`) — iteration order,
+//! and therefore every scheduling decision, is deterministic.
+
+use crate::request::{ExtensionRequest, RejectReason};
+use locassm_core::TenantId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-tenant admission limits and scheduling weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Max requests this tenant may have queued at once (its burst
+    /// budget). Further submissions are rejected with
+    /// [`RejectReason::TenantQuotaExceeded`] until the queue drains.
+    pub max_queued: usize,
+    /// Fair-share weight: requests taken from this tenant's lane per
+    /// packing round. Relative weights set relative throughput under
+    /// contention; equal weights give equal shares.
+    pub weight: u32,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota { max_queued: 64, weight: 1 }
+    }
+}
+
+/// Queue-level configuration: global depth plus per-tenant quotas.
+#[derive(Debug, Clone, Default)]
+pub struct QueueConfig {
+    /// Service-wide cap on queued requests across all tenants. `0` means
+    /// "derive nothing special": a zero-depth queue rejects everything,
+    /// which is a legal (if unhelpful) configuration — use
+    /// [`QueueConfig::bounded`] for a sane default.
+    pub total_depth: usize,
+    /// Quota applied to tenants without an explicit entry in `quotas`.
+    pub default_quota: TenantQuota,
+    /// Per-tenant overrides (weights, burst budgets).
+    pub quotas: BTreeMap<TenantId, TenantQuota>,
+}
+
+impl QueueConfig {
+    /// A queue with the given total depth and default per-tenant quotas.
+    pub fn bounded(total_depth: usize) -> Self {
+        QueueConfig { total_depth, default_quota: TenantQuota::default(), quotas: BTreeMap::new() }
+    }
+
+    /// Override one tenant's quota.
+    pub fn with_quota(mut self, tenant: TenantId, quota: TenantQuota) -> Self {
+        self.quotas.insert(tenant, quota);
+        self
+    }
+
+    /// The quota governing `tenant`.
+    pub fn quota(&self, tenant: TenantId) -> TenantQuota {
+        self.quotas.get(&tenant).copied().unwrap_or(self.default_quota)
+    }
+}
+
+/// A request waiting in (or cycling back through) the queue, with its
+/// accumulated service-side accounting.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    /// The request as submitted.
+    pub req: ExtensionRequest,
+    /// Absolute deadline instant (arrival + relative deadline), if any.
+    pub deadline_at: Option<f64>,
+    /// Service-level re-enqueues consumed so far.
+    pub requeues: u32,
+    /// Kernel attempts (batch runs + escalation retries) spent across
+    /// every previous run of this request — the count
+    /// `simt::FaultPlan::consume` is fed so a persistent fault's budget
+    /// spans re-enqueues.
+    pub attempts_spent: u32,
+}
+
+impl QueuedRequest {
+    /// Wrap a fresh submission.
+    pub fn new(req: ExtensionRequest) -> Self {
+        let deadline_at = req.deadline_at();
+        QueuedRequest { req, deadline_at, requeues: 0, attempts_spent: 0 }
+    }
+
+    /// True once `now` has passed this request's deadline.
+    pub fn expired(&self, now: f64) -> bool {
+        self.deadline_at.is_some_and(|d| d < now)
+    }
+}
+
+/// The bounded multi-tenant queue.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    cfg: QueueConfig,
+    lanes: BTreeMap<TenantId, VecDeque<QueuedRequest>>,
+    queued: usize,
+    /// Fair-share rotation: the tenant id the next packing round starts
+    /// at (first key ≥ cursor, wrapping).
+    cursor: TenantId,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `cfg`.
+    pub fn new(cfg: QueueConfig) -> Self {
+        AdmissionQueue { cfg, lanes: BTreeMap::new(), queued: 0, cursor: TenantId(0) }
+    }
+
+    /// Requests currently queued, across all tenants.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// True when no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Requests currently queued for one tenant.
+    pub fn tenant_depth(&self, tenant: TenantId) -> usize {
+        self.lanes.get(&tenant).map_or(0, VecDeque::len)
+    }
+
+    /// Admit a fresh submission, or refuse it with explicit backpressure.
+    /// The global depth is checked first (the queue protects itself
+    /// before it arbitrates between tenants), then the tenant's quota.
+    pub fn admit(&mut self, qr: QueuedRequest) -> Result<(), RejectReason> {
+        if self.queued >= self.cfg.total_depth {
+            return Err(RejectReason::QueueFull { depth: self.cfg.total_depth });
+        }
+        let tenant = qr.req.id.tenant;
+        let quota = self.cfg.quota(tenant);
+        if self.tenant_depth(tenant) >= quota.max_queued {
+            return Err(RejectReason::TenantQuotaExceeded { quota: quota.max_queued });
+        }
+        self.push(qr);
+        Ok(())
+    }
+
+    /// Re-enqueue a request the service already admitted (a retry coming
+    /// off backoff). Bypasses the depth and quota checks: an admitted
+    /// request owns its slot until it reaches a terminal outcome, so a
+    /// retry can never be bounced by later arrivals.
+    pub fn requeue(&mut self, qr: QueuedRequest) {
+        self.push(qr);
+    }
+
+    fn push(&mut self, qr: QueuedRequest) {
+        self.lanes.entry(qr.req.id.tenant).or_default().push_back(qr);
+        self.queued += 1;
+    }
+
+    /// Remove and return every queued request whose deadline has passed
+    /// at `now`, in (tenant, FIFO) order — the deterministic queue-side
+    /// timeout sweep.
+    pub fn drop_expired(&mut self, now: f64) -> Vec<QueuedRequest> {
+        let mut expired = Vec::new();
+        for lane in self.lanes.values_mut() {
+            let mut keep = VecDeque::with_capacity(lane.len());
+            while let Some(qr) = lane.pop_front() {
+                if qr.expired(now) {
+                    expired.push(qr);
+                } else {
+                    keep.push_back(qr);
+                }
+            }
+            *lane = keep;
+        }
+        self.queued -= expired.len();
+        self.lanes.retain(|_, l| !l.is_empty());
+        expired
+    }
+
+    /// Weighted fair-share dequeue: visit tenant lanes round-robin from
+    /// the rotating cursor, taking up to `weight` requests from each
+    /// lane's front per cycle, while `fits` accepts them (the batch
+    /// packer's footprint budget) and fewer than `max` are taken. A lane
+    /// whose front request does not fit is blocked for this packing (its
+    /// FIFO order is never violated); other lanes keep filling the batch.
+    pub fn take_fair(
+        &mut self,
+        max: usize,
+        mut fits: impl FnMut(&QueuedRequest) -> bool,
+    ) -> Vec<QueuedRequest> {
+        let mut taken = Vec::new();
+        if max == 0 || self.queued == 0 {
+            return taken;
+        }
+        // Snapshot the lane order once: keys ≥ cursor first, then wrap.
+        let mut order: Vec<TenantId> = self.lanes.keys().copied().collect();
+        let pivot = order.iter().position(|&t| t >= self.cursor).unwrap_or(0);
+        order.rotate_left(pivot);
+        let mut blocked: Vec<bool> = vec![false; order.len()];
+        let mut progressed = true;
+        while progressed && taken.len() < max {
+            progressed = false;
+            for (li, &tenant) in order.iter().enumerate() {
+                if blocked[li] || taken.len() >= max {
+                    continue;
+                }
+                let weight = self.cfg.quota(tenant).weight.max(1) as usize;
+                let Some(lane) = self.lanes.get_mut(&tenant) else { continue };
+                for _ in 0..weight {
+                    if taken.len() >= max {
+                        break;
+                    }
+                    match lane.front() {
+                        None => break,
+                        Some(front) if !fits(front) => {
+                            blocked[li] = true;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                    if let Some(qr) = lane.pop_front() {
+                        self.queued -= 1;
+                        taken.push(qr);
+                        progressed = true;
+                        // Rotate fairness past the lane we just served.
+                        self.cursor = TenantId(tenant.0.wrapping_add(1));
+                    }
+                }
+            }
+        }
+        self.lanes.retain(|_, l| !l.is_empty());
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locassm_core::{ContigJob, Read, RequestId};
+
+    fn request(tenant: u32, seq: u32, arrival: f64) -> QueuedRequest {
+        let job = ContigJob::new(
+            seq,
+            b"ACGTACGTACGT".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGTACGTACGT", b'I')],
+            vec![],
+        );
+        QueuedRequest::new(ExtensionRequest::new(
+            RequestId::new(TenantId(tenant), seq),
+            job,
+            arrival,
+        ))
+    }
+
+    #[test]
+    fn global_depth_backpressure() {
+        let mut q = AdmissionQueue::new(QueueConfig::bounded(2));
+        assert!(q.admit(request(0, 0, 0.0)).is_ok());
+        assert!(q.admit(request(1, 0, 0.0)).is_ok());
+        assert_eq!(
+            q.admit(request(2, 0, 0.0)),
+            Err(RejectReason::QueueFull { depth: 2 }),
+            "the third submission must be refused, not buffered"
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn tenant_quota_isolates_bursts() {
+        let cfg = QueueConfig::bounded(100)
+            .with_quota(TenantId(0), TenantQuota { max_queued: 1, weight: 1 });
+        let mut q = AdmissionQueue::new(cfg);
+        assert!(q.admit(request(0, 0, 0.0)).is_ok());
+        assert_eq!(
+            q.admit(request(0, 1, 0.0)),
+            Err(RejectReason::TenantQuotaExceeded { quota: 1 })
+        );
+        // Another tenant still has headroom.
+        assert!(q.admit(request(1, 0, 0.0)).is_ok());
+    }
+
+    #[test]
+    fn requeue_bypasses_admission() {
+        let mut q = AdmissionQueue::new(QueueConfig::bounded(1));
+        assert!(q.admit(request(0, 0, 0.0)).is_ok());
+        // The queue is full, but a retry owns its slot.
+        q.requeue(request(0, 1, 0.0));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fair_share_round_robins_across_tenants() {
+        let mut q = AdmissionQueue::new(QueueConfig::bounded(100));
+        for seq in 0..3 {
+            for tenant in 0..3 {
+                assert!(q.admit(request(tenant, seq, 0.0)).is_ok());
+            }
+        }
+        let taken = q.take_fair(6, |_| true);
+        let order: Vec<(u32, u32)> =
+            taken.iter().map(|t| (t.req.id.tenant.0, t.req.id.seq)).collect();
+        // One per tenant per cycle, FIFO within a tenant.
+        assert_eq!(order, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+        // The cursor rotated: the next round starts after the last lane
+        // served, so tenant 0's remaining request does not go first.
+        let rest = q.take_fair(3, |_| true);
+        let rest_order: Vec<u32> = rest.iter().map(|t| t.req.id.tenant.0).collect();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest_order[0], 0, "wrap starts at first key >= cursor");
+    }
+
+    #[test]
+    fn weights_scale_the_share() {
+        let cfg = QueueConfig::bounded(100)
+            .with_quota(TenantId(0), TenantQuota { max_queued: 64, weight: 2 });
+        let mut q = AdmissionQueue::new(cfg);
+        for seq in 0..4 {
+            assert!(q.admit(request(0, seq, 0.0)).is_ok());
+            assert!(q.admit(request(1, seq, 0.0)).is_ok());
+        }
+        let taken = q.take_fair(6, |_| true);
+        let t0 = taken.iter().filter(|t| t.req.id.tenant.0 == 0).count();
+        let t1 = taken.iter().filter(|t| t.req.id.tenant.0 == 1).count();
+        assert_eq!((t0, t1), (4, 2), "weight 2 takes twice the share");
+    }
+
+    #[test]
+    fn blocked_lane_does_not_block_others() {
+        let mut q = AdmissionQueue::new(QueueConfig::bounded(100));
+        assert!(q.admit(request(0, 0, 0.0)).is_ok());
+        assert!(q.admit(request(1, 0, 0.0)).is_ok());
+        assert!(q.admit(request(1, 1, 0.0)).is_ok());
+        // Refuse tenant 0's front request (an oversized job): tenant 1
+        // still fills the batch.
+        let taken = q.take_fair(8, |qr| qr.req.id.tenant.0 != 0);
+        let tenants: Vec<u32> = taken.iter().map(|t| t.req.id.tenant.0).collect();
+        assert_eq!(tenants, vec![1, 1]);
+        assert_eq!(q.len(), 1, "the blocked request stays queued");
+    }
+
+    #[test]
+    fn expired_requests_sweep_out_in_order() {
+        let mut q = AdmissionQueue::new(QueueConfig::bounded(100));
+        let mut fresh = request(0, 0, 0.0);
+        fresh.deadline_at = Some(10.0);
+        let mut stale = request(0, 1, 0.0);
+        stale.deadline_at = Some(1.0);
+        let eternal = request(1, 0, 0.0);
+        assert!(q.admit(fresh).is_ok());
+        assert!(q.admit(stale).is_ok());
+        assert!(q.admit(eternal).is_ok());
+        let expired = q.drop_expired(5.0);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].req.id.seq, 1);
+        assert_eq!(q.len(), 2, "unexpired requests keep their slots");
+    }
+
+    #[test]
+    fn zero_depth_rejects_everything() {
+        let mut q = AdmissionQueue::new(QueueConfig::bounded(0));
+        assert!(matches!(
+            q.admit(request(0, 0, 0.0)),
+            Err(RejectReason::QueueFull { depth: 0 })
+        ));
+        assert!(q.is_empty());
+        assert!(q.take_fair(4, |_| true).is_empty());
+    }
+}

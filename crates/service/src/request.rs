@@ -1,0 +1,192 @@
+//! Requests entering the service and the structured outcomes leaving it.
+//!
+//! A [`ServiceOutcome`] *extends* the launch engine's per-job
+//! `JobOutcome`: where the engine reports how one kernel run of an
+//! admitted job went, the service also has to account for requests that
+//! never ran (rejected at admission, expired in the queue), ran too late
+//! (deadline missed), or ran out of every retry the service was willing
+//! to spend (quarantined). Every variant carries the payload a client —
+//! or a replay — needs to reconstruct exactly what happened.
+
+use locassm_core::{ContigJob, ExtensionResult, RequestId};
+use locassm_kernels::{JobOutcome, KernelFault};
+
+/// One contig-extension request submitted to the service.
+#[derive(Debug, Clone)]
+pub struct ExtensionRequest {
+    /// Deterministic identity: tenant plus per-tenant sequence number.
+    /// The packed [`RequestId::uid`] is the id space fault plans target.
+    pub id: RequestId,
+    /// The contig and its aligned reads, exactly as a standalone run
+    /// would receive them.
+    pub job: ContigJob,
+    /// Virtual arrival time, in modeled seconds. The service clock is
+    /// *modeled* time (the same deterministic quantity the timing model
+    /// produces), never wall clock — so a workload replays bit-exactly.
+    pub arrival: f64,
+    /// Optional completion deadline, in modeled seconds *after* arrival.
+    /// A request still queued when its deadline passes times out without
+    /// running; one whose batch finishes past the deadline times out
+    /// deterministically instead of returning a late result.
+    pub deadline: Option<f64>,
+}
+
+impl ExtensionRequest {
+    /// A deadline-free request arriving at `arrival`.
+    pub fn new(id: RequestId, job: ContigJob, arrival: f64) -> Self {
+        ExtensionRequest { id, job, arrival, deadline: None }
+    }
+
+    /// Attach a relative completion deadline (modeled seconds after
+    /// arrival).
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The absolute deadline instant, if any.
+    pub fn deadline_at(&self) -> Option<f64> {
+        self.deadline.map(|d| self.arrival + d)
+    }
+}
+
+/// Why admission refused a request. Returned synchronously at submit
+/// time — backpressure is an explicit, structured answer, never an
+/// unbounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The service-wide queue is at capacity.
+    QueueFull {
+        /// The configured total queue depth that was hit.
+        depth: usize,
+    },
+    /// The submitting tenant's own queued-request quota is at capacity
+    /// (other tenants may still have headroom — quotas isolate tenants
+    /// from each other's bursts).
+    TenantQuotaExceeded {
+        /// The tenant's configured max queued requests.
+        quota: usize,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth } => write!(f, "queue full (depth {depth})"),
+            RejectReason::TenantQuotaExceeded { quota } => {
+                write!(f, "tenant quota exceeded (max {quota} queued)")
+            }
+        }
+    }
+}
+
+/// Where in its lifecycle a request's deadline expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutStage {
+    /// The deadline passed while the request was still queued (or parked
+    /// in retry backoff); it never consumed GPU time.
+    Queued,
+    /// The request ran, but its batch completed after the deadline; the
+    /// late result is discarded deterministically.
+    Executed,
+}
+
+/// Terminal outcome of one request — the service-level extension of the
+/// launch engine's `JobOutcome`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceOutcome {
+    /// The request ran and produced an extension (possibly after
+    /// escalation and/or service-level requeues).
+    Completed {
+        /// The two-sided extension, bit-identical to a standalone run of
+        /// the same job (invariant 9: admission changes *when* a job
+        /// runs, never its result).
+        result: ExtensionResult,
+        /// The launch engine's outcome for the final (successful) run.
+        kernel: JobOutcome,
+        /// Service-level re-enqueues this request consumed (0 when the
+        /// first batch run succeeded).
+        requeues: u32,
+        /// Completion instant on the virtual clock (modeled seconds).
+        completed_at: f64,
+    },
+    /// Admission refused the request; it never entered the queue.
+    Rejected {
+        /// Why it was refused.
+        reason: RejectReason,
+        /// Arrival instant at which it was refused.
+        at: f64,
+    },
+    /// The request's deadline expired.
+    TimedOut {
+        /// Whether it expired in the queue or after (late) execution.
+        stage: TimeoutStage,
+        /// The virtual instant the timeout was recorded.
+        at: f64,
+    },
+    /// Poison job: the request kept faulting after the kernel's full
+    /// escalation ladder *and* every service-level requeue, and is now
+    /// parked so it can never perturb co-batched tenants again.
+    Quarantined {
+        /// The fault that exhausted the final run's ladder.
+        fault: KernelFault,
+        /// Total kernel attempts spent across every run (batch runs plus
+        /// escalation retries) — exact, thanks to `JobOutcome::Failed`
+        /// carrying its attempt count.
+        attempts: u32,
+        /// Service-level re-enqueues consumed before quarantine.
+        requeues: u32,
+    },
+}
+
+impl ServiceOutcome {
+    /// True for [`ServiceOutcome::Completed`].
+    pub fn completed(&self) -> bool {
+        matches!(self, ServiceOutcome::Completed { .. })
+    }
+
+    /// The completed extension, if any.
+    pub fn extension(&self) -> Option<&ExtensionResult> {
+        match self {
+            ServiceOutcome::Completed { result, .. } => Some(result),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locassm_core::{Read, TenantId};
+
+    fn req() -> ExtensionRequest {
+        let job = ContigJob::new(
+            0,
+            b"ACGTACGT".to_vec(),
+            vec![Read::with_uniform_qual(b"ACGTACGTAC", b'I')],
+            vec![],
+        );
+        ExtensionRequest::new(RequestId::new(TenantId(1), 0), job, 2.0)
+    }
+
+    #[test]
+    fn deadlines_are_relative_to_arrival() {
+        assert_eq!(req().deadline_at(), None);
+        assert_eq!(req().with_deadline(3.5).deadline_at(), Some(5.5));
+    }
+
+    #[test]
+    fn reject_reasons_render() {
+        assert!(RejectReason::QueueFull { depth: 8 }.to_string().contains("depth 8"));
+        assert!(
+            RejectReason::TenantQuotaExceeded { quota: 2 }.to_string().contains("max 2")
+        );
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let o = ServiceOutcome::Rejected { reason: RejectReason::QueueFull { depth: 1 }, at: 0.0 };
+        assert!(!o.completed());
+        assert!(o.extension().is_none());
+    }
+}

@@ -112,6 +112,58 @@ impl FaultPlan {
         }
     }
 
+    /// The single job id this plan targets, if any. Every constructor
+    /// produces a single-victim plan; a hand-assembled plan with several
+    /// distinct victims reports the first in field order.
+    pub fn victim(&self) -> Option<u64> {
+        self.table_full_at
+            .or(self.watchdog_at)
+            .or(self.alloc_fail.map(|(j, _)| j))
+            .or(self.squeeze_at.map(|(j, _)| j))
+    }
+
+    /// Rewrite every victim id equal to `from` into `to`, leaving the
+    /// fault class, payload and attempt budget untouched.
+    ///
+    /// This is the id-stability primitive for drivers that *re-enqueue*
+    /// jobs (a service-level retry, a requeue after backpressure): such a
+    /// driver names victims in its own stable id space (e.g. a request
+    /// uid) and retargets the plan onto each run's run-global job
+    /// numbering just before launch. The victim keeps faulting no matter
+    /// which batch slot it lands in — without this, a persistent seeded
+    /// fault would hit whoever happens to inherit the original slot.
+    pub fn retargeted(&self, from: u64, to: u64) -> Self {
+        let mv = |id: Option<u64>| id.map(|j| if j == from { to } else { j });
+        Self {
+            table_full_at: mv(self.table_full_at),
+            watchdog_at: mv(self.watchdog_at),
+            alloc_fail: self
+                .alloc_fail
+                .map(|(j, nth)| (if j == from { to } else { j }, nth)),
+            squeeze_at: self
+                .squeeze_at
+                .map(|(j, d)| (if j == from { to } else { j }, d)),
+            attempts: self.attempts,
+        }
+    }
+
+    /// Deduct `spent` attempts already charged against this plan's budget
+    /// (by earlier runs of the same victim) and return the remainder, or
+    /// `None` once the budget is exhausted — the caller then launches
+    /// with no plan at all, so the victim's next attempt runs clean.
+    ///
+    /// Together with [`FaultPlan::retargeted`] this makes a persistent
+    /// fault *globally* persistent across service-level re-enqueues: a
+    /// `persist(3)` plan faults exactly three attempts of the same
+    /// request even when those attempts span multiple separate runs.
+    pub fn consume(&self, spent: u32) -> Option<Self> {
+        let remaining = self.attempts.saturating_sub(spent);
+        if remaining == 0 {
+            return None;
+        }
+        Some(Self { attempts: remaining, ..*self })
+    }
+
     /// True if this plan targets run-global job index `job`.
     pub fn targets(&self, job: u64) -> bool {
         self.table_full_at == Some(job)
@@ -189,6 +241,39 @@ mod tests {
         plan.arm(3, &mut warp);
         assert!(warp.injected_faults().table_full);
         assert!(plan.targets(3) && !plan.targets(2));
+    }
+
+    #[test]
+    fn retarget_moves_only_the_matching_victim() {
+        let plan = FaultPlan::table_full(7).persist(3);
+        assert_eq!(plan.victim(), Some(7));
+        let moved = plan.retargeted(7, 2);
+        assert_eq!(moved.victim(), Some(2));
+        assert!(moved.targets(2) && !moved.targets(7));
+        assert_eq!(moved.attempts, 3, "the attempt budget rides along");
+        // A non-matching rewrite is the identity.
+        assert_eq!(plan.retargeted(5, 9), plan);
+        // Payloads survive the move.
+        let sq = FaultPlan::table_squeeze(4, 6).retargeted(4, 0);
+        assert_eq!(sq.squeeze_at, Some((0, 6)));
+        let alloc = FaultPlan::alloc_failure(4, 3).retargeted(4, 1);
+        assert_eq!(alloc.alloc_fail, Some((1, 3)));
+    }
+
+    #[test]
+    fn consume_tracks_a_cross_run_attempt_budget() {
+        let plan = FaultPlan::table_full(0).persist(3);
+        // Run 1 spent 2 attempts: one remains.
+        let rest = plan.consume(2).expect("budget not yet exhausted");
+        assert_eq!(rest.attempts, 1);
+        assert_eq!(rest.table_full_at, Some(0));
+        // Run 2 spent that one: the plan disarms entirely.
+        assert_eq!(rest.consume(1), None);
+        assert_eq!(plan.consume(3), None);
+        assert_eq!(plan.consume(u32::MAX), None);
+        // An inexhaustible plan never disarms.
+        let forever = FaultPlan::watchdog(1).persist(u32::MAX);
+        assert_eq!(forever.consume(1_000_000).map(|p| p.attempts), Some(u32::MAX - 1_000_000));
     }
 
     #[test]

@@ -23,6 +23,18 @@ const HOT_PATH: &[&str] = &[
     "crates/kernels/src/launch.rs",
 ];
 
+/// The service front-end's hot path: everything between a tenant's
+/// submit and its terminal `ServiceOutcome`. The service exists to turn
+/// pathology into structured outcomes (rejections, timeouts,
+/// quarantine), so a panic here is a contract violation twice over — it
+/// would take down every queued tenant at once.
+const SERVICE_HOT_PATH: &[&str] = &[
+    "crates/service/src/batch.rs",
+    "crates/service/src/queue.rs",
+    "crates/service/src/request.rs",
+    "crates/service/src/service.rs",
+];
+
 const FORBIDDEN: &[&str] = &["panic!(", ".unwrap()", ".expect(", "unreachable!(", "todo!("];
 
 /// Strip `//` line comments (good enough for this codebase: no raw
@@ -44,11 +56,10 @@ fn production_code(source: &str) -> String {
     out
 }
 
-#[test]
-fn kernel_hot_path_stays_panic_free() {
+fn violations_in(files: &[&str]) -> Vec<String> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let mut violations = Vec::new();
-    for rel in HOT_PATH {
+    for rel in files {
         let path = root.join(rel);
         let source = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("hot-path file {rel} must exist: {e}"));
@@ -64,10 +75,27 @@ fn kernel_hot_path_stays_panic_free() {
             }
         }
     }
+    violations
+}
+
+#[test]
+fn kernel_hot_path_stays_panic_free() {
+    let violations = violations_in(HOT_PATH);
     assert!(
         violations.is_empty(),
         "panic paths reappeared in the per-job kernel hot path — report a \
          KernelFault instead:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn service_hot_path_stays_panic_free() {
+    let violations = violations_in(SERVICE_HOT_PATH);
+    assert!(
+        violations.is_empty(),
+        "panic paths reappeared in the service hot path — report a \
+         ServiceOutcome (reject, time out, quarantine) instead:\n{}",
         violations.join("\n")
     );
 }
@@ -78,7 +106,7 @@ fn hot_path_listing_is_current() {
     // silently shrinks. Require every listed file to exist AND require
     // the insert dialects to still dispatch through `Dialect::insert`.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    for rel in HOT_PATH {
+    for rel in HOT_PATH.iter().chain(SERVICE_HOT_PATH) {
         assert!(root.join(rel).is_file(), "{rel} disappeared; update HOT_PATH");
     }
     let kernel = std::fs::read_to_string(root.join("crates/kernels/src/kernel.rs")).unwrap();

@@ -217,8 +217,8 @@ fn sub_chunk_contig_is_malformed_and_not_retried() {
     // A retry ladder is armed on purpose: MalformedJob must bypass it.
     let r = run_local_assembly(&ds, &config(RetryPolicy::ladder(3)));
     match r.outcomes[0] {
-        JobOutcome::Failed { fault: KernelFault::MalformedJob { .. } } => {}
-        other => panic!("expected Failed(MalformedJob), got {other:?}"),
+        JobOutcome::Failed { fault: KernelFault::MalformedJob { .. }, attempts: 0 } => {}
+        other => panic!("expected Failed(MalformedJob) with zero retries, got {other:?}"),
     }
     assert!(r.extensions[0].right.is_empty());
     assert_eq!(r.outcomes[1], JobOutcome::Ok, "the healthy job is untouched");
@@ -257,8 +257,9 @@ fn persistent_table_squeeze_exhausts_escalation() {
     cfg.fault = Some(FaultPlan::table_squeeze(0, 6).persist(u32::MAX));
     let r = run_local_assembly(&ds, &cfg);
     match r.outcomes[0] {
-        JobOutcome::Failed { fault: KernelFault::HashTableFull { capacity, .. } } => {
+        JobOutcome::Failed { fault: KernelFault::HashTableFull { capacity, .. }, attempts } => {
             assert!(capacity > 0, "the overflow reports the squeezed table");
+            assert!(attempts >= 1, "the exhausted ladder reports its attempt count");
         }
         other => panic!("expected Failed(HashTableFull), got {other:?}"),
     }
@@ -274,9 +275,80 @@ fn failed_outcome_carries_the_fault_payload() {
     let r = run_local_assembly(ds, &cfg);
     let (victim_idx, _) = launched_jobs(ds, &cfg)[0];
     match r.outcomes[victim_idx] {
-        JobOutcome::Failed { fault: KernelFault::HashTableFull { capacity, .. } } => {
+        JobOutcome::Failed { fault: KernelFault::HashTableFull { capacity, .. }, attempts } => {
             assert!(capacity > 0, "the fault reports the table that overflowed");
+            assert!(attempts >= 1, "the fault payload carries the exact attempt count");
         }
         other => panic!("expected Failed(HashTableFull), got {other:?}"),
     }
+}
+
+/// Service-level saturation scenario (the tentpole's isolation proof):
+/// one tenant's poison job, under full queue pressure, must leave every
+/// other tenant's outcome untouched — identical admissions, identical
+/// rejections, and bit-identical extensions — while the poison job
+/// itself burns its requeues and lands in quarantine.
+#[test]
+fn poison_tenant_under_saturation_leaves_other_tenants_bit_identical() {
+    use locassm_core::{RequestId, TenantId};
+    use locassm_service::{
+        run_service, ExtensionRequest, QueueConfig, RequeuePolicy, ServiceConfig, ServiceOutcome,
+    };
+
+    let ds = dataset();
+    // Three tenants, four submissions each, arrivals interleaved
+    // round-robin; the queue holds half of them, so admission is under
+    // genuine backpressure and the rest are rejected.
+    let reqs: Vec<ExtensionRequest> = (0..12)
+        .map(|i| {
+            let (tenant, seq) = (i as u32 % 3, i as u32 / 3);
+            ExtensionRequest::new(
+                RequestId::new(TenantId(tenant), seq),
+                ds.jobs[i % ds.jobs.len()].clone(),
+                i as f64 * 1e-6,
+            )
+        })
+        .collect();
+    let victim = RequestId::new(TenantId(0), 0);
+
+    let mut cfg = ServiceConfig::for_device(DeviceId::A100, ds.k);
+    cfg.queue = QueueConfig::bounded(6);
+    cfg.batch.max_jobs = 2;
+    cfg.requeue = RequeuePolicy::exponential(1, 1e-3);
+
+    let clean = run_service(&reqs, &cfg);
+    let poisoned = run_service(
+        &reqs,
+        &cfg.clone().with_fault(FaultPlan::table_full(victim.uid()).persist(u32::MAX)),
+    );
+
+    match poisoned.outcome(victim) {
+        Some(ServiceOutcome::Quarantined { requeues, attempts, .. }) => {
+            assert_eq!(*requeues, 1, "the requeue budget is spent before quarantine");
+            assert!(*attempts >= 2, "both runs burned attempts");
+        }
+        other => panic!("poison job must be quarantined, got {other:?}"),
+    }
+
+    for req in reqs.iter().filter(|r| r.id != victim) {
+        let (c, p) = (clean.outcome(req.id), poisoned.outcome(req.id));
+        match (c, p) {
+            (
+                Some(ServiceOutcome::Completed { result: rc, .. }),
+                Some(ServiceOutcome::Completed { result: rp, .. }),
+            ) => assert_eq!(rc, rp, "{}: extension must be bit-identical", req.id),
+            (
+                Some(ServiceOutcome::Rejected { reason: a, .. }),
+                Some(ServiceOutcome::Rejected { reason: b, .. }),
+            ) => assert_eq!(a, b, "{}: rejection must be identical", req.id),
+            other => panic!(
+                "{}: outcome class must not change under a co-tenant's poison job: {other:?}",
+                req.id
+            ),
+        }
+    }
+    assert!(
+        clean.records.iter().any(|r| matches!(r.outcome, ServiceOutcome::Rejected { .. })),
+        "the scenario must actually saturate the queue"
+    );
 }
