@@ -9,11 +9,13 @@
 //!
 //! Counters are process-global and monotone; measure with
 //! [`snapshot`] / [`AllocSnapshot::since`] deltas, and keep concurrent
-//! allocating work out of the measured window (the pool-bench smoke test
-//! is the only measuring test in this crate's lib target).
+//! allocating work out of the measured window: every test that measures
+//! a delta — and every allocation-heavy test that could run in the same
+//! process — must hold [`measurement_lock`] for its duration.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
@@ -71,6 +73,17 @@ impl AllocSnapshot {
 /// The current process-global allocation counters.
 pub fn snapshot() -> AllocSnapshot {
     AllocSnapshot { allocs: ALLOCS.load(Ordering::Relaxed), bytes: BYTES.load(Ordering::Relaxed) }
+}
+
+/// Serializes windows that read the process-global counters against any
+/// other allocation-heavy work in the same process. Tests that compare
+/// [`snapshot`] deltas (the pool-bench smoke tests) must hold this while
+/// measuring, and long allocating tests (the resize-bench determinism
+/// run) must hold it too — otherwise the harness interleaves them and
+/// the bystander's allocations land inside the measured delta.
+pub fn measurement_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]

@@ -19,20 +19,26 @@
 //!   0.5-4x capacity against a shallow queue, showing backpressure and
 //!   deadline timeouts past saturation. Fully deterministic (virtual
 //!   clock) like the sched and layout reports.
+//! * `BENCH_resize.json` — grown-reserve escalation vs in-kernel
+//!   incremental resizing on a squeezed long-tail job: per squeeze
+//!   divisor, each recovery discipline's escalation-attempt count and
+//!   modeled time/traffic. Fully deterministic like the sched, layout
+//!   and service reports.
 //!
 //! ```text
-//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT [LAYOUT_OUT [SERVICE_OUT]]]]]
+//! cargo run --release -p locassm-bench --bin bench-kernels [OUT_PATH [HOTPATH_OUT [SCHED_OUT [LAYOUT_OUT [SERVICE_OUT [RESIZE_OUT]]]]]]
 //! ```
 //!
 //! Paths default to `BENCH_kernels.json` / `BENCH_hotpath.json` /
-//! `BENCH_sched.json` / `BENCH_layouts.json` / `BENCH_service.json` in
-//! the current directory (run from the repo root to refresh the
-//! checked-in copies).
+//! `BENCH_sched.json` / `BENCH_layouts.json` / `BENCH_service.json` /
+//! `BENCH_resize.json` in the current directory (run from the repo root
+//! to refresh the checked-in copies).
 
 use gpu_specs::DeviceId;
 use locassm_bench::cli::require_ok;
 use locassm_bench::layoutbench::layout_bench;
 use locassm_bench::poolbench::{hotpath_bench, pool_bench};
+use locassm_bench::resizebench::resize_bench;
 use locassm_bench::schedbench::sched_bench;
 use locassm_bench::servicebench::service_bench;
 
@@ -47,6 +53,8 @@ fn main() {
         std::env::args().nth(4).unwrap_or_else(|| "BENCH_layouts.json".to_string());
     let service_path =
         std::env::args().nth(5).unwrap_or_else(|| "BENCH_service.json".to_string());
+    let resize_path =
+        std::env::args().nth(6).unwrap_or_else(|| "BENCH_resize.json".to_string());
 
     let r = pool_bench(DeviceId::A100, 21, 0.005, 11, 3, 5);
     let json = r.to_json();
@@ -165,4 +173,30 @@ fn main() {
         );
     }
     eprintln!("  wrote {service_path}");
+
+    let rz = resize_bench(DeviceId::A100, 21, 80);
+    let resize_json = rz.to_json();
+    require_ok(
+        std::fs::write(&resize_path, &resize_json),
+        &format!("write report {resize_path}"),
+    );
+
+    eprintln!(
+        "escalation vs in-kernel resize, {} k={} ({} k-mers, modeled, {} attempts retired):",
+        rz.device,
+        rz.k,
+        rz.n_kmers,
+        rz.attempts_retired()
+    );
+    for row in &rz.rows {
+        eprintln!(
+            "  /{}: ladder {} attempts {:.6}s  resize {} attempts {:.6}s",
+            row.divisor,
+            row.escalation.attempts,
+            row.escalation.seconds,
+            row.resize.attempts,
+            row.resize.seconds
+        );
+    }
+    eprintln!("  wrote {resize_path}");
 }

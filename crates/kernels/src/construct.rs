@@ -21,14 +21,18 @@ use simt::{LaneVec, Mask, Warp};
 /// a grown table or a smaller k.
 pub fn construct_hash_table(
     warp: &mut Warp,
-    job: &DeviceJob,
+    job: &mut DeviceJob,
     dialect: Dialect,
 ) -> Result<(), KernelFault> {
     let width = warp.width();
     let k = job.k as u32;
     let chunks = job.k.div_ceil(4) as u64;
 
-    for span in &job.spans {
+    // Indexed iteration: an in-kernel resize mutates the job (new region,
+    // new slot count) mid-span, so the span list cannot stay borrowed
+    // across the dialect call. `ReadSpan` is `Copy`.
+    for si in 0..job.spans.len() {
+        let span = job.spans[si];
         let n_kmers = span.len.saturating_sub(k - 1);
         if span.len < k {
             continue;
@@ -173,10 +177,10 @@ mod tests {
         {
             let reads = reads_mixed();
             let mut warp = Warp::new(width, HierarchyConfig::tiny());
-            let job =
+            let mut job =
                 DeviceJob::stage(&mut warp, b"AACCGGTTAACC", &reads, 5, WalkConfig::default(), 1)
                     .unwrap();
-            construct_hash_table(&mut warp, &job, dialect).unwrap();
+            construct_hash_table(&mut warp, &mut job, dialect).unwrap();
             assert_eq!(dump(&warp, &job), cpu_dump(&reads, 5), "{dialect:?}");
         }
     }
@@ -185,9 +189,9 @@ mod tests {
     fn short_reads_skipped() {
         let reads = vec![Read::with_uniform_qual(b"ACG", b'I')];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default(), 1)
+        let mut job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default(), 1)
             .unwrap();
-        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
         assert!(dump(&warp, &job).is_empty());
         assert_eq!(warp.counters.atomic_instructions, 0);
     }
@@ -200,9 +204,9 @@ mod tests {
             Read::with_uniform_qual(b"ACGTAG", b'I'),
         ];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default(), 1)
+        let mut job = DeviceJob::stage(&mut warp, b"ACGTACGT", &reads, 5, WalkConfig::default(), 1)
             .unwrap();
-        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
         let entries = dump(&warp, &job);
         let acgta = entries.iter().find(|(k, ..)| k == b"ACGTA").unwrap();
         assert_eq!(acgta.3, 2);
@@ -217,9 +221,9 @@ mod tests {
         let reads = vec![Read::with_uniform_qual(&[b'A'; 24][..], b'I')];
         let util = |width: u32, dialect: Dialect| {
             let mut warp = Warp::new(width, HierarchyConfig::tiny());
-            let job = DeviceJob::stage(&mut warp, b"AAAAAAAA", &reads, 5, WalkConfig::default(), 1)
+            let mut job = DeviceJob::stage(&mut warp, b"AAAAAAAA", &reads, 5, WalkConfig::default(), 1)
                 .unwrap();
-            construct_hash_table(&mut warp, &job, dialect).unwrap();
+            construct_hash_table(&mut warp, &mut job, dialect).unwrap();
             warp.counters.lane_utilization()
         };
         let u32w = util(32, Dialect::Cuda);

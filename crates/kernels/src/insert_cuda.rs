@@ -14,6 +14,8 @@ use crate::probe::{
     advance, bucket_crossing_vote, cas_claim, compare_stored_keys, publish_key, start_slots,
     InsertArgs, SlotVec,
 };
+use crate::resize::ensure_capacity;
+use crate::table::TOMBSTONE;
 use simt::{LaneVec, Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
@@ -26,9 +28,16 @@ use simt::{LaneVec, Mask, Warp};
 /// front bucket + backyard for iceberg); the round that would revisit its
 /// origin faults instead. A successful insert never needs more rounds, so
 /// fault-free runs are unaffected.
+///
+/// With [`DeviceJob::resize`] armed, the warp checks the layout's
+/// high-water mark before probing and migrates into a grown region first
+/// (see [`crate::resize`]); a tombstoned slot observed through the CAS
+/// `prev` value neither wins (only `EMPTY` is claimable) nor compares
+/// (its key bytes are gone) — the lane simply keeps probing, which is the
+/// shared tombstone rule of [`crate::table`].
 pub fn ht_get_atomic(
     warp: &mut Warp,
-    job: &DeviceJob,
+    job: &mut DeviceJob,
     args: &InsertArgs,
 ) -> Result<SlotVec, KernelFault> {
     if warp.injected_faults().table_full {
@@ -37,6 +46,7 @@ pub fn ht_get_atomic(
             occupancy: table_occupancy(warp, job),
         });
     }
+    ensure_capacity(warp, job, args.mask.count())?;
     let warp_width = warp.width();
     let probe_bound = job.layout.as_layout().probe_bound(job);
     let mut slot = start_slots(warp, job, args);
@@ -74,15 +84,19 @@ pub fn ht_get_atomic(
             }
         }
         publish_key(warp, job, winners, &slot, args);
+        job.occupied += winners.count();
 
         // __syncwarp(mask): losers may now safely read the winner's key.
         warp.syncwarp(searching);
 
-        // prev != EMPTY && key == kmer  → found existing entry.
+        // prev != EMPTY && key == kmer  → found existing entry. A
+        // tombstoned slot is excluded from the compare: its key bytes are
+        // gone (the stale key_off could alias a live key's offset), so
+        // the lane keeps probing without a match.
         let losers = {
             let mut m = Mask::NONE;
             for l in searching.lanes() {
-                if prev[l] != EMPTY {
+                if prev[l] != EMPTY && prev[l] != TOMBSTONE {
                     m.set(l);
                 }
             }
@@ -137,14 +151,14 @@ mod tests {
     #[test]
     fn distinct_keys_get_distinct_slots() {
         // Read "ACGTACGT": k-mers at offsets 0..4 (ACGT CGTA GTAC TACG ACGT).
-        let (mut warp, job) = setup(b"ACGTACGT", 4);
+        let (mut warp, mut job) = setup(b"ACGTACGT", 4);
         let mask = Mask(0b1111); // lanes 0..3 insert offsets 0..3
         let args = InsertArgs {
             mask,
             key_off: LaneVec::from_fn(32, |l| l),
             hash: LaneVec::from_fn(32, |l| hash_of(&job, &warp, l)),
         };
-        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let slots = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
         // All four k-mers are distinct → four distinct slots, all claimed.
         let mut seen: Vec<u32> = (0..4).map(|l| slots[l]).collect();
         seen.sort_unstable();
@@ -161,25 +175,25 @@ mod tests {
     fn thread_collision_identical_kmers_share_slot() {
         // Offsets 0 and 4 are both "ACGT" — the thread-collision case the
         // paper resolves with __match_any_sync + atomicCAS.
-        let (mut warp, job) = setup(b"ACGTACGT", 4);
+        let (mut warp, mut job) = setup(b"ACGTACGT", 4);
         let mask = Mask(0b11);
         let mut key_off = LaneVec::splat(0u32);
         key_off[1] = 4;
         let h = hash_of(&job, &warp, 0);
         let args = InsertArgs { mask, key_off, hash: LaneVec::splat(h) };
-        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let slots = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
         assert_eq!(slots[0], slots[1], "identical k-mers must resolve to one entry");
     }
 
     #[test]
     fn hash_collision_resolved_by_linear_probe() {
-        let (mut warp, job) = setup(b"ACGTACGT", 4);
+        let (mut warp, mut job) = setup(b"ACGTACGT", 4);
         // Force both distinct k-mers to the same starting slot.
         let mask = Mask(0b11);
         let mut key_off = LaneVec::splat(0u32);
         key_off[1] = 1; // "CGTA" ≠ "ACGT"
         let args = InsertArgs { mask, key_off, hash: LaneVec::splat(7) };
-        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let slots = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
         assert_ne!(slots[0], slots[1]);
         assert_eq!(slots[0], 7);
         assert_eq!(slots[1], (7 + 1) % job.slots, "linear probe to the next slot");
@@ -187,27 +201,27 @@ mod tests {
 
     #[test]
     fn reinsertion_finds_existing_entry() {
-        let (mut warp, job) = setup(b"ACGTACGT", 4);
+        let (mut warp, mut job) = setup(b"ACGTACGT", 4);
         let h = hash_of(&job, &warp, 2);
         let args = InsertArgs {
             mask: Mask::lane(0),
             key_off: LaneVec::splat(2u32),
             hash: LaneVec::splat(h),
         };
-        let first = ht_get_atomic(&mut warp, &job, &args).unwrap();
-        let second = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let first = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
+        let second = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
         assert_eq!(first[0], second[0]);
     }
 
     #[test]
     fn counts_collectives_and_atomics() {
-        let (mut warp, job) = setup(b"ACGTACGT", 4);
+        let (mut warp, mut job) = setup(b"ACGTACGT", 4);
         let args = InsertArgs {
             mask: Mask::lane(0),
             key_off: LaneVec::splat(0u32),
             hash: LaneVec::splat(0u32),
         };
-        let _ = ht_get_atomic(&mut warp, &job, &args);
+        let _ = ht_get_atomic(&mut warp, &mut job, &args);
         let c = warp.counters;
         assert_eq!(c.atomic_instructions, 1, "one CAS round");
         assert_eq!(c.collective_instructions, 1, "one __match_any_sync");
@@ -252,7 +266,7 @@ mod full_table_tests {
                 key_off: LaneVec::splat(off),
                 hash: LaneVec::splat(off % 4),
             };
-            if let Err(f) = ht_get_atomic(&mut warp, &job, &args) {
+            if let Err(f) = ht_get_atomic(&mut warp, &mut job, &args) {
                 fault = Some(f);
                 break;
             }

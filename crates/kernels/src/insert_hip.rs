@@ -13,6 +13,8 @@ use crate::probe::{
     advance, bucket_crossing_vote, cas_claim, compare_stored_keys, publish_key, start_slots,
     InsertArgs, SlotVec,
 };
+use crate::resize::ensure_capacity;
+use crate::table::TOMBSTONE;
 use simt::{LaneVec, Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
@@ -23,10 +25,11 @@ use simt::{LaneVec, Mask, Warp};
 /// probe, so `rounds` only advances once lanes actually claim/compare.
 /// All three dialects fault on the round that would revisit the probe's
 /// origin (`rounds` past the layout's probe bound — `job.slots` for
-/// linear probing).
+/// linear probing). Tombstones and the resize high-water check follow the
+/// shared rule documented on [`crate::insert_cuda::ht_get_atomic`].
 pub fn ht_get_atomic(
     warp: &mut Warp,
-    job: &DeviceJob,
+    job: &mut DeviceJob,
     args: &InsertArgs,
 ) -> Result<SlotVec, KernelFault> {
     if warp.injected_faults().table_full {
@@ -35,6 +38,7 @@ pub fn ht_get_atomic(
             occupancy: table_occupancy(warp, job),
         });
     }
+    ensure_capacity(warp, job, args.mask.count())?;
     let probe_bound = job.layout.as_layout().probe_bound(job);
     let mut slot = start_slots(warp, job, args);
     let mut done = LaneVec::from_fn(warp.width(), |l| !args.mask.contains(l));
@@ -80,12 +84,15 @@ pub fn ht_get_atomic(
             }
         }
         publish_key(warp, job, winners, &slot, args);
+        job.occupied += winners.count();
 
-        // if (!done) { match/own checks set the done flag }
+        // if (!done) { match/own checks set the done flag }. Tombstoned
+        // slots are excluded from the compare (stale key bytes) and keep
+        // probing — the shared tombstone rule.
         let losers = {
             let mut m = Mask::NONE;
             for l in not_done.lanes() {
-                if prev[l] != EMPTY {
+                if prev[l] != EMPTY && prev[l] != TOMBSTONE {
                     m.set(l);
                 }
             }
@@ -140,7 +147,7 @@ mod tests {
 
     #[test]
     fn wavefront_width_64_supported() {
-        let (mut warp, job) = setup(64);
+        let (mut warp, mut job) = setup(64);
         let mask = Mask::full(64);
         // 9 distinct offsets 0..8 cycle ACGT…; offsets ≥ 9 reuse offset % 9.
         let args = InsertArgs {
@@ -153,7 +160,7 @@ mod tests {
                 (l % 9 * 3) % job.slots
             }),
         };
-        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let slots = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
         // Lanes with the same key_off must land on the same slot.
         for l in 0..64u32 {
             assert_eq!(slots[l], slots[l % 9], "lane {l}");
@@ -165,16 +172,16 @@ mod tests {
         // Insert identical work through both dialects; the resulting table
         // contents must agree (same claimed slots given same start hashes).
         let run = |cuda: bool| {
-            let (mut warp, job) = setup(32);
+            let (mut warp, mut job) = setup(32);
             let args = InsertArgs {
                 mask: Mask(0b111),
                 key_off: LaneVec::from_fn(32, |l| l), // ACGT, CGTA, GTAC
                 hash: LaneVec::splat(5u32),
             };
             let slots = if cuda {
-                crate::insert_cuda::ht_get_atomic(&mut warp, &job, &args)
+                crate::insert_cuda::ht_get_atomic(&mut warp, &mut job, &args)
             } else {
-                ht_get_atomic(&mut warp, &job, &args)
+                ht_get_atomic(&mut warp, &mut job, &args)
             }
             .unwrap();
             (0..3).map(|l| slots[l]).collect::<Vec<_>>()
@@ -191,26 +198,26 @@ mod tests {
         // mask-scoped syncs; the dialect's larger cost shows up through
         // the 64-wide wavefront (see
         // `construct::tests::wider_warp_wastes_lanes_on_short_reads`).
-        let (mut warp, job) = setup(32);
+        let (mut warp, mut job) = setup(32);
         let args = InsertArgs {
             mask: Mask(0b11),
             key_off: LaneVec::from_fn(32, |l| l), // distinct keys
             hash: LaneVec::splat(0u32),           // colliding start slot
         };
-        let _ = ht_get_atomic(&mut warp, &job, &args);
+        let _ = ht_get_atomic(&mut warp, &mut job, &args);
         assert_eq!(warp.counters.collective_instructions, 4, "2 rounds × 2 __all");
         assert_eq!(warp.counters.sync_instructions, 0, "no __syncwarp on HIP");
     }
 
     #[test]
     fn empty_mask_returns_immediately() {
-        let (mut warp, job) = setup(32);
+        let (mut warp, mut job) = setup(32);
         let args = InsertArgs {
             mask: Mask::NONE,
             key_off: LaneVec::splat(0u32),
             hash: LaneVec::splat(0u32),
         };
-        let _ = ht_get_atomic(&mut warp, &job, &args);
+        let _ = ht_get_atomic(&mut warp, &mut job, &args);
         assert_eq!(warp.counters.atomic_instructions, 0);
         // One __all ballot was still issued (the loop-top check).
         assert_eq!(warp.counters.collective_instructions, 1);

@@ -13,15 +13,19 @@ use crate::probe::{
     advance, bucket_crossing_vote, cas_claim, compare_stored_keys, publish_key, start_slots,
     InsertArgs, SlotVec,
 };
+use crate::resize::ensure_capacity;
+use crate::table::TOMBSTONE;
 use simt::{Mask, Warp};
 
 /// Find-or-claim the entry for each active lane's k-mer. Returns the slot
 /// index per lane, or `HashTableFull` if a probe chain wraps the table
 /// (the guard is uniform across the three dialects: at most the layout's
-/// probe bound rounds — `job.slots` for linear probing).
+/// probe bound rounds — `job.slots` for linear probing). Tombstones and
+/// the resize high-water check follow the shared rule documented on
+/// [`crate::insert_cuda::ht_get_atomic`].
 pub fn ht_get_atomic(
     warp: &mut Warp,
-    job: &DeviceJob,
+    job: &mut DeviceJob,
     args: &InsertArgs,
 ) -> Result<SlotVec, KernelFault> {
     if warp.injected_faults().table_full {
@@ -30,6 +34,7 @@ pub fn ht_get_atomic(
             occupancy: table_occupancy(warp, job),
         });
     }
+    ensure_capacity(warp, job, args.mask.count())?;
     let probe_bound = job.layout.as_layout().probe_bound(job);
     let mut slot = start_slots(warp, job, args);
     let mut searching = args.mask;
@@ -56,14 +61,17 @@ pub fn ht_get_atomic(
             }
         }
         publish_key(warp, job, winners, &slot, args);
+        job.occupied += winners.count();
 
         // sg.barrier(): the whole sub-group synchronizes every round.
         warp.subgroup_barrier();
 
+        // Tombstoned slots are excluded from the compare (stale key
+        // bytes) and keep probing — the shared tombstone rule.
         let losers = {
             let mut m = Mask::NONE;
             for l in searching.lanes() {
-                if prev[l] != EMPTY {
+                if prev[l] != EMPTY && prev[l] != TOMBSTONE {
                     m.set(l);
                 }
             }
@@ -105,13 +113,13 @@ mod tests {
 
     #[test]
     fn subgroup_width_16() {
-        let (mut warp, job) = setup(16);
+        let (mut warp, mut job) = setup(16);
         let args = InsertArgs {
             mask: Mask::full(16),
             key_off: LaneVec::from_fn(16, |l| l % 9),
             hash: LaneVec::from_fn(16, |l| (l % 9 * 5) % job.slots),
         };
-        let slots = ht_get_atomic(&mut warp, &job, &args).unwrap();
+        let slots = ht_get_atomic(&mut warp, &mut job, &args).unwrap();
         for l in 0..16u32 {
             assert_eq!(slots[l], slots[l % 9]);
         }
@@ -120,16 +128,16 @@ mod tests {
     #[test]
     fn same_result_as_cuda_dialect() {
         let run = |sycl: bool| {
-            let (mut warp, job) = setup(16);
+            let (mut warp, mut job) = setup(16);
             let args = InsertArgs {
                 mask: Mask(0b111),
                 key_off: LaneVec::from_fn(16, |l| l),
                 hash: LaneVec::splat(3u32),
             };
             let slots = if sycl {
-                ht_get_atomic(&mut warp, &job, &args)
+                ht_get_atomic(&mut warp, &mut job, &args)
             } else {
-                crate::insert_cuda::ht_get_atomic(&mut warp, &job, &args)
+                crate::insert_cuda::ht_get_atomic(&mut warp, &mut job, &args)
             }
             .unwrap();
             (0..3).map(|l| slots[l]).collect::<Vec<_>>()
@@ -139,7 +147,7 @@ mod tests {
 
     #[test]
     fn barrier_per_round() {
-        let (mut warp, job) = setup(16);
+        let (mut warp, mut job) = setup(16);
         // Two distinct keys from the same start slot → 2 probe rounds for
         // the second lane.
         let args = InsertArgs {
@@ -147,7 +155,7 @@ mod tests {
             key_off: LaneVec::from_fn(16, |l| l),
             hash: LaneVec::splat(0u32),
         };
-        let _ = ht_get_atomic(&mut warp, &job, &args);
+        let _ = ht_get_atomic(&mut warp, &mut job, &args);
         assert_eq!(warp.counters.sync_instructions, 2, "one barrier per probe round");
         assert_eq!(warp.counters.collective_instructions, 0, "no match_any in SYCL");
     }

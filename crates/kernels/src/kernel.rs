@@ -36,11 +36,13 @@ impl Dialect {
         Dialect::for_model(device.spec().model)
     }
 
-    /// Dispatch `ht_get_atomic`.
+    /// Dispatch `ht_get_atomic`. The job is mutable because an armed
+    /// in-kernel resize ([`DeviceJob::resize`]) may swap the table region
+    /// and capacity mid-insert (see [`crate::resize`]).
     pub fn insert(
         self,
         warp: &mut Warp,
-        job: &DeviceJob,
+        job: &mut DeviceJob,
         args: &InsertArgs,
     ) -> Result<SlotVec, KernelFault> {
         match self {
@@ -89,6 +91,12 @@ pub struct KernelJob<'a> {
     /// [`crate::table`]); like `probe`, a pure tuning dimension —
     /// extensions are invariant across layouts.
     pub layout: TableLayoutKind,
+    /// Arm in-kernel incremental resizing (see [`crate::resize`]): the
+    /// insert dialects grow the table past its high-water mark instead of
+    /// faulting `HashTableFull` for the grown-reserve escalation ladder.
+    /// Like `probe`/`layout`, a pure capacity policy — extensions are
+    /// invariant.
+    pub resize: bool,
 }
 
 impl<'a> KernelJob<'a> {
@@ -111,6 +119,7 @@ impl<'a> KernelJob<'a> {
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
             layout: TableLayoutKind::default(),
+            resize: false,
         }
     }
 
@@ -135,6 +144,7 @@ impl<'a> KernelJob<'a> {
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
             layout: TableLayoutKind::default(),
+            resize: false,
         }
     }
 
@@ -157,6 +167,7 @@ impl<'a> KernelJob<'a> {
             slot_reserve: 1,
             probe: ProbeStrategy::default(),
             layout: TableLayoutKind::default(),
+            resize: false,
         }
     }
 }
@@ -229,13 +240,17 @@ pub fn extension_kernel(
         // the ~dozen direct `DeviceJob::stage` call sites keep their
         // signature (and their Linear default).
         dev.probe = job.probe;
-        walk_budget = dev.walk_budget;
+        dev.resize = job.resize;
         warp.phase_enter("construct");
-        if let Err(fault) = construct_hash_table(warp, &dev, job.dialect) {
+        if let Err(fault) = construct_hash_table(warp, &mut dev, job.dialect) {
             warp.phase_exit("construct");
             return Err(fault);
         }
         warp.phase_exit("construct");
+        // Read the budget *after* construct: an in-kernel resize changes
+        // the table capacity and probe cost, and re-derives the watchdog
+        // ceiling for the grown geometry.
+        walk_budget = dev.walk_budget;
         if warp.san_config().invariants {
             // Sanitizer invariant pass: host-side table scan, zero modeled
             // instructions (collected first — recording needs &mut).
@@ -370,7 +385,7 @@ mod capacity_boundary_tests {
     fn insert_one(
         dialect: Dialect,
         warp: &mut Warp,
-        job: &DeviceJob,
+        job: &mut DeviceJob,
         off: u32,
     ) -> Result<SlotVec, KernelFault> {
         let args = InsertArgs {
@@ -382,16 +397,16 @@ mod capacity_boundary_tests {
     }
 
     fn boundary(dialect: Dialect) {
-        let (mut warp, job) = tiny_table();
+        let (mut warp, mut job) = tiny_table();
         // SLOTS distinct keys, all hashed to slot 0: the last one probes
         // slots 0..SLOTS-1 — exactly `slots` rounds — and must succeed.
         for off in 0..SLOTS {
-            let slot = insert_one(dialect, &mut warp, &job, off)
+            let slot = insert_one(dialect, &mut warp, &mut job, off)
                 .unwrap_or_else(|f| panic!("{dialect}: insert {off} must fit: {f}"));
             assert_eq!(slot[0], off, "{dialect}: linear probe claims slot {off}");
         }
         // One more distinct key needs a round beyond the full wrap.
-        match insert_one(dialect, &mut warp, &job, SLOTS) {
+        match insert_one(dialect, &mut warp, &mut job, SLOTS) {
             Err(KernelFault::HashTableFull { capacity, occupancy }) => {
                 assert_eq!(capacity, SLOTS, "{dialect}: fault reports table capacity");
                 assert_eq!(occupancy, SLOTS, "{dialect}: fault reports claimed slots");
@@ -420,12 +435,12 @@ mod capacity_boundary_tests {
         // A *matching* key never needs the extra round: finding the entry
         // at the end of the wrap is within budget on every dialect.
         for dialect in [Dialect::Cuda, Dialect::Hip, Dialect::Sycl] {
-            let (mut warp, job) = tiny_table();
+            let (mut warp, mut job) = tiny_table();
             for off in 0..SLOTS {
-                insert_one(dialect, &mut warp, &job, off).unwrap();
+                insert_one(dialect, &mut warp, &mut job, off).unwrap();
             }
             // Re-insert the key living in the last probed slot.
-            let again = insert_one(dialect, &mut warp, &job, SLOTS - 1)
+            let again = insert_one(dialect, &mut warp, &mut job, SLOTS - 1)
                 .unwrap_or_else(|f| panic!("{dialect}: reinsertion must find its entry: {f}"));
             assert_eq!(again[0], SLOTS - 1, "{dialect}");
         }

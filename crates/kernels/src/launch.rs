@@ -97,6 +97,13 @@ pub struct GpuConfig {
     /// SM-occupancy lanes — see `perfmodel::export`). Off by default;
     /// only meaningful with `exec: ExecMode::Scheduled`.
     pub sched_tracks: bool,
+    /// Arm in-kernel incremental resizing for every job (see
+    /// [`crate::resize`]): tables grow past their high-water mark inside
+    /// the insert dialects instead of faulting `HashTableFull` into the
+    /// grown-reserve escalation ladder. The arena hint prices the resize
+    /// headroom in, so successful jobs still never regrow their pooled
+    /// arena. Off by default; extensions are invariant either way.
+    pub resize: bool,
 }
 
 /// Adapt a sanitizer configuration to a kernel dialect's execution-
@@ -139,6 +146,7 @@ impl GpuConfig {
             layout: TableLayoutKind::default(),
             max_batch: None,
             sched_tracks: false,
+            resize: false,
         }
     }
 
@@ -264,6 +272,7 @@ fn escalate_job(
             retry.walk,
             reserve,
             retry.layout,
+            retry.resize,
         );
         let armed = cfg.fault.is_some_and(|p| attempts < p.attempts);
         let launch_cfg = LaunchConfig {
@@ -478,6 +487,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                 job.slot_reserve = cfg.slot_reserve.max(1);
                 job.probe = cfg.probe;
                 job.layout = cfg.layout;
+                job.resize = cfg.resize;
                 indices.push(idx);
                 kernel_jobs.push(job);
             }
@@ -509,6 +519,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                             j.walk,
                             j.slot_reserve,
                             j.layout,
+                            j.resize,
                         )
                     })
                     .max()
@@ -565,6 +576,7 @@ pub fn run_local_assembly(ds: &Dataset, cfg: &GpuConfig) -> GpuRunResult {
                                 j.walk,
                                 j.slot_reserve,
                                 j.layout,
+                                j.resize,
                             )
                         })
                         .max()

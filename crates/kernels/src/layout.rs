@@ -85,6 +85,23 @@ pub struct DeviceJob {
     /// Staging defaults to [`ProbeStrategy::Linear`]; the extension kernel
     /// overrides it from its [`crate::kernel::KernelJob`].
     pub probe: ProbeStrategy,
+    /// In-kernel incremental resizing enabled? Off (the default) keeps
+    /// every table access bit-identical to the fixed-capacity engine;
+    /// on, the insert dialects call
+    /// [`ensure_capacity`](crate::resize::ensure_capacity) before each
+    /// round and `HashTableFull` escalation demotes to "arena genuinely
+    /// exhausted".
+    pub resize: bool,
+    /// Live (non-tombstone) slots claimed so far — host-side bookkeeping
+    /// the dialects bump per insert round, mirrored by the sanitizer's
+    /// migration-consistency scan.
+    pub occupied: u32,
+    /// Tombstoned slots accumulated since the last migration (deletion
+    /// writes [`crate::table::TOMBSTONE`]; migration drops them all).
+    pub tombstones: u32,
+    /// Incremental resizes already performed on this job (capped by
+    /// [`crate::resize::MAX_RESIZES`]).
+    pub resizes_done: u32,
     /// Host-side k-mer hash shadow of the reads buffer, indexed by byte
     /// offset: `fps[off]` is [`key_hash`] of the k-mer at `reads + off`
     /// (0 where no whole k-mer starts — readers treat 0 as "no
@@ -155,7 +172,7 @@ impl DeviceJob {
 
         let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
         let squeeze = warp.injected_faults().table_squeeze;
-        let geo = layout.as_layout().geometry(insertions, slot_reserve, squeeze);
+        let geo = layout.as_layout().geometry(insertions, slot_reserve, squeeze)?;
         // GPU Initialize (Fig. 3): the table must be zero (EMPTY) before
         // launch. The arena guarantees zeroed bytes on every allocation
         // (pooled resets zero lazily on the next alloc), so the cudaMemset
@@ -190,6 +207,10 @@ impl DeviceJob {
             out,
             walk_budget: 0,
             probe: ProbeStrategy::default(),
+            resize: false,
+            occupied: 0,
+            tombstones: 0,
+            resizes_done: 0,
             fps,
         };
         // The watchdog ceiling tracks the layout's probe bound, not the
@@ -313,11 +334,18 @@ pub fn check_table_invariants(warp: &Warp, job: &DeviceJob) -> Vec<simt::SanKind
     let mut found = Vec::new();
     let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
     let mut occupancy = 0u32;
+    let mut tombstones = 0u32;
     let lay = job.layout.as_layout();
     let check_reachable = job.layout != TableLayoutKind::LinearProbe;
     for s in 0..job.slots {
         let len = warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN));
         if len == EMPTY {
+            continue;
+        }
+        // Tombstones carry no key bytes: the length word is the sentinel
+        // itself, so the byte read below must not run (u32::MAX bytes).
+        if len == crate::table::TOMBSTONE {
+            tombstones += 1;
             continue;
         }
         occupancy += 1;
@@ -332,8 +360,30 @@ pub fn check_table_invariants(warp: &Warp, job: &DeviceJob) -> Vec<simt::SanKind
             found.push(simt::SanKind::MisplacedKey { slot: s });
         }
     }
-    if occupancy >= job.slots {
-        found.push(simt::SanKind::TableOverflow { occupancy, capacity: job.slots });
+    if occupancy + tombstones >= job.slots {
+        found.push(simt::SanKind::TableOverflow {
+            occupancy: occupancy + tombstones,
+            capacity: job.slots,
+        });
+    }
+    // Migration-consistency scans, meaningful only when the resize engine
+    // maintains the host-side counters: a dangling tombstone count means a
+    // migration dropped tombstones without resetting the counter (or a
+    // deletion forgot to bump it); an occupied mismatch means a slot was
+    // migrated twice (or a live entry was lost mid-migration).
+    if job.resize {
+        if tombstones != job.tombstones {
+            found.push(simt::SanKind::TombstoneMismatch {
+                counted: job.tombstones,
+                scanned: tombstones,
+            });
+        }
+        if occupancy != job.occupied {
+            found.push(simt::SanKind::MigrationMismatch {
+                counted: job.occupied,
+                scanned: occupancy,
+            });
+        }
     }
     found
 }
@@ -349,14 +399,29 @@ pub fn stage_footprint(
     walk: WalkConfig,
     slot_reserve: u32,
     layout: TableLayoutKind,
+    resize: bool,
 ) -> u64 {
     const A: u64 = simt::mem::DEFAULT_ALIGN - 1; // worst-case pad per default alloc
     let total: u64 = reads.iter().map(|r| r.len() as u64).sum();
     let insertions: usize = reads.iter().map(|r| r.kmer_count(k)).sum();
-    let slots = layout.as_layout().geometry(insertions, slot_reserve, 0).slots as u64;
+    // A geometry the layout rejects (slot target past u32) would fault at
+    // stage time; price it at the slot ceiling so packing rejects it too.
+    let slots = layout
+        .as_layout()
+        .geometry(insertions, slot_reserve, 0)
+        .map_or(u32::MAX as u64, |g| g.slots as u64);
+    // With in-kernel resizing armed, up to MAX_RESIZES successor slabs of
+    // roughly 2× and 4× the base live alongside it (the bump arena never
+    // rewinds): 7× the base slab, plus the odd/floor adjustments growth
+    // may add and the successors' alignment pads.
+    let table = if resize {
+        7 * slots * ENTRY_STRIDE + 4 * ENTRY_STRIDE + 3 * 31
+    } else {
+        slots * ENTRY_STRIDE + 31
+    };
     (contig_len as u64 + A)               // contig
         + 2 * (total + A)                 // read sequences + qualities
-        + (slots * ENTRY_STRIDE + 31)     // hash-table slab (32-aligned)
+        + table                           // hash-table slab(s) (32-aligned)
         + (walk.max_walk_len as u64 * 4 + A) // visited fingerprints
         + (walk.max_walk_len as u64 + A)  // output extension buffer
 }
@@ -372,11 +437,12 @@ pub fn arena_footprint(
     walk: WalkConfig,
     slot_reserve: u32,
     layout: TableLayoutKind,
+    resize: bool,
 ) -> u64 {
     schedule
         .iter()
         .filter(|&&k| contig_len >= k)
-        .map(|&k| stage_footprint(contig_len, reads, k, walk, slot_reserve, layout))
+        .map(|&k| stage_footprint(contig_len, reads, k, walk, slot_reserve, layout, resize))
         .sum()
 }
 
@@ -484,7 +550,8 @@ mod tests {
             let before = warp.mem.allocated();
             let _ = DeviceJob::stage(&mut warp, contig, &reads(), k, walk, 1).unwrap();
             let actual = warp.mem.allocated() - before;
-            let bound = stage_footprint(contig.len(), &reads(), k, walk, 1, TableLayoutKind::LinearProbe);
+            let bound =
+                stage_footprint(contig.len(), &reads(), k, walk, 1, TableLayoutKind::LinearProbe, false);
             assert!(actual <= bound, "actual {actual} > bound {bound} (k={k})");
             assert!(bound <= actual + 256, "bound {bound} is not tight around {actual}");
         }
@@ -494,11 +561,38 @@ mod tests {
     fn arena_footprint_sums_over_the_viable_schedule() {
         let walk = WalkConfig::default();
         let contig_len = 8;
-        let single = stage_footprint(contig_len, &reads(), 4, walk, 1, TableLayoutKind::LinearProbe);
+        let single =
+            stage_footprint(contig_len, &reads(), 4, walk, 1, TableLayoutKind::LinearProbe, false);
         // k = 9 exceeds the contig and is skipped, just as the kernel skips it.
-        let laddered =
-            arena_footprint(contig_len, &reads(), &[4, 9, 4], walk, 1, TableLayoutKind::LinearProbe);
+        let laddered = arena_footprint(
+            contig_len,
+            &reads(),
+            &[4, 9, 4],
+            walk,
+            1,
+            TableLayoutKind::LinearProbe,
+            false,
+        );
         assert_eq!(laddered, 2 * single);
+    }
+
+    /// Resize headroom is priced into the footprint: with resizing armed
+    /// the bound covers the base slab plus both doubled successors (7× +
+    /// growth adjustments), so pooled arenas sized from it never regrow
+    /// mid-kernel even if a job resizes to its cap.
+    #[test]
+    fn resize_footprint_covers_the_successor_slabs() {
+        let walk = WalkConfig::default();
+        for layout in TableLayoutKind::ALL {
+            let flat = stage_footprint(8, &reads(), 4, walk, 1, layout, false);
+            let grown = stage_footprint(8, &reads(), 4, walk, 1, layout, true);
+            let slots =
+                layout.as_layout().geometry(14, 1, 0).unwrap().slots as u64;
+            assert!(
+                grown >= flat + 6 * slots * ENTRY_STRIDE,
+                "{layout}: resize bound {grown} lacks successor headroom over {flat}"
+            );
+        }
     }
 
     #[test]
@@ -521,8 +615,15 @@ mod tests {
                     .unwrap();
             assert!(grown.slots > base.slots, "reserve {reserve}");
             assert_eq!(grown.slots % 2, 1, "grown table stays odd");
-            let bound =
-                stage_footprint(8, &reads(), 4, WalkConfig::default(), reserve, TableLayoutKind::LinearProbe);
+            let bound = stage_footprint(
+                8,
+                &reads(),
+                4,
+                WalkConfig::default(),
+                reserve,
+                TableLayoutKind::LinearProbe,
+                false,
+            );
             assert!(bound >= grown.slots as u64 * ENTRY_STRIDE, "footprint tracks the reserve");
         }
     }

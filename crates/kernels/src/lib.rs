@@ -31,6 +31,7 @@ pub mod pipeline;
 pub mod layout;
 pub mod probe;
 pub mod profile;
+pub mod resize;
 pub mod table;
 pub mod tune;
 pub mod walk;
@@ -39,7 +40,8 @@ pub use fault::{JobOutcome, KernelFault};
 pub use kernel::Dialect;
 pub use launch::{dialect_sanitizer, run_local_assembly, GpuConfig, GpuRunResult};
 pub use probe::ProbeStrategy;
-pub use table::{TableGeometry, TableLayout, TableLayoutKind};
+pub use resize::{ensure_capacity, ht_delete, MAX_RESIZES};
+pub use table::{TableGeometry, TableLayout, TableLayoutKind, TOMBSTONE};
 pub use tune::{tune, tune_with, TuneSpace, TunedChoice};
 pub use multi_gpu::{run_multi_gpu, MultiGpuResult, Partition};
 pub use pipeline::{run_pipeline_gpu, GpuPipelineResult, GpuRoundReport};

@@ -1,0 +1,386 @@
+//! Tombstone deletion and warp-cooperative in-kernel incremental resizing.
+//!
+//! The paper's kernel treats a full hash table as fatal pathology
+//! (`"*hashtable full*"`), and the launch layer's grown-`slot_reserve`
+//! escalation re-runs the whole job host-side. WarpSpeed-class GPU tables
+//! complete the engine instead: deletion writes a [`TOMBSTONE`] sentinel
+//! (never terminating a probe scan — see the rule in [`crate::table`]),
+//! and when occupancy crosses the layout's high-water mark mid-insert the
+//! warp allocates a successor region from its arena, migrates live slots
+//! in bounded warp-width chunks (ballot-coordinated, so every dialect
+//! stays warp-synchronous), and retires the old region. `HashTableFull`
+//! escalation thereby demotes from "common long-tail path" to "arena
+//! genuinely exhausted".
+//!
+//! Everything here is gated on [`DeviceJob::resize`]: with the knob off
+//! (the default) no code in this module runs and every table access stays
+//! bit-identical to the fixed-capacity engine.
+
+use crate::fault::KernelFault;
+use crate::layout::{
+    key_hash, walk_budget, DeviceJob, EMPTY, ENTRY_STRIDE, OFF_KEY_LEN, OFF_KEY_OFF,
+};
+use crate::table::TOMBSTONE;
+use simt::{LaneVec, Mask, Warp};
+
+/// Incremental resizes one job may perform (base, 2×, 4×): past the cap
+/// the insert falls back to the `HashTableFull` fault, which by then
+/// genuinely means the arena cannot hold a bigger table. The footprint
+/// estimates ([`crate::layout::stage_footprint`]) price exactly this many
+/// successor slabs.
+pub const MAX_RESIZES: u32 = 2;
+
+/// Delete each active lane's slot: store [`TOMBSTONE`] into the slot's
+/// key-length word. The slot stays claimed for probe purposes — scans
+/// pass through it, inserts never reclaim it — until the next migration
+/// drops it. Host-side counters track the deletion for the sanitizer's
+/// tombstone-consistency scan.
+pub fn ht_delete(warp: &mut Warp, job: &mut DeviceJob, mask: Mask, slot: &LaneVec<u32>) {
+    if mask.is_empty() {
+        return;
+    }
+    let addrs = LaneVec::from_fn(warp.width(), |l| job.entry_field(slot[l], OFF_KEY_LEN));
+    let vals = LaneVec::splat(TOMBSTONE);
+    warp.store_u32(mask, &addrs, &vals);
+    let n = mask.count();
+    job.tombstones += n;
+    job.occupied = job.occupied.saturating_sub(n);
+}
+
+/// Pre-insert capacity check, called by every dialect at the top of
+/// `ht_get_atomic` when [`DeviceJob::resize`] is armed: while the claimed
+/// slots (live + tombstones) plus the incoming warp-width burst would
+/// cross the layout's high-water mark, migrate into the grown geometry.
+/// Bounded by [`MAX_RESIZES`]; a job that outgrows the cap falls through
+/// to the ordinary `HashTableFull` discipline.
+pub fn ensure_capacity(
+    warp: &mut Warp,
+    job: &mut DeviceJob,
+    incoming: u32,
+) -> Result<(), KernelFault> {
+    if !job.resize {
+        return Ok(());
+    }
+    while job.resizes_done < MAX_RESIZES {
+        let high = job.layout.as_layout().high_water(job);
+        if job.occupied + job.tombstones + incoming <= high {
+            break;
+        }
+        grow(warp, job)?;
+    }
+    Ok(())
+}
+
+/// One warp-cooperative incremental resize: allocate the successor region
+/// (zeroed by the arena, so every slot starts `EMPTY`), migrate live
+/// entries chunk by chunk, retire the old region.
+///
+/// Migration is warp-synchronous: each chunk covers one warp-width window
+/// of old slots, every lane loads its slot's key-length word, and one
+/// ballot coordinates which lanes carry live entries before they re-probe
+/// into the successor. Tombstones are dropped wholesale — the successor
+/// table starts tombstone-free, which is what lets deletion-heavy
+/// workloads keep their probe chains short.
+///
+/// An armed [`simt::InjectedFaults::resize_abort`] fires after the first
+/// chunk: the job is left mid-migration (old region partially drained,
+/// successor partially filled) and the structured
+/// [`KernelFault::ResizeAborted`] tells the launch layer to restart it
+/// from staging. Non-victim jobs never see this path.
+fn grow(warp: &mut Warp, job: &mut DeviceJob) -> Result<(), KernelFault> {
+    let lay = job.layout.as_layout();
+    let geo = lay.grown_geometry(job);
+    let new_ht = warp.mem.try_alloc_aligned(geo.slots as u64 * ENTRY_STRIDE, 32)?;
+
+    // The successor view: same job, new region — `slot_at` under the new
+    // geometry is what the re-probe walks.
+    let mut next = job.clone();
+    next.ht = new_ht;
+    next.slots = geo.slots;
+    next.front_slots = geo.front_slots;
+    let next_lay = next.layout.as_layout();
+    let next_bound = next_lay.probe_bound(&next);
+
+    let width = warp.width();
+    let words = (ENTRY_STRIDE / 4) as u32;
+    let mut migrated = 0u32;
+    let mut chunk_start = 0u32;
+    while chunk_start < job.slots {
+        let lanes_in_chunk = width.min(job.slots - chunk_start);
+        let mut active = Mask::NONE;
+        for l in 0..lanes_in_chunk {
+            active.set(l);
+        }
+        // Every lane loads its slot's key-length word…
+        let len_addrs = LaneVec::from_fn(width, |l| {
+            job.entry_field((chunk_start + l).min(job.slots - 1), OFF_KEY_LEN)
+        });
+        let lens = warp.load_u32(active, &len_addrs);
+        warp.iop(active, 2); // sentinel classification (EMPTY / TOMBSTONE / live)
+        let mut live = Mask::NONE;
+        for l in active.lanes() {
+            if lens[l] != EMPTY && lens[l] != TOMBSTONE {
+                live.set(l);
+            }
+        }
+        // …and one ballot coordinates the chunk: which lanes re-probe.
+        let preds = LaneVec::from_fn(width, |l| live.contains(l));
+        warp.ballot(active, &preds);
+
+        let offs = {
+            let off_addrs = LaneVec::from_fn(width, |l| {
+                job.entry_field((chunk_start + l).min(job.slots - 1), OFF_KEY_OFF)
+            });
+            warp.load_u32(live, &off_addrs)
+        };
+        for l in live.lanes() {
+            let src = chunk_start + l;
+            let key = warp
+                .mem
+                .read_bytes(job.reads + offs[l] as u64, lens[l] as u64)
+                .to_vec();
+            let h = key_hash(&key);
+            let lm = Mask::lane(l);
+            // Re-hash charged at the insert dialects' rate.
+            warp.iop(lm, locassm_core::murmur::murmur_intops(job.k));
+            // First EMPTY along the key's sequence under the *new*
+            // geometry; a grown table always has one within the bound.
+            let mut target = None;
+            for idx in 0..next_bound {
+                let t = next_lay.slot_at(&next, h, idx);
+                warp.touch_u32_with(lm, |_| next.entry_field(t, OFF_KEY_LEN));
+                warp.iop(lm, 2); // probe compare + cursor
+                if warp.mem.read_u32(next.entry_field(t, OFF_KEY_LEN)) == EMPTY {
+                    target = Some(t);
+                    break;
+                }
+            }
+            let Some(t) = target else {
+                return Err(KernelFault::HashTableFull {
+                    capacity: next.slots,
+                    occupancy: migrated,
+                });
+            };
+            // Copy the whole 48-byte entry, word by word (counts, quality
+            // sums and the decided extension all travel with the key).
+            for w in 0..words {
+                let src_addr = job.ht + src as u64 * ENTRY_STRIDE + w as u64 * 4;
+                let v = warp.mem.read_u32(src_addr);
+                warp.touch_u32_with(lm, |_| src_addr);
+                let dst = LaneVec::splat(next.ht + t as u64 * ENTRY_STRIDE + w as u64 * 4);
+                warp.store_u32(lm, &dst, &LaneVec::splat(v));
+            }
+            migrated += 1;
+        }
+        chunk_start += lanes_in_chunk;
+
+        // The injected device-side interruption: fault after the first
+        // chunk, leaving the migration visibly half-done.
+        if warp.injected_faults().resize_abort && chunk_start < job.slots {
+            return Err(KernelFault::ResizeAborted {
+                from_slots: job.slots,
+                to_slots: next.slots,
+                migrated,
+            });
+        }
+    }
+
+    // Retire the old region: the job now points at the successor. The
+    // walk budget tracks the new probe bound (invariant 10: resizing
+    // changes capacity and probe cost, never extensions), and tombstones
+    // were dropped by construction.
+    job.ht = next.ht;
+    job.slots = next.slots;
+    job.front_slots = next.front_slots;
+    job.occupied = migrated;
+    job.tombstones = 0;
+    job.resizes_done += 1;
+    job.walk_budget = walk_budget(job.k, lay.probe_bound(job), job.walk);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insert_cuda::ht_get_atomic;
+    use crate::probe::InsertArgs;
+    use crate::table::TableLayoutKind;
+    use locassm_core::walk::WalkConfig;
+    use locassm_core::Read;
+    use memhier::HierarchyConfig;
+
+    fn scrambled_seq(len: usize) -> Vec<u8> {
+        let mut state = 0x2545_f491u64;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                b"ACGT"[(state % 4) as usize]
+            })
+            .collect()
+    }
+
+    fn staged(kind: TableLayoutKind, resize: bool) -> (Warp, DeviceJob) {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let seq = scrambled_seq(120);
+        let reads = vec![Read::with_uniform_qual(&seq, b'I')];
+        let mut job = DeviceJob::stage_with_layout(
+            &mut warp,
+            b"ACGTACGTACGTACGTACGTA",
+            &reads,
+            21,
+            WalkConfig::default(),
+            1,
+            kind,
+        )
+        .unwrap();
+        job.resize = resize;
+        (warp, job)
+    }
+
+    fn insert_all(warp: &mut Warp, job: &mut DeviceJob) -> Vec<u32> {
+        let mut slots = Vec::new();
+        let span = job.spans[0];
+        for start in 0..=(span.len as usize - job.k) {
+            let off = span.offset + start as u32;
+            let key = warp.mem.read_bytes(job.reads + off as u64, job.k as u64);
+            let h = key_hash(key);
+            let args = InsertArgs {
+                mask: Mask::lane(0),
+                key_off: LaneVec::splat(off),
+                hash: LaneVec::splat(h),
+            };
+            let s = ht_get_atomic(warp, job, &args).unwrap();
+            slots.push(s[0]);
+        }
+        slots
+    }
+
+    #[test]
+    fn delete_tombstones_the_slot_and_tracks_counters() {
+        let (mut warp, mut job) = staged(TableLayoutKind::LinearProbe, true);
+        let slots = insert_all(&mut warp, &mut job);
+        let live_before = job.occupied;
+        assert!(live_before > 0, "bookkeeping follows inserts");
+        ht_delete(&mut warp, &mut job, Mask::lane(0), &LaneVec::splat(slots[0]));
+        assert_eq!(
+            warp.mem.read_u32(job.entry_field(slots[0], OFF_KEY_LEN)),
+            TOMBSTONE
+        );
+        assert_eq!(job.tombstones, 1);
+        assert_eq!(job.occupied, live_before - 1);
+    }
+
+    #[test]
+    fn tombstone_does_not_terminate_a_reinsert_probe() {
+        // Claim two slots on one chain, tombstone the first, then
+        // re-insert the second key: the probe must pass through the
+        // tombstone and find the live entry, not claim a fresh slot.
+        let (mut warp, mut job) = staged(TableLayoutKind::LinearProbe, true);
+        let h = 7u32;
+        let mk = |off: u32| InsertArgs {
+            mask: Mask::lane(0),
+            key_off: LaneVec::splat(off),
+            hash: LaneVec::splat(h),
+        };
+        let a = ht_get_atomic(&mut warp, &mut job, &mk(0)).unwrap()[0];
+        let b = ht_get_atomic(&mut warp, &mut job, &mk(1)).unwrap()[0];
+        assert_ne!(a, b, "distinct keys on one chain");
+        ht_delete(&mut warp, &mut job, Mask::lane(0), &LaneVec::splat(a));
+        let again = ht_get_atomic(&mut warp, &mut job, &mk(1)).unwrap()[0];
+        assert_eq!(again, b, "the tombstone must not hide the live key");
+    }
+
+    /// Stage under a table squeeze so the first warp-width burst of
+    /// inserts crosses the high-water mark and growth actually runs.
+    fn squeezed(squeeze: u32) -> (Warp, DeviceJob) {
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        warp.inject_table_squeeze(squeeze);
+        let seq = scrambled_seq(120);
+        let reads = vec![Read::with_uniform_qual(&seq, b'I')];
+        let mut job = DeviceJob::stage(
+            &mut warp,
+            b"ACGTACGTACGTACGTACGTA",
+            &reads,
+            21,
+            WalkConfig::default(),
+            1,
+        )
+        .unwrap();
+        job.resize = true;
+        (warp, job)
+    }
+
+    #[test]
+    fn growth_triggers_at_the_high_water_mark_and_preserves_content() {
+        let (mut warp, mut job) = squeezed(4);
+        let base_slots = job.slots;
+        insert_all(&mut warp, &mut job);
+        assert!(job.resizes_done >= 1, "the squeezed table must have grown");
+        assert!(job.slots > base_slots);
+        assert_eq!(job.tombstones, 0, "migration drops tombstones");
+        // Every inserted key is still found at its (new) slot.
+        let span = job.spans[0];
+        for start in 0..=(span.len as usize - job.k) {
+            let off = span.offset + start as u32;
+            let key = warp.mem.read_bytes(job.reads + off as u64, job.k as u64).to_vec();
+            let args = InsertArgs {
+                mask: Mask::lane(0),
+                key_off: LaneVec::splat(off),
+                hash: LaneVec::splat(key_hash(&key)),
+            };
+            let s = ht_get_atomic(&mut warp, &mut job, &args).unwrap()[0];
+            let stored = warp.mem.read_u32(job.entry_field(s, OFF_KEY_OFF));
+            let stored_key =
+                warp.mem.read_bytes(job.reads + stored as u64, job.k as u64).to_vec();
+            assert_eq!(stored_key, key, "lookup after growth finds the migrated entry");
+        }
+    }
+
+    #[test]
+    fn sanitizer_scans_stay_clean_after_growth() {
+        let (mut warp, mut job) = squeezed(4);
+        insert_all(&mut warp, &mut job);
+        assert!(job.resizes_done >= 1);
+        let found = crate::layout::check_table_invariants(&warp, &job);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn resize_abort_injection_faults_mid_migration() {
+        let (mut warp, mut job) = squeezed(4);
+        warp.inject_resize_abort();
+        let span = job.spans[0];
+        let mut fault = None;
+        for start in 0..=(span.len as usize - job.k) {
+            let off = span.offset + start as u32;
+            let key = warp.mem.read_bytes(job.reads + off as u64, job.k as u64).to_vec();
+            let args = InsertArgs {
+                mask: Mask::lane(0),
+                key_off: LaneVec::splat(off),
+                hash: LaneVec::splat(key_hash(&key)),
+            };
+            if let Err(f) = ht_get_atomic(&mut warp, &mut job, &args) {
+                fault = Some(f);
+                break;
+            }
+        }
+        match fault.expect("the armed abort must fire on the first growth") {
+            KernelFault::ResizeAborted { from_slots, to_slots, migrated } => {
+                assert!(to_slots > from_slots);
+                assert!(migrated <= from_slots);
+            }
+            other => panic!("wrong fault: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resize_disabled_never_runs_this_module() {
+        let (mut warp, mut job) = staged(TableLayoutKind::LinearProbe, false);
+        let before = warp.mem.allocated();
+        insert_all(&mut warp, &mut job);
+        assert_eq!(job.resizes_done, 0);
+        assert_eq!(warp.mem.allocated(), before, "no successor slab without the knob");
+    }
+}

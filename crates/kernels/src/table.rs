@@ -28,10 +28,32 @@
 //! The invariant every layout must honour (ARCHITECTURE.md invariant 8):
 //! a layout changes probe order and capacity, **never extensions**. The
 //! table is a content-addressed set; the layout only decides where its
-//! members live and how long it takes to find them.
+//! members live and how long it takes to find them. In-kernel resizing
+//! (invariant 10) is the same contract over time: a resize changes
+//! capacity and probe cost, never extensions.
+//!
+//! **Tombstones.** Deletion writes [`TOMBSTONE`] into a slot's key-length
+//! word. The rule every layout shares: a tombstone never terminates a
+//! probe scan — only [`EMPTY`](crate::layout::EMPTY) does — and insertion
+//! claims only the first `EMPTY` along the sequence, never a tombstone.
+//! That preserves the first-`EMPTY`-along-fixed-sequence early-exit proof
+//! verbatim: a key inserted before any deletion sits at or before the
+//! first hole of its sequence, and deleting *another* key merely turns an
+//! occupied slot into a tombstone, which scans pass through exactly as
+//! they passed through the occupied slot. Tombstones are reclaimed only
+//! by the migration pass of an in-kernel resize, which copies live slots
+//! into a fresh region and drops tombstones wholesale.
 
+use crate::fault::KernelFault;
 use crate::layout::DeviceJob;
 use locassm_core::estimate_slots;
+
+/// Deletion sentinel stored in a slot's key-length word. Distinct from
+/// [`EMPTY`](crate::layout::EMPTY) (`0`): an `EMPTY` slot terminates a
+/// probe scan, a `TOMBSTONE` slot never does. `u32::MAX` can never be a
+/// real key length (key bytes live in the staged read buffer, whose spans
+/// are far smaller), so the sentinel is unambiguous.
+pub const TOMBSTONE: u32 = u32::MAX;
 
 /// Slots per bucket in the bucketed and iceberg front-yard regions — one
 /// 384-byte bucket spans three 128-byte cache lines at the 48-byte entry
@@ -118,7 +140,30 @@ pub trait TableLayout: std::fmt::Debug + Sync {
     /// "host estimate violated" injection; regions that exist as overflow
     /// headroom (the iceberg backyard) keep their floor so the squeeze
     /// tests real absorption, not a uniformly smaller table.
-    fn geometry(&self, insertions: usize, slot_reserve: u32, squeeze: u32) -> TableGeometry;
+    ///
+    /// An insertion estimate whose slot count cannot be represented in
+    /// `u32` is a [`KernelFault::MalformedJob`], not a silent truncation;
+    /// an oversized `slot_reserve` clamps below saturation while keeping
+    /// the layout's structural guarantee (odd slots for linear, even
+    /// bucket counts for the bucketed cascade).
+    fn geometry(
+        &self,
+        insertions: usize,
+        slot_reserve: u32,
+        squeeze: u32,
+    ) -> Result<TableGeometry, KernelFault>;
+
+    /// Occupancy high-water mark for in-kernel resizing: once
+    /// `occupied + tombstones + incoming` crosses it mid-insert, the warp
+    /// migrates into [`Self::grown_geometry`] before claiming new slots.
+    /// Sits below the layout's design load factor so resize triggers
+    /// before the probe chains that precede `HashTableFull` get long.
+    fn high_water(&self, job: &DeviceJob) -> u32;
+
+    /// The successor geometry an in-kernel resize migrates into (capacity
+    /// roughly doubled, clamped below `u32` saturation with the same
+    /// structural guarantees as [`Self::geometry`]).
+    fn grown_geometry(&self, job: &DeviceJob) -> TableGeometry;
 
     /// The slot the `idx`-th probe (0-based) of a key with table hash
     /// `hash` visits. Insert and lookup walk `idx = 0, 1, 2, …` in
@@ -160,9 +205,30 @@ fn mix(hash: u32) -> u32 {
     (hash ^ (hash >> 16)).wrapping_mul(0x9E37_79B1)
 }
 
+/// Checked slot-target conversion: an insertion estimate whose slot count
+/// does not fit `u32` is a structured fault, never an `as` truncation.
+#[inline]
+fn slot_target(estimate: u128) -> Result<u32, KernelFault> {
+    u32::try_from(estimate).map_err(|_| KernelFault::MalformedJob {
+        reason: "insertion estimate overflows the u32 slot space",
+    })
+}
+
 /// The paper's single-region open-addressed layout.
+///
+/// **Tombstone rule:** the stride-2 probe sequence passes through a
+/// tombstone exactly as it passes through an occupied slot — only `EMPTY`
+/// terminates a scan — so the coprime-stride wrap proof (odd slot count)
+/// is untouched by deletion.
 #[derive(Debug)]
 pub struct LinearLayout;
+
+impl LinearLayout {
+    /// Largest slot count a linear table may clamp to: odd (the coprime
+    /// stride guarantee survives saturation) and below `u32::MAX` so slot
+    /// arithmetic never wraps.
+    pub const MAX_SLOTS: u32 = (u32::MAX - 2) | 1;
+}
 
 impl TableLayout for LinearLayout {
     fn kind(&self) -> TableLayoutKind {
@@ -173,15 +239,25 @@ impl TableLayout for LinearLayout {
         "linear"
     }
 
-    fn geometry(&self, insertions: usize, slot_reserve: u32, squeeze: u32) -> TableGeometry {
+    fn geometry(
+        &self,
+        insertions: usize,
+        slot_reserve: u32,
+        squeeze: u32,
+    ) -> Result<TableGeometry, KernelFault> {
         // Exactly the historical sizing: estimate × reserve, forced odd
-        // (odd tables keep the stride-2 probe coprime with the size).
-        let mut slots =
-            (estimate_slots(insertions) as u32).saturating_mul(slot_reserve.max(1)) | 1;
+        // (odd tables keep the stride-2 probe coprime with the size). The
+        // reserve multiply runs in u64 and clamps *below* saturation: `| 1`
+        // on a clamped value keeps the table odd, where `| 1` on a
+        // saturating_mul result could not repair an even saturated count.
+        let est = slot_target(estimate_slots(insertions) as u128)?;
+        let raw = est as u64 * slot_reserve.max(1) as u64;
+        let mut slots = (raw.min(Self::MAX_SLOTS as u64) as u32) | 1;
         if squeeze > 1 {
             slots = (slots / squeeze).max(3) | 1;
         }
-        TableGeometry { slots, front_slots: slots }
+        debug_assert_eq!(slots % 2, 1, "linear tables must stay odd");
+        Ok(TableGeometry { slots, front_slots: slots })
     }
 
     fn slot_at(&self, job: &DeviceJob, hash: u32, idx: u32) -> u32 {
@@ -194,6 +270,18 @@ impl TableLayout for LinearLayout {
     fn probe_bound(&self, job: &DeviceJob) -> u32 {
         // One full wrap — the listings' `hash_val == orig_hash` condition.
         job.slots
+    }
+
+    fn high_water(&self, job: &DeviceJob) -> u32 {
+        // 87.5%: linear probing degrades sharply past it, and the ⅛
+        // headroom keeps a warp-width insert burst from overshooting into
+        // the wrap condition before the resize triggers.
+        job.slots - job.slots / 8
+    }
+
+    fn grown_geometry(&self, job: &DeviceJob) -> TableGeometry {
+        let slots = ((job.slots as u64 * 2).min(Self::MAX_SLOTS as u64) as u32) | 1;
+        TableGeometry { slots, front_slots: slots }
     }
 }
 
@@ -208,6 +296,11 @@ impl TableLayout for LinearLayout {
 /// Insertion takes the first empty slot along the sequence, so the
 /// overflow condition is a full 8-bucket cascade — rare at the 0.75
 /// design load — while lookups keep the first-`EMPTY` early exit.
+///
+/// **Tombstone rule:** a tombstone occupies a bucket way like a live key:
+/// the cascade continues past it (and past the bucket-crossing votes)
+/// until the first `EMPTY`. Deleting a way does *not* re-open the bucket
+/// for early exit — only migration reclaims it.
 #[derive(Debug)]
 pub struct BucketedLayout;
 
@@ -215,6 +308,10 @@ impl BucketedLayout {
     /// Buckets a probe sequence may visit before the chain is declared
     /// wrapped: the two choices plus three more stride-2 steps of each.
     pub const CASCADE_BUCKETS: u32 = 8;
+
+    /// Largest bucket count: even (the cascade's parity argument) and
+    /// small enough that `buckets * BUCKET_SLOTS` never wraps `u32`.
+    pub const MAX_BUCKETS: u32 = (u32::MAX / BUCKET_SLOTS) & !1;
 
     /// The two candidate buckets of a key: primary from the table hash,
     /// secondary from the mixed hash forced to the opposite parity (so
@@ -249,21 +346,28 @@ impl TableLayout for BucketedLayout {
         "bucketed"
     }
 
-    fn geometry(&self, insertions: usize, slot_reserve: u32, squeeze: u32) -> TableGeometry {
+    fn geometry(
+        &self,
+        insertions: usize,
+        slot_reserve: u32,
+        squeeze: u32,
+    ) -> Result<TableGeometry, KernelFault> {
         // 0.75 design load factor (vs linear's 0.66): overflow needs a
         // full 8-bucket cascade, which two parity-split choices keep rare
         // well past the single-region knee. The bucket count is forced
-        // even so the cascade's parity argument holds (see the type doc).
-        let target = ((insertions as u64 * 4).div_ceil(3) as u32).max(1);
-        let mut buckets = target
-            .div_ceil(BUCKET_SLOTS)
-            .saturating_mul(slot_reserve.max(1))
-            .max(4);
+        // even so the cascade's parity argument holds (see the type doc),
+        // and the reserve multiply clamps to an *even* ceiling so a
+        // saturated table keeps both the parity and `×8` non-overflow
+        // guarantees.
+        let target = slot_target((insertions as u128 * 4).div_ceil(3))?.max(1);
+        let raw = target.div_ceil(BUCKET_SLOTS) as u64 * slot_reserve.max(1) as u64;
+        let mut buckets = (raw.min(Self::MAX_BUCKETS as u64) as u32).max(4);
         if squeeze > 1 {
             buckets = (buckets / squeeze).max(2);
         }
         buckets += buckets % 2;
-        TableGeometry { slots: buckets * BUCKET_SLOTS, front_slots: buckets * BUCKET_SLOTS }
+        debug_assert_eq!(buckets % 2, 0, "bucket counts must stay even");
+        Ok(TableGeometry { slots: buckets * BUCKET_SLOTS, front_slots: buckets * BUCKET_SLOTS })
     }
 
     fn slot_at(&self, job: &DeviceJob, hash: u32, idx: u32) -> u32 {
@@ -293,9 +397,28 @@ impl TableLayout for BucketedLayout {
         (0..Self::CASCADE_BUCKETS.min(nb))
             .any(|visit| Self::cascade_bucket(job, hash, visit) == b)
     }
+
+    fn high_water(&self, job: &DeviceJob) -> u32 {
+        // The 0.75 design load *is* the cliff for a bounded cascade, so
+        // the resize trigger sits at it rather than above it.
+        job.slots - job.slots / 4
+    }
+
+    fn grown_geometry(&self, job: &DeviceJob) -> TableGeometry {
+        let buckets = (job.slots / BUCKET_SLOTS).max(2);
+        let grown = ((buckets as u64 * 2).min(Self::MAX_BUCKETS as u64) as u32) & !1;
+        let grown = grown.max(2);
+        TableGeometry { slots: grown * BUCKET_SLOTS, front_slots: grown * BUCKET_SLOTS }
+    }
 }
 
 /// Iceberg-style two-level layout: dense front yard + backyard overflow.
+///
+/// **Tombstone rule:** a tombstoned front-bucket way stays claimed — the
+/// probe sequence still exhausts all eight front ways before spilling, so
+/// the one bucket-crossing vote fires at the same probe index whether or
+/// not deletions happened. The backyard's linear scan passes through
+/// tombstones like any occupied slot; only `EMPTY` ends it.
 #[derive(Debug)]
 pub struct IcebergLayout;
 
@@ -303,6 +426,10 @@ impl IcebergLayout {
     /// Backyard floor: headroom that exists even for tiny tables, so a
     /// squeezed front yard still has somewhere to overflow to.
     const BACKYARD_FLOOR: u32 = 64;
+
+    /// Largest front-yard bucket count: `front + backyard` (9/8 of the
+    /// front) must stay below `u32::MAX`.
+    pub const MAX_BUCKETS: u32 = (u32::MAX / 9) & !1;
 
     #[inline]
     fn backyard_len(job: &DeviceJob) -> u32 {
@@ -319,22 +446,26 @@ impl TableLayout for IcebergLayout {
         "iceberg"
     }
 
-    fn geometry(&self, insertions: usize, slot_reserve: u32, squeeze: u32) -> TableGeometry {
+    fn geometry(
+        &self,
+        insertions: usize,
+        slot_reserve: u32,
+        squeeze: u32,
+    ) -> Result<TableGeometry, KernelFault> {
         // Front yard at a 0.9 design load factor — the densest region of
         // the three layouts — with a backyard of ⅛ the front (floor 64)
         // absorbing bucket overflow. The squeeze divides only the front:
-        // the backyard *is* the headroom being tested.
-        let target = ((insertions as u64 * 10).div_ceil(9) as u32).max(1);
-        let mut buckets = target
-            .div_ceil(BUCKET_SLOTS)
-            .saturating_mul(slot_reserve.max(1))
-            .max(4);
+        // the backyard *is* the headroom being tested. The reserve clamp
+        // leaves room for the backyard (9/8 of the front fits `u32`).
+        let target = slot_target((insertions as u128 * 10).div_ceil(9))?.max(1);
+        let raw = target.div_ceil(BUCKET_SLOTS) as u64 * slot_reserve.max(1) as u64;
+        let mut buckets = (raw.min(Self::MAX_BUCKETS as u64) as u32).max(4);
         if squeeze > 1 {
             buckets = (buckets / squeeze).max(2);
         }
         let front = buckets * BUCKET_SLOTS;
         let back = (front / 8).max(Self::BACKYARD_FLOOR);
-        TableGeometry { slots: front + back, front_slots: front }
+        Ok(TableGeometry { slots: front + back, front_slots: front })
     }
 
     fn slot_at(&self, job: &DeviceJob, hash: u32, idx: u32) -> u32 {
@@ -369,6 +500,23 @@ impl TableLayout for IcebergLayout {
             true
         }
     }
+
+    fn high_water(&self, job: &DeviceJob) -> u32 {
+        // ⅛ headroom over the whole table: the backyard absorbs overflow
+        // well past the front's 0.9 design load, so the trigger can sit
+        // as high as linear's.
+        job.slots - job.slots / 8
+    }
+
+    fn grown_geometry(&self, job: &DeviceJob) -> TableGeometry {
+        // Double the front yard and re-derive the backyard, exactly as a
+        // fresh geometry would.
+        let buckets = (job.front_slots / BUCKET_SLOTS).max(2);
+        let grown = ((buckets as u64 * 2).min(Self::MAX_BUCKETS as u64) as u32).max(2);
+        let front = grown * BUCKET_SLOTS;
+        let back = (front / 8).max(Self::BACKYARD_FLOOR);
+        TableGeometry { slots: front + back, front_slots: front }
+    }
 }
 
 #[cfg(test)]
@@ -398,12 +546,69 @@ mod tests {
 
     #[test]
     fn linear_geometry_matches_the_historical_sizing() {
-        let g = LinearLayout.geometry(14, 1, 0);
+        let g = LinearLayout.geometry(14, 1, 0).unwrap();
         assert_eq!(g.slots, (estimate_slots(14) as u32) | 1);
         assert_eq!(g.front_slots, g.slots);
-        let grown = LinearLayout.geometry(14, 3, 0);
+        let grown = LinearLayout.geometry(14, 3, 0).unwrap();
         assert!(grown.slots > g.slots);
         assert_eq!(grown.slots % 2, 1, "grown linear tables stay odd");
+    }
+
+    #[test]
+    fn huge_insertion_estimates_fault_instead_of_truncating() {
+        // u32::MAX insertions push every layout's slot target past u32:
+        // the old `as u32` cast silently truncated; now it's a structured
+        // MalformedJob the launch layer can report.
+        let huge = u32::MAX as usize;
+        for kind in TableLayoutKind::ALL {
+            let got = kind.as_layout().geometry(huge, 1, 0);
+            assert!(
+                matches!(got, Err(crate::fault::KernelFault::MalformedJob { .. })),
+                "{kind}: expected MalformedJob, got {got:?}"
+            );
+        }
+        // Just below the boundary the linear estimate still fits.
+        let fits = (u32::MAX as f64 * 0.6) as usize;
+        assert!(LinearLayout.geometry(fits, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn saturated_reserves_clamp_below_saturation_with_structure_intact() {
+        // A pathological slot_reserve used to saturating_mul to u32::MAX
+        // and then `| 1` could not repair the structure. The clamp keeps
+        // linear odd, bucketed an even bucket-multiple, and iceberg's
+        // front+backyard sum inside u32.
+        let lin = LinearLayout.geometry(1000, u32::MAX, 0).unwrap();
+        assert_eq!(lin.slots % 2, 1, "saturated linear tables stay odd");
+        assert_eq!(lin.slots, LinearLayout::MAX_SLOTS);
+
+        let buc = BucketedLayout.geometry(1000, u32::MAX, 0).unwrap();
+        assert_eq!(buc.slots % BUCKET_SLOTS, 0);
+        assert_eq!((buc.slots / BUCKET_SLOTS) % 2, 0, "bucket count stays even");
+
+        let ice = IcebergLayout.geometry(1000, u32::MAX, 0).unwrap();
+        assert!(ice.front_slots < ice.slots, "backyard survives saturation");
+        assert_eq!(ice.front_slots % BUCKET_SLOTS, 0);
+    }
+
+    #[test]
+    fn high_water_sits_below_capacity_and_growth_doubles() {
+        for kind in TableLayoutKind::ALL {
+            let (_, job) = staged(kind);
+            let lay = kind.as_layout();
+            let hw = lay.high_water(&job);
+            assert!(hw < job.slots, "{kind}: high water {hw} under slots {}", job.slots);
+            assert!(hw > job.slots / 2, "{kind}: trigger is in the upper half");
+            let g = lay.grown_geometry(&job);
+            assert!(g.slots > job.slots, "{kind}: growth adds capacity");
+            assert!(g.slots <= job.slots * 3, "{kind}: growth is bounded");
+        }
+        let (_, lin) = staged(TableLayoutKind::LinearProbe);
+        let g = TableLayoutKind::LinearProbe.as_layout().grown_geometry(&lin);
+        assert_eq!(g.slots % 2, 1, "grown linear tables stay odd");
+        let (_, ice) = staged(TableLayoutKind::Iceberg);
+        let g = TableLayoutKind::Iceberg.as_layout().grown_geometry(&ice);
+        assert!(g.slots - g.front_slots >= 64, "grown iceberg keeps the backyard floor");
     }
 
     #[test]
@@ -504,9 +709,9 @@ mod tests {
         // dominates a ~150-slot table, and that floor is the headroom the
         // escalation test depends on.
         for insertions in [100usize, 1000, 50_000] {
-            let lin = LinearLayout.geometry(insertions, 1, 0).slots;
-            let buc = BucketedLayout.geometry(insertions, 1, 0).slots;
-            let ice = IcebergLayout.geometry(insertions, 1, 0).slots;
+            let lin = LinearLayout.geometry(insertions, 1, 0).unwrap().slots;
+            let buc = BucketedLayout.geometry(insertions, 1, 0).unwrap().slots;
+            let ice = IcebergLayout.geometry(insertions, 1, 0).unwrap().slots;
             assert!(buc < lin, "insertions {insertions}: bucketed {buc} vs linear {lin}");
             if insertions >= 1000 {
                 assert!(ice < lin, "insertions {insertions}: iceberg {ice} vs linear {lin}");
@@ -518,10 +723,10 @@ mod tests {
 
     #[test]
     fn squeeze_shrinks_the_main_region_only() {
-        let lin = LinearLayout.geometry(1000, 1, 4);
-        assert!(lin.slots < LinearLayout.geometry(1000, 1, 0).slots / 3);
-        let ice_full = IcebergLayout.geometry(1000, 1, 0);
-        let ice = IcebergLayout.geometry(1000, 1, 4);
+        let lin = LinearLayout.geometry(1000, 1, 4).unwrap();
+        assert!(lin.slots < LinearLayout.geometry(1000, 1, 0).unwrap().slots / 3);
+        let ice_full = IcebergLayout.geometry(1000, 1, 0).unwrap();
+        let ice = IcebergLayout.geometry(1000, 1, 4).unwrap();
         assert!(ice.front_slots < ice_full.front_slots / 3, "front shrinks");
         assert!(
             ice.slots - ice.front_slots >= 64,

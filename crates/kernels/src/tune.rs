@@ -32,6 +32,10 @@ pub struct TuneSpace {
     pub probes: Vec<ProbeStrategy>,
     /// Table layouts to try (see [`crate::table`]).
     pub layouts: Vec<TableLayoutKind>,
+    /// In-kernel resize arming to try (see [`crate::resize`]): `false`
+    /// keeps the grown-reserve escalation ladder, `true` grows the table
+    /// mid-insert and prices the headroom into the arena hint.
+    pub resizes: Vec<bool>,
 }
 
 impl Default for TuneSpace {
@@ -41,6 +45,7 @@ impl Default for TuneSpace {
             max_batches: vec![None, Some(32), Some(128)],
             probes: vec![ProbeStrategy::Linear, ProbeStrategy::Stride2],
             layouts: TableLayoutKind::ALL.to_vec(),
+            resizes: vec![false, true],
         }
     }
 }
@@ -52,6 +57,8 @@ pub struct TunedChoice {
     pub max_batch: Option<usize>,
     pub probe: ProbeStrategy,
     pub layout: TableLayoutKind,
+    /// Whether the winner arms in-kernel resizing.
+    pub resize: bool,
     /// Modeled seconds of the winner on the calibration dataset.
     pub predicted_seconds: f64,
 }
@@ -63,6 +70,7 @@ impl TunedChoice {
         cfg.max_batch = self.max_batch;
         cfg.probe = self.probe;
         cfg.layout = self.layout;
+        cfg.resize = self.resize;
     }
 }
 
@@ -76,19 +84,21 @@ fn cache() -> &'static Mutex<HashMap<String, TunedChoice>> {
 /// not enough on its own: two datasets with the same contig count but
 /// different read depths want different winners, so the key carries the
 /// total reads and total insertions (Σ bases − k + 1 per read) too —
-/// and the swept layout axis, so a sweep restricted to a subset of
-/// layouts never replays a winner that subset cannot express.
+/// and the swept layout and resize axes, so a sweep restricted to a
+/// subset of layouts (or to a fixed resize arming) never replays a winner
+/// that subset cannot express.
 fn cache_key(cfg: &GpuConfig, ds: &Dataset, space: &TuneSpace) -> String {
     let layouts: Vec<&str> = space.layouts.iter().map(|l| l.name()).collect();
     format!(
-        "{:?}|{:?}|k={} jobs={} reads={} insertions={}|layouts={}",
+        "{:?}|{:?}|k={} jobs={} reads={} insertions={}|layouts={}|resizes={:?}",
         cfg.spec(),
         cfg.dialect,
         ds.k,
         ds.jobs.len(),
         ds.total_reads(),
         ds.total_insertions(),
-        layouts.join(",")
+        layouts.join(","),
+        space.resizes
     )
 }
 
@@ -114,21 +124,25 @@ pub fn tune_with(ds: &Dataset, cfg: &GpuConfig, space: &TuneSpace) -> TunedChoic
         for &max_batch in &space.max_batches {
             for &probe in &space.probes {
                 for &layout in &space.layouts {
-                    let mut candidate = cfg.clone();
-                    candidate.slot_reserve = slot_reserve;
-                    candidate.max_batch = max_batch;
-                    candidate.probe = probe;
-                    candidate.layout = layout;
-                    let predicted_seconds =
-                        run_local_assembly(ds, &candidate).profile.seconds();
-                    if best.is_none_or(|b| predicted_seconds < b.predicted_seconds) {
-                        best = Some(TunedChoice {
-                            slot_reserve,
-                            max_batch,
-                            probe,
-                            layout,
-                            predicted_seconds,
-                        });
+                    for &resize in &space.resizes {
+                        let mut candidate = cfg.clone();
+                        candidate.slot_reserve = slot_reserve;
+                        candidate.max_batch = max_batch;
+                        candidate.probe = probe;
+                        candidate.layout = layout;
+                        candidate.resize = resize;
+                        let predicted_seconds =
+                            run_local_assembly(ds, &candidate).profile.seconds();
+                        if best.is_none_or(|b| predicted_seconds < b.predicted_seconds) {
+                            best = Some(TunedChoice {
+                                slot_reserve,
+                                max_batch,
+                                probe,
+                                layout,
+                                resize,
+                                predicted_seconds,
+                            });
+                        }
                     }
                 }
             }
@@ -185,17 +199,21 @@ mod tests {
             for &max_batch in &space.max_batches {
                 for &probe in &space.probes {
                     for &layout in &space.layouts {
-                        let mut cfg = base_cfg.clone();
-                        cfg.slot_reserve = slot_reserve;
-                        cfg.max_batch = max_batch;
-                        cfg.probe = probe;
-                        cfg.layout = layout;
-                        let r = run_local_assembly(&ds, &cfg);
-                        assert_eq!(
-                            r.extensions, base.extensions,
-                            "reserve={slot_reserve} batch={max_batch:?} probe={probe:?} layout={layout}"
-                        );
-                        assert!(r.outcomes.iter().all(|o| o.succeeded()));
+                        for &resize in &space.resizes {
+                            let mut cfg = base_cfg.clone();
+                            cfg.slot_reserve = slot_reserve;
+                            cfg.max_batch = max_batch;
+                            cfg.probe = probe;
+                            cfg.layout = layout;
+                            cfg.resize = resize;
+                            let r = run_local_assembly(&ds, &cfg);
+                            assert_eq!(
+                                r.extensions, base.extensions,
+                                "reserve={slot_reserve} batch={max_batch:?} probe={probe:?} \
+                                 layout={layout} resize={resize}"
+                            );
+                            assert!(r.outcomes.iter().all(|o| o.succeeded()));
+                        }
                     }
                 }
             }
@@ -211,6 +229,7 @@ mod tests {
         assert_eq!(cfg.max_batch, choice.max_batch);
         assert_eq!(cfg.probe, choice.probe);
         assert_eq!(cfg.layout, choice.layout);
+        assert_eq!(cfg.resize, choice.resize);
     }
 
     #[test]
@@ -233,6 +252,7 @@ mod tests {
             max_batches: vec![None],
             probes: vec![ProbeStrategy::Linear],
             layouts: vec![TableLayoutKind::LinearProbe],
+            resizes: vec![false],
         };
         let a = tune_with(&shallow, &cfg, &space);
         let b = tune_with(&deep, &cfg, &space);

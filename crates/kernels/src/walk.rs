@@ -9,6 +9,7 @@
 
 use crate::fault::KernelFault;
 use crate::layout::{DeviceJob, EMPTY, OFF_HI_Q, OFF_KEY_LEN, OFF_KEY_OFF, OFF_LOW_Q};
+use crate::table::TOMBSTONE;
 use locassm_core::murmur::murmur_intops;
 use locassm_core::walk::{decide_extension, window_fingerprint, Walk, WalkState};
 use locassm_core::HtValue;
@@ -112,6 +113,15 @@ pub fn mer_walk_kernel(warp: &mut Warp, job: &DeviceJob) -> Result<Walk, KernelF
             if len_v == EMPTY {
                 break;
             }
+            if len_v == TOMBSTONE {
+                // A deleted slot: its key bytes are gone (the stale
+                // key_off may alias a live key's offset) but the probe
+                // chain continues *through* it — only EMPTY terminates a
+                // lookup, the shared tombstone rule of [`crate::table`].
+                slot = lay.slot_at(job, fp, probe + 1);
+                warp.iop(lm, 2);
+                continue;
+            }
             let off = warp.load_u32_scalar(lane, job.entry_field(slot, OFF_KEY_OFF));
             for j in 0..chunks {
                 // Clamped like the contig tail: a key ending within 3
@@ -180,8 +190,8 @@ mod tests {
 
     fn run_gpu(contig: &[u8], reads: &[Read], k: usize, cfg: WalkConfig) -> Walk {
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, contig, reads, k, cfg, 1).unwrap();
-        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        let mut job = DeviceJob::stage(&mut warp, contig, reads, k, cfg, 1).unwrap();
+        construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
         mer_walk_kernel(&mut warp, &job).unwrap()
     }
 
@@ -235,11 +245,63 @@ mod tests {
     }
 
     #[test]
+    fn tombstone_between_home_and_live_key_does_not_hide_it() {
+        // Regression: a deleted key sitting between a live key and its
+        // home slot must not terminate the lookup (hiding the live key)
+        // nor match through its stale key_off. The perturbed walk must
+        // reproduce the clean walk bit-for-bit.
+        let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
+        let contig = b"GGGGACGTACG";
+        let clean = run_gpu(contig, &reads, 4, cfg());
+        assert!(!clean.extension.is_empty(), "the reference walk must extend");
+
+        let mut warp = Warp::new(32, HierarchyConfig::tiny());
+        let mut job = DeviceJob::stage(&mut warp, contig, &reads, 4, cfg(), 1).unwrap();
+        construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
+
+        // The walk's first window and its probe chain.
+        let k = job.k;
+        let tail = job.contig + job.contig_len as u64 - k as u64;
+        let window = warp.mem.read_bytes(tail, k as u64).to_vec();
+        let fp = window_fingerprint(&window);
+        let lay = job.layout.as_layout();
+        let home = lay.slot_at(&job, fp, 0);
+        assert_eq!(
+            warp.mem.read_u32(job.entry_field(home, OFF_KEY_LEN)),
+            k as u32,
+            "construction put the window's key at its home slot"
+        );
+        let next = (1..lay.probe_bound(&job))
+            .map(|idx| lay.slot_at(&job, fp, idx))
+            .find(|&s| warp.mem.read_u32(job.entry_field(s, OFF_KEY_LEN)) == EMPTY)
+            .expect("the probe chain must reach a free slot to move the entry into");
+
+        // Push the live entry down its probe chain (to the first free
+        // slot), then tombstone the home slot — exactly what a delete
+        // after a hash collision leaves behind. The tombstone keeps its
+        // stale key_off (which aliases the live key's offset) but loses
+        // its votes: a lookup that wrongly matches the tombstone decides
+        // from zeroed counters and diverges from the clean walk.
+        for w in 0..(crate::layout::ENTRY_STRIDE / 4) {
+            let v = warp.mem.read_u32(job.entry_field(home, 4 * w));
+            warp.mem.write_u32(job.entry_field(next, 4 * w), v);
+        }
+        warp.mem.write_u32(job.entry_field(home, OFF_KEY_LEN), TOMBSTONE);
+        for b in 0..4u64 {
+            warp.mem.write_u32(job.entry_field(home, OFF_HI_Q + 4 * b), 0);
+            warp.mem.write_u32(job.entry_field(home, OFF_LOW_Q + 4 * b), 0);
+        }
+
+        let walk = mer_walk_kernel(&mut warp, &job).unwrap();
+        assert_eq!(walk, clean, "the live key behind the tombstone stayed reachable");
+    }
+
+    #[test]
     fn walk_cost_is_single_lane() {
         let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
-        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        let mut job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
+        construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
         let before = warp.snapshot();
         let _ = mer_walk_kernel(&mut warp, &job).unwrap();
         let delta = warp.snapshot().since(&before);
@@ -264,8 +326,8 @@ mod tests {
         for (contig, read, k) in cases {
             let reads = vec![Read::with_uniform_qual(read, b'I')];
             let mut warp = Warp::new(32, HierarchyConfig::tiny());
-            let job = DeviceJob::stage(&mut warp, contig, &reads, k, cfg(), 1).unwrap();
-            construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+            let mut job = DeviceJob::stage(&mut warp, contig, &reads, k, cfg(), 1).unwrap();
+            construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
             mer_walk_kernel(&mut warp, &job).unwrap();
         }
     }
@@ -274,8 +336,8 @@ mod tests {
     fn injected_watchdog_trips_deterministically() {
         let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
         let mut warp = Warp::new(32, HierarchyConfig::tiny());
-        let job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
-        construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+        let mut job = DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
+        construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
         warp.inject_watchdog();
         match mer_walk_kernel(&mut warp, &job) {
             Err(KernelFault::WalkBudgetExceeded { budget, spent }) => {
@@ -294,9 +356,9 @@ mod tests {
         let reads = vec![Read::with_uniform_qual(b"ACGTACGGTTACCA", b'I')];
         let run = || {
             let mut warp = Warp::new(32, HierarchyConfig::tiny());
-            let job =
+            let mut job =
                 DeviceJob::stage(&mut warp, b"GGGGACGTACG", &reads, 4, cfg(), 1).unwrap();
-            construct_hash_table(&mut warp, &job, Dialect::Cuda).unwrap();
+            construct_hash_table(&mut warp, &mut job, Dialect::Cuda).unwrap();
             let walk = mer_walk_kernel(&mut warp, &job).unwrap();
             (walk, warp.finish())
         };

@@ -158,6 +158,36 @@ fn exec_modes_bit_identical_across_table_layouts() {
     }
 }
 
+/// Arming in-kernel resizing is free until a resize actually triggers:
+/// on the paper dataset every host-side slot estimate holds, the
+/// high-water mark is never crossed, and the pre-insert capacity check
+/// charges no modeled work. A resize-armed run must therefore be
+/// bit-identical — extensions, outcomes, every counter, traces,
+/// sanitizer reports, and modeled seconds — to the resize-disabled run
+/// on every device, in every execution mode.
+#[test]
+fn armed_but_untriggered_resize_is_bit_identical() {
+    let ds = paper_dataset(21, 0.002, 42);
+    for device in DEVICES {
+        for exec in [ExecMode::Scalar, ExecMode::Vectorized] {
+            let run = |resize| {
+                let mut cfg = GpuConfig::for_device(device);
+                cfg.parallel = false;
+                cfg.trace = true;
+                cfg.sanitize = SanitizerConfig::all();
+                cfg.exec = exec;
+                cfg.resize = resize;
+                run_local_assembly(&ds, &cfg)
+            };
+            let off = run(false);
+            let on = run(true);
+            let tag = format!("resize-armed {device} {exec:?}");
+            assert_modeled_state_identical(&on, &off, &tag);
+            assert_eq!(on.profile.seconds(), off.profile.seconds(), "{tag}: seconds");
+        }
+    }
+}
+
 /// The replay is a deterministic function of the recorded timelines:
 /// two Scheduled runs over the same dataset must agree on every sched
 /// counter and on the modeled seconds, and the serial/parallel launch

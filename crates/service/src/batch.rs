@@ -61,6 +61,7 @@ pub fn request_footprint(job: &ContigJob, schedule: &[usize], gpu: &GpuConfig) -
             gpu.walk,
             gpu.slot_reserve.max(1),
             gpu.layout,
+            gpu.resize,
         )
     };
     side(&job.right_reads) + side(&job.left_reads)

@@ -34,6 +34,10 @@ pub struct InjectedFaults {
     /// layout's real headroom (an iceberg backyard can absorb what a
     /// squeezed linear table cannot).
     pub table_squeeze: u32,
+    /// Abort the next in-kernel table migration mid-chunk (after the
+    /// first migrated chunk, before the old region retires), forcing the
+    /// `ResizeAborted` recovery path. Ignored by runs that never resize.
+    pub resize_abort: bool,
 }
 
 /// A deterministic, seedable single-fault injection plan.
@@ -54,6 +58,10 @@ pub struct FaultPlan {
     /// `1/divisor` of its estimated size (a simulated estimate
     /// violation; see [`InjectedFaults::table_squeeze`]).
     pub squeeze_at: Option<(u64, u32)>,
+    /// Abort this job's first in-kernel table migration mid-chunk (see
+    /// [`InjectedFaults::resize_abort`]). Usually combined with
+    /// `squeeze_at` on the same victim so a resize genuinely triggers.
+    pub resize_abort_at: Option<u64>,
     /// How many attempts of the victim job observe the fault. `1` (the
     /// default) models a transient fault: the first retry runs clean.
     /// `2` also faults the first (grown-table) retry, pushing recovery
@@ -83,6 +91,11 @@ impl FaultPlan {
     /// real overflow paths instead of short-circuiting them.
     pub fn table_squeeze(job: u64, divisor: u32) -> Self {
         Self { squeeze_at: Some((job, divisor.max(2))), attempts: 1, ..Self::default() }
+    }
+
+    /// Abort job `job`'s first in-kernel table migration mid-chunk.
+    pub fn resize_abort(job: u64) -> Self {
+        Self { resize_abort_at: Some(job), attempts: 1, ..Self::default() }
     }
 
     /// Make the fault persist for the victim's first `attempts` attempts
@@ -120,6 +133,7 @@ impl FaultPlan {
             .or(self.watchdog_at)
             .or(self.alloc_fail.map(|(j, _)| j))
             .or(self.squeeze_at.map(|(j, _)| j))
+            .or(self.resize_abort_at)
     }
 
     /// Rewrite every victim id equal to `from` into `to`, leaving the
@@ -143,6 +157,7 @@ impl FaultPlan {
             squeeze_at: self
                 .squeeze_at
                 .map(|(j, d)| (if j == from { to } else { j }, d)),
+            resize_abort_at: mv(self.resize_abort_at),
             attempts: self.attempts,
         }
     }
@@ -170,6 +185,7 @@ impl FaultPlan {
             || self.watchdog_at == Some(job)
             || matches!(self.alloc_fail, Some((j, _)) if j == job)
             || matches!(self.squeeze_at, Some((j, _)) if j == job)
+            || self.resize_abort_at == Some(job)
     }
 
     /// Arm this plan on `warp` if it targets run-global job index `job`.
@@ -191,6 +207,9 @@ impl FaultPlan {
             if j == job {
                 warp.inject_table_squeeze(divisor);
             }
+        }
+        if self.resize_abort_at == Some(job) {
+            warp.inject_resize_abort();
         }
     }
 }
@@ -258,6 +277,31 @@ mod tests {
         assert_eq!(sq.squeeze_at, Some((0, 6)));
         let alloc = FaultPlan::alloc_failure(4, 3).retargeted(4, 1);
         assert_eq!(alloc.alloc_fail, Some((1, 3)));
+        let ra = FaultPlan::resize_abort(4).retargeted(4, 8);
+        assert_eq!(ra.resize_abort_at, Some(8));
+        assert_eq!(ra.victim(), Some(8));
+    }
+
+    #[test]
+    fn resize_abort_arms_and_combines_with_a_squeeze() {
+        let mut warp = Warp::new(8, HierarchyConfig::tiny());
+        // A hand-assembled multi-field plan: squeeze the victim's table so
+        // a resize genuinely triggers, then abort the migration mid-chunk.
+        let plan = FaultPlan {
+            squeeze_at: Some((3, 3)),
+            resize_abort_at: Some(3),
+            attempts: 1,
+            ..FaultPlan::default()
+        };
+        assert!(plan.targets(3) && !plan.targets(2));
+        plan.arm(2, &mut warp);
+        assert_eq!(warp.injected_faults(), InjectedFaults::default());
+        plan.arm(3, &mut warp);
+        let inj = warp.injected_faults();
+        assert!(inj.resize_abort);
+        assert_eq!(inj.table_squeeze, 3);
+        warp.reset(8, HierarchyConfig::tiny());
+        assert_eq!(warp.injected_faults(), InjectedFaults::default());
     }
 
     #[test]

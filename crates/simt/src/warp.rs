@@ -149,6 +149,11 @@ impl Warp {
         self.injected.table_squeeze = divisor.max(2);
     }
 
+    /// Arm the injected mid-migration resize abort (see [`crate::fault`]).
+    pub fn inject_resize_abort(&mut self) {
+        self.injected.resize_abort = true;
+    }
+
     /// Current injected-fault flags. Kernel fault checks read these; they
     /// cost nothing on the fault-free path beyond one branch per check
     /// site (never per instruction).

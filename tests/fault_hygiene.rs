@@ -17,6 +17,7 @@ const HOT_PATH: &[&str] = &[
     "crates/kernels/src/insert_hip.rs",
     "crates/kernels/src/insert_sycl.rs",
     "crates/kernels/src/construct.rs",
+    "crates/kernels/src/resize.rs",
     "crates/kernels/src/walk.rs",
     "crates/kernels/src/kernel.rs",
     "crates/kernels/src/layout.rs",

@@ -265,6 +265,52 @@ fn persistent_table_squeeze_exhausts_escalation() {
     }
 }
 
+/// A resize aborted mid-migration (the table is squeezed so a grow
+/// genuinely triggers, then the migration is cut after its first chunk)
+/// is a retryable fault like any other rung of the ladder: the victim
+/// recovers bit-exactly on one clean retry, and the half-migrated table
+/// never leaks into the output. The control arm proves the same squeeze
+/// *without* the abort is absorbed by the resize with zero escalation.
+#[test]
+fn resize_abort_mid_migration_recovers_bit_exactly() {
+    let ds = squeeze_dataset(21, 80);
+    let mut cfg = config(RetryPolicy::none());
+    cfg.resize = true;
+
+    let clean = run_local_assembly(&ds, &cfg);
+    assert_eq!(clean.outcomes[0], JobOutcome::Ok, "unfaulted resizing run must be clean");
+
+    // Squeeze the victim so a resize genuinely triggers, then abort its
+    // migration mid-chunk (a hand-assembled two-field plan; see
+    // `FaultPlan::resize_abort`).
+    let mut aborted_cfg = cfg.clone();
+    aborted_cfg.fault = Some(FaultPlan {
+        squeeze_at: Some((0, 3)),
+        resize_abort_at: Some(0),
+        attempts: 1,
+        ..FaultPlan::default()
+    });
+    let aborted = run_local_assembly(&ds, &aborted_cfg);
+    assert_eq!(
+        aborted.outcomes[0],
+        JobOutcome::Recovered { attempts: 1 },
+        "a mid-migration abort must take the single clean-retry recovery path"
+    );
+    assert_eq!(aborted.extensions, clean.extensions, "recovery is bit-exact");
+
+    // Control: the same squeeze without the abort resizes to completion —
+    // zero escalation attempts (the tentpole's acceptance property).
+    let mut squeezed_cfg = cfg.clone();
+    squeezed_cfg.fault = Some(FaultPlan::table_squeeze(0, 3));
+    let squeezed = run_local_assembly(&ds, &squeezed_cfg);
+    assert_eq!(
+        squeezed.outcomes[0],
+        JobOutcome::Ok,
+        "the completed in-kernel resize absorbs the squeeze without escalating"
+    );
+    assert_eq!(squeezed.extensions, clean.extensions);
+}
+
 /// Non-property smoke check tying the suite together: a `Failed` job's
 /// fault survives into the outcome with its diagnostic payload.
 #[test]

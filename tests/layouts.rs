@@ -65,7 +65,7 @@ fn capacity(ds: &Dataset, layout: TableLayoutKind) -> (u64, u64) {
                 continue;
             }
             let ins: usize = reads.iter().map(|r| r.kmer_count(ds.k)).sum();
-            slots += lay.geometry(ins, 1, 0).slots as u64;
+            slots += lay.geometry(ins, 1, 0).expect("dataset insertions fit u32").slots as u64;
             let mut keys = std::collections::HashSet::new();
             for r in reads {
                 for w in r.seq.windows(ds.k) {
@@ -180,6 +180,55 @@ fn iceberg_backyard_absorbs_what_escalates_linear() {
         "the iceberg backyard must absorb the same violated estimate"
     );
     assert_eq!(iceberg.extensions, clean.extensions, "fault-free and bit-exact");
+}
+
+/// Tier-1 acceptance for in-kernel incremental resizing: the same
+/// long-tail workload whose squeezed slot estimate pushes the linear
+/// layout into the grown-reserve escalation ladder completes with *zero*
+/// escalation attempts once resizing is armed — the warp grows the table
+/// past its high-water mark mid-insert instead of faulting
+/// `HashTableFull`. Every layout stays `Ok` (not `Recovered`), and
+/// extensions are bit-identical to the unsqueezed clean run.
+#[test]
+fn in_kernel_resize_retires_the_escalation_ladder() {
+    let seq = scrambled_seq(100);
+    let job = ContigJob::new(0, seq[..21].to_vec(), vec![Read::with_uniform_qual(&seq, b'I')], vec![]);
+    let ds = Dataset::new(21, vec![job]);
+
+    let run = |layout: TableLayoutKind, squeeze: bool, resize: bool| {
+        let mut cfg = GpuConfig::for_device(DeviceId::A100);
+        cfg.layout = layout;
+        cfg.resize = resize;
+        if squeeze {
+            cfg.fault = Some(FaultPlan::table_squeeze(0, 3));
+        }
+        run_local_assembly(&ds, &cfg)
+    };
+
+    // Baseline: without resizing, the squeezed linear table escalates.
+    let clean = run(TableLayoutKind::LinearProbe, false, false);
+    assert_eq!(clean.outcomes[0], JobOutcome::Ok);
+    let escalated = run(TableLayoutKind::LinearProbe, true, false);
+    assert_eq!(
+        escalated.outcomes[0],
+        JobOutcome::Recovered { attempts: 1 },
+        "without resizing the squeezed table must still enter the ladder"
+    );
+
+    // With resizing armed: zero Recovered outcomes anywhere.
+    for layout in TableLayoutKind::ALL {
+        let resized = run(layout, true, true);
+        assert_eq!(
+            resized.outcomes[0],
+            JobOutcome::Ok,
+            "layout {layout}: in-kernel resize must absorb the squeeze with zero \
+             escalation attempts"
+        );
+        assert_eq!(
+            resized.extensions, clean.extensions,
+            "layout {layout}: resizing changes capacity, never extensions"
+        );
+    }
 }
 
 /// Regression for the tail-chunk clamp: a k-mer ending exactly at a

@@ -119,7 +119,7 @@ fn staged_job(warp: &mut Warp) -> DeviceJob {
 #[test]
 fn detects_duplicate_key_insert() {
     let mut w = sanitized_warp(32);
-    let job = staged_job(&mut w);
+    let mut job = staged_job(&mut w);
 
     // A genuine insert claims one slot for the k-mer at read offset 0...
     let args = InsertArgs {
@@ -127,7 +127,7 @@ fn detects_duplicate_key_insert() {
         key_off: LaneVec::splat(0u32),
         hash: LaneVec::splat(2u32),
     };
-    let slots = locassm_kernels::insert_cuda::ht_get_atomic(&mut w, &job, &args).unwrap();
+    let slots = locassm_kernels::insert_cuda::ht_get_atomic(&mut w, &mut job, &args).unwrap();
     // ...then a doctored second slot claims the same key bytes.
     let dup = (slots[0] + 3) % job.slots;
     w.mem.write_u32(job.entry_field(dup, OFF_KEY_LEN), 4);
@@ -141,6 +141,65 @@ fn detects_duplicate_key_insert() {
     }
     let r = w.take_san_report().unwrap();
     assert_eq!(r.count("duplicate_key"), 1);
+}
+
+/// Seeded defect class: a tombstone written without updating the job's
+/// deletion counter — the bookkeeping drift an unbalanced delete leaves
+/// behind. The resize-aware invariant scan must catch the mismatch.
+#[test]
+fn detects_dangling_tombstone_count() {
+    let mut w = sanitized_warp(32);
+    let mut job = staged_job(&mut w);
+    job.resize = true;
+    let args = InsertArgs {
+        mask: Mask::lane(0),
+        key_off: LaneVec::splat(0u32),
+        hash: LaneVec::splat(2u32),
+    };
+    let slots = locassm_kernels::insert_cuda::ht_get_atomic(&mut w, &mut job, &args).unwrap();
+    // Doctor a tombstone into an empty slot without counting it.
+    let dangling = (slots[0] + 3) % job.slots;
+    w.mem.write_u32(job.entry_field(dangling, OFF_KEY_LEN), locassm_kernels::TOMBSTONE);
+
+    let found = locassm_kernels::layout::check_table_invariants(&w, &job);
+    for kind in found {
+        w.san_record(kind);
+    }
+    let r = w.take_san_report().unwrap();
+    assert_eq!(r.count("tombstone_mismatch"), 1, "{:?}", r.findings);
+    assert_eq!(r.count("migration_mismatch"), 0, "occupancy bookkeeping is intact");
+}
+
+/// Seeded defect class: a live entry that survived in *both* regions'
+/// slots after a migration (copied but never retired) — the occupancy
+/// scan disagrees with the migration counter, and the duplicated key is
+/// named too.
+#[test]
+fn detects_migrated_twice_slot() {
+    let mut w = sanitized_warp(32);
+    let mut job = staged_job(&mut w);
+    job.resize = true;
+    let args = InsertArgs {
+        mask: Mask::lane(0),
+        key_off: LaneVec::splat(0u32),
+        hash: LaneVec::splat(2u32),
+    };
+    let slots = locassm_kernels::insert_cuda::ht_get_atomic(&mut w, &mut job, &args).unwrap();
+    // Clone the live entry into a second slot, as a migration that failed
+    // to tombstone the source would.
+    let twin = (slots[0] + 5) % job.slots;
+    for word in 0..(locassm_kernels::layout::ENTRY_STRIDE / 4) {
+        let v = w.mem.read_u32(job.entry_field(slots[0], 4 * word));
+        w.mem.write_u32(job.entry_field(twin, 4 * word), v);
+    }
+
+    let found = locassm_kernels::layout::check_table_invariants(&w, &job);
+    for kind in found {
+        w.san_record(kind);
+    }
+    let r = w.take_san_report().unwrap();
+    assert_eq!(r.count("migration_mismatch"), 1, "{:?}", r.findings);
+    assert_eq!(r.count("duplicate_key"), 1, "the cloned key is named as well");
 }
 
 /// Seeded defect class 5: a probe chain wrapping a (lied-about) 4-slot
@@ -160,7 +219,7 @@ fn detects_probe_wrap_on_full_table() {
             key_off: LaneVec::splat(off),
             hash: LaneVec::splat(off % 4),
         };
-        if locassm_kernels::insert_cuda::ht_get_atomic(&mut w, &job, &args).is_err() {
+        if locassm_kernels::insert_cuda::ht_get_atomic(&mut w, &mut job, &args).is_err() {
             faulted = true;
             break;
         }
